@@ -1,0 +1,327 @@
+(* memrel command-line interface: every experiment in DESIGN.md, runnable
+   with explicit parameters. `memrel --help` lists the subcommands. *)
+
+open Memrel
+open Cmdliner
+
+let model_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "sc" -> Ok Model.sc
+    | "tso" -> Ok (Model.tso ())
+    | "pso" -> Ok (Model.pso ())
+    | "wo" -> Ok (Model.wo ())
+    | _ -> Error (`Msg (Printf.sprintf "unknown model %S (expected sc|tso|pso|wo)" s))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Model.name m))
+
+let model_arg =
+  Arg.(value & opt model_conv (Model.tso ()) & info [ "model" ] ~docv:"MODEL"
+         ~doc:"Memory model: sc, tso, pso or wo.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let trials_arg default =
+  Arg.(value & opt int default & info [ "trials" ] ~docv:"N" ~doc:"Monte Carlo trials.")
+
+let threads_arg =
+  Arg.(value & opt int 2 & info [ "n"; "threads" ] ~docv:"N" ~doc:"Number of threads.")
+
+(* -- table1 ----------------------------------------------------------- *)
+
+let table1_cmd =
+  let run () = print_string (Model.table1 ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the paper's Table 1 (memory model matrix).")
+    Term.(const run $ const ())
+
+(* -- figure1 ---------------------------------------------------------- *)
+
+let figure1_cmd =
+  let run model seed m = print_string (Render.figure1_random ~m ~seed model) in
+  let m_arg =
+    Arg.(value & opt int 6 & info [ "m" ] ~docv:"M" ~doc:"Prefix length of the random program.")
+  in
+  Cmd.v (Cmd.info "figure1" ~doc:"Render a settling-process instantiation (paper Figure 1).")
+    Term.(const run $ model_arg $ seed_arg $ m_arg)
+
+(* -- figure2 ---------------------------------------------------------- *)
+
+let figure2_cmd =
+  let run gammas shifts =
+    match shifts with
+    | [] -> print_string (Render.figure2_paper_instance ())
+    | _ ->
+      if List.length shifts <> List.length gammas then
+        prerr_endline "error: --shifts must match --gammas in length"
+      else
+        print_string
+          (Render.figure2 ~gammas:(Array.of_list gammas) ~shifts:(Array.of_list shifts))
+  in
+  let gammas_arg =
+    Arg.(value & opt (list int) [ 3; 2; 5 ] & info [ "gammas" ] ~docv:"G,G,..."
+           ~doc:"Segment lengths.")
+  in
+  let shifts_arg =
+    Arg.(value & opt (list int) [] & info [ "shifts" ] ~docv:"S,S,..."
+           ~doc:"Shifts (defaults to the paper's Figure 2 instance).")
+  in
+  Cmd.v (Cmd.info "figure2" ~doc:"Render a shift-process instantiation (paper Figure 2).")
+    Term.(const run $ gammas_arg $ shifts_arg)
+
+(* -- window ----------------------------------------------------------- *)
+
+let window_cmd =
+  let run model seed trials gamma_max p s =
+    let model = match (Model.family model, s) with
+      | _, None -> model
+      | Model.Total_store_order, Some s -> Model.tso ~s ()
+      | Model.Partial_store_order, Some s -> Model.pso ~s ()
+      | Model.Weak_ordering, Some s -> Model.wo ~s ()
+      | (Model.Sequential_consistency | Model.Custom), Some _ -> model
+    in
+    let rng = Rng.create seed in
+    Printf.printf "critical-window growth Pr[B_gamma] under %s (p = %.2f, s = %.2f)\n\n"
+      (Model.name model) p (Model.s model);
+    let mc = Window_mc.estimate ~p ~trials model rng in
+    let dp =
+      match Model.family model with
+      | Model.Custom -> []
+      | _ -> Window_exact_dp.gamma_pmf ~p model ~m:16
+    in
+    let normal_form = p = 0.5 && Model.s model = 0.5 in
+    Printf.printf "%6s %12s %12s %12s\n" "gamma" "analytic" "dp(m=16)" "mc";
+    for g = 0 to gamma_max do
+      let analytic =
+        match Model.family model with
+        | Model.Sequential_consistency -> Rational.to_float (Window_analytic.b_sc g)
+        | Model.Weak_ordering ->
+          if normal_form then Rational.to_float (Window_analytic.b_wo g)
+          else Window_analytic_general.b_wo ~s:(Model.s model) g
+        | Model.Total_store_order ->
+          if normal_form then Window_analytic.b_tso_series g
+          else Window_analytic_general.b_tso ~p ~s:(Model.s model) g
+        | Model.Partial_store_order | Model.Custom -> Float.nan
+      in
+      let dpv = try List.assoc g dp with Not_found -> Float.nan in
+      let mcv = try List.assoc g mc.gamma_pmf with Not_found -> 0.0 in
+      Printf.printf "%6d %12.6f %12.6f %12.6f\n" g analytic dpv mcv
+    done
+  in
+  let gamma_max_arg =
+    Arg.(value & opt int 8 & info [ "gamma-max" ] ~docv:"G" ~doc:"Largest gamma to print.")
+  in
+  let p_arg =
+    Arg.(value & opt float 0.5 & info [ "p" ] ~docv:"P" ~doc:"Store density of the program.")
+  in
+  let s_arg =
+    Arg.(value & opt (some float) None & info [ "s" ] ~docv:"S"
+           ~doc:"Swap probability (defaults to the model's 1/2).")
+  in
+  Cmd.v (Cmd.info "window" ~doc:"Critical-window distribution (Theorem 4.1).")
+    Term.(const run $ model_arg $ seed_arg $ trials_arg 200_000 $ gamma_max_arg $ p_arg $ s_arg)
+
+(* -- shift ------------------------------------------------------------ *)
+
+let shift_cmd =
+  let run gammas seed trials =
+    let g = Array.of_list gammas in
+    let exact = Shift_exact.disjoint_probability g in
+    let rng = Rng.create seed in
+    let est, ci = Shift.estimate ~trials rng g in
+    Printf.printf "Pr[A(%s)] exact %s (%.6f); simulated %.6f [%.6f, %.6f]\n"
+      (String.concat "," (List.map string_of_int gammas))
+      (Rational.to_string exact) (Rational.to_float exact) est ci.lo ci.hi
+  in
+  let gammas_arg =
+    Arg.(value & opt (list int) [ 3; 2; 5 ] & info [ "gammas" ] ~docv:"G,G,..."
+           ~doc:"Segment lengths (at most 8).")
+  in
+  Cmd.v (Cmd.info "shift" ~doc:"Shift-process disjointness probability (Theorem 5.1).")
+    Term.(const run $ gammas_arg $ seed_arg $ trials_arg 500_000)
+
+(* -- joint ------------------------------------------------------------ *)
+
+let joint_cmd =
+  let run model n seed trials =
+    let rng = Rng.create seed in
+    let e = Joint.estimate ~trials model ~n rng in
+    Printf.printf "Pr[A] (%s, n=%d): simulated %.6f [%.6f, %.6f]\n" (Model.name model) n
+      e.pr_no_bug e.ci.lo e.ci.hi;
+    (match Model.family model with
+     | Model.Sequential_consistency ->
+       Printf.printf "exact: %s\n" (Rational.to_string (Manifestation.pr_a_sc ~n))
+     | Model.Weak_ordering ->
+       Printf.printf "exact: %s\n" (Rational.to_string (Manifestation.pr_a_wo ~n))
+     | Model.Total_store_order ->
+       let lo, hi = Manifestation.pr_a_tso_bounds ~n in
+       Printf.printf "paper bounds (independence approx): %.4e .. %.4e; exact series %.4e\n"
+         (Rational.to_float lo) (Rational.to_float hi)
+         (Manifestation.pr_a_tso_independent_series ~n);
+       if n <= Window_joint_dp.max_replicas + 1 then
+         Printf.printf "joint-exact (correlated, coupled-chain DP): %.4e\n"
+           (Manifestation.pr_a_joint_exact model ~n);
+       Printf.printf "semi-analytic (correlated, MC): %.4e\n"
+         (Joint.semi_analytic ~trials model ~n rng)
+     | Model.Partial_store_order ->
+       if n <= Window_joint_dp.max_replicas + 1 then
+         Printf.printf "joint-exact (correlated, coupled-chain DP): %.4e\n"
+           (Manifestation.pr_a_joint_exact model ~n);
+       Printf.printf "semi-analytic (correlated, MC): %.4e\n"
+         (Joint.semi_analytic ~trials model ~n rng)
+     | Model.Custom ->
+       Printf.printf "semi-analytic (correlated, MC): %.4e\n"
+         (Joint.semi_analytic ~trials model ~n rng))
+  in
+  Cmd.v (Cmd.info "joint" ~doc:"End-to-end bug manifestation probability (Theorem 6.2).")
+    Term.(const run $ model_arg $ threads_arg $ seed_arg $ trials_arg 200_000)
+
+(* -- scaling ---------------------------------------------------------- *)
+
+let scaling_cmd =
+  let run n_max =
+    Printf.printf "%4s %12s %12s %12s %8s %8s %8s %10s\n" "n" "log2Pr(SC)" "log2Pr(WO)"
+      "log2Pr(TSO)" "nSC" "nWO" "nTSO" "SCadv/n^2";
+    List.iter
+      (fun (r : Scaling.row) ->
+        let norm v = Scaling.normalized_exponent ~log2_pr:v ~n:r.n in
+        let gap, _ = Scaling.gap_ratio_log2 r in
+        Printf.printf "%4d %12.2f %12.2f %12.2f %8.4f %8.4f %8.4f %10.6f\n" r.n r.log2_sc
+          r.log2_wo r.log2_tso (norm r.log2_sc) (norm r.log2_wo) (norm r.log2_tso)
+          (gap /. float_of_int (r.n * r.n)))
+      (Scaling.table ~n_max)
+  in
+  let n_max_arg =
+    Arg.(value & opt int 16 & info [ "n-max" ] ~docv:"N" ~doc:"Largest thread count.")
+  in
+  Cmd.v (Cmd.info "scaling" ~doc:"Thread-scaling table (Theorem 6.3).")
+    Term.(const run $ n_max_arg)
+
+(* -- litmus ----------------------------------------------------------- *)
+
+let litmus_cmd =
+  let run name file =
+    (* parsed tests carry no per-model expectation: report reachability only *)
+    let tests, with_expectations =
+      match file with
+      | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        ([ Litmus_parse.parse text ], false)
+      | None -> ((match name with None -> Litmus.all | Some n -> [ Litmus.find n ]), true)
+    in
+    List.iter
+      (fun (t : Litmus.t) ->
+        Printf.printf "%s: %s\n" t.name t.description;
+        List.iter
+          (fun family ->
+            let v = Litmus.check t family in
+            let fname =
+              match family with
+              | Model.Sequential_consistency -> "SC"
+              | Model.Total_store_order -> "TSO"
+              | Model.Partial_store_order -> "PSO"
+              | Model.Weak_ordering -> "WO"
+              | Model.Custom -> "custom"
+            in
+            if with_expectations then
+              Printf.printf "  %-4s relaxed outcome %s (expected %s) %s\n" fname
+                (if v.observed_relaxed then "ALLOWED" else "forbidden")
+                (if v.expected_relaxed then "allowed" else "forbidden")
+                (if v.agrees then "" else "** MISMATCH **")
+            else
+              Printf.printf "  %-4s relaxed outcome %s (%d reachable outcomes)\n" fname
+                (if v.observed_relaxed then "ALLOWED" else "forbidden")
+                v.outcome_count)
+          [ Model.Sequential_consistency; Model.Total_store_order; Model.Partial_store_order;
+            Model.Weak_ordering ])
+      tests
+  in
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TEST"
+           ~doc:"Litmus test name (all when omitted).")
+  in
+  let file_arg =
+    Arg.(value & opt (some file) None & info [ "file" ] ~docv:"FILE"
+           ~doc:"Parse and run a litmus test from FILE (see Litmus_parse for the format).")
+  in
+  Cmd.v (Cmd.info "litmus" ~doc:"Run the litmus corpus on the operational machine.")
+    Term.(const run $ name_arg $ file_arg)
+
+(* -- fences ----------------------------------------------------------- *)
+
+let fences_cmd =
+  let run seed trials =
+    let rng = Rng.create seed in
+    let pr_with every =
+      let hits = ref 0 in
+      for _ = 1 to trials do
+        let prog = Program.generate rng ~m:37 in
+        let prog =
+          match every with
+          | None -> prog
+          | Some k -> Program.with_fences ~every:k ~kind:Fence.Acquire prog
+        in
+        let gamma () =
+          let pi = Settle.run (Model.wo ()) rng prog in
+          Window.gamma prog pi + 2
+        in
+        if (Shift.sample rng [| gamma (); gamma () |]).disjoint then incr hits
+      done;
+      float_of_int !hits /. float_of_int trials
+    in
+    Printf.printf "WO + acquire fences, n=2, m=37, %d trials per row\n" trials;
+    Printf.printf "  none    %.4f (7/54 = %.4f)\n" (pr_with None) (7.0 /. 54.0);
+    List.iter (fun k -> Printf.printf "  every %2d %.4f\n" k (pr_with (Some k))) [ 16; 8; 4; 2 ];
+    Printf.printf "  SC ref  %.4f\n" (1.0 /. 6.0)
+  in
+  Cmd.v (Cmd.info "fences" ~doc:"Fence-density sweep (Section 7 extension).")
+    Term.(const run $ seed_arg $ trials_arg 100_000)
+
+(* -- verify ----------------------------------------------------------- *)
+
+let verify_cmd =
+  let run cutoff =
+    Printf.printf "computing the verified enclosure of Pr[A] under TSO, n = 2
+";
+    Printf.printf "(exact rational partial sums, provable truncation tails; cutoff %d)
+
+" cutoff;
+    let e = Window_verified.pr_a_tso_n2 ~q_max:cutoff ~mu_max:cutoff ~gamma_max:cutoff () in
+    Printf.printf "enclosure: [%.17f,
+            %.17f]
+"
+      (Rational.to_float e.Window_verified.lo)
+      (Rational.to_float e.Window_verified.hi);
+    Printf.printf "width:     %.3e
+" (Rational.to_float (Window_verified.width e));
+    let paper_lo = Rational.of_ints 58 441 in
+    let paper_hi = Rational.add paper_lo (Rational.of_ints 1 189) in
+    let inside =
+      Rational.compare paper_lo e.Window_verified.lo < 0
+      && Rational.compare e.Window_verified.hi paper_hi < 0
+    in
+    Printf.printf
+      "Theorem 6.2's claim 58/441 < Pr[A] < 58/441 + 1/189: %s (exact rational comparison)
+"
+      (if inside then "VERIFIED" else "NOT verified at this cutoff");
+    if not inside then exit 1
+  in
+  let cutoff_arg =
+    Arg.(value & opt int 40 & info [ "cutoff" ] ~docv:"K"
+           ~doc:"Series truncation depth (larger = tighter, slower).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Machine-verify Theorem 6.2's TSO bracket with exact rational enclosures.")
+    Term.(const run $ cutoff_arg)
+
+let main_cmd =
+  let doc = "reproduction of 'The Impact of Memory Models on Software Reliability'" in
+  Cmd.group (Cmd.info "memrel" ~version:"1.0.0" ~doc)
+    [ table1_cmd; figure1_cmd; figure2_cmd; window_cmd; shift_cmd; joint_cmd; scaling_cmd;
+      litmus_cmd; fences_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/fence_tuning.ml: Array Fence List Memrel Model Op Printf Program Rng Settle Shift Window Window_analytic_general

@@ -1,0 +1,1 @@
+examples/litmus_explorer.ml: Array Enumerate Instr List Litmus Machine_exec Memrel Model Option Printf Rng Semantics String

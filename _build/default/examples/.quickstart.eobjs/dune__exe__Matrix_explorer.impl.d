@@ -1,0 +1,1 @@
+examples/matrix_explorer.ml: Array List Memrel Model Printf Window_exact_dp

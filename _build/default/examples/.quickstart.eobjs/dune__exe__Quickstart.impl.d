@@ -1,0 +1,1 @@
+examples/quickstart.ml: Joint Manifestation Memrel Model Printf Rational Rng

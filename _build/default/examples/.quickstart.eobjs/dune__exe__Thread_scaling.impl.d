@@ -1,0 +1,1 @@
+examples/thread_scaling.ml: List Manifestation Memrel Model Printf Scaling

@@ -1,0 +1,1 @@
+examples/window_growth.ml: List Memrel Model Printf Render Rng Window_analytic Window_exact_dp Window_mc

@@ -1,0 +1,79 @@
+(* Fence insertion (the Section 7 extension): one-way acquire/release
+   barriers restrict settling, shrinking critical windows and recovering
+   reliability under weak models.
+
+   Two sweeps under Weak Ordering, n = 2 threads:
+
+   1. a single acquire fence placed d instructions above the critical load —
+      the closer the fence, the harder the window's cap, interpolating
+      between fence-free WO (7/54) and SC (1/6);
+   2. periodic acquire fences every k instructions with a prefix length that
+      is NOT a multiple of k (m = 37), so the fence-to-load distance varies
+      — a realistic "sprinkle fences through the code" picture.
+
+   Run with: dune exec examples/fence_tuning.exe *)
+
+open Memrel
+
+let trials = 300_000
+
+let estimate rng make_prog =
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let prog = make_prog rng in
+    let gamma () =
+      let pi = Settle.run (Model.wo ()) rng prog in
+      Window.gamma prog pi + 2
+    in
+    if (Shift.sample rng [| gamma (); gamma () |]).disjoint then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials
+
+(* one acquire fence exactly [d] instructions above the critical load *)
+let prog_with_fence_at_distance d rng =
+  let m = 32 in
+  let base = Program.generate rng ~m in
+  let ops = Array.to_list (Program.ops base) in
+  let ops =
+    List.concat
+      (List.mapi
+         (fun i op -> if i = m - d then [ Op.fence Fence.Acquire; op ] else [ op ])
+         ops)
+  in
+  Program.of_ops ops
+
+let () =
+  let rng = Rng.create 4242 in
+  Printf.printf "WO, n = 2, %d trials per row. Fence-free Pr[A] = 7/54 ~ 0.1296; SC = 1/6 ~ 0.1667\n\n"
+    trials;
+  print_endline "1. single acquire fence, d instructions above the critical load:";
+  Printf.printf "   %-14s %-10s %s\n" "d" "simulated" "closed form";
+  List.iter
+    (fun d ->
+      Printf.printf "   %-14d %-10.4f %.4f\n" d
+        (estimate rng (prog_with_fence_at_distance d))
+        (Window_analytic_general.pr_a_n2 ~b:(Window_analytic_general.b_wo_fenced ~s:0.5 ~d)))
+    [ 0; 1; 2; 3; 5; 8 ];
+  Printf.printf "   %-14s %.4f\n" "(no fence)"
+    (estimate rng (fun rng -> Program.generate rng ~m:32));
+  print_newline ();
+  print_endline "2. periodic acquire fences, every k instructions (m = 37):";
+  Printf.printf "   %-14s %-18s Pr[A]\n" "k" "(dist to load)";
+  List.iter
+    (fun k ->
+      Printf.printf "   %-14d %-18d %.4f\n" k (37 mod k)
+        (estimate rng (fun rng ->
+             Program.with_fences ~every:k ~kind:Fence.Acquire (Program.generate rng ~m:37))))
+    [ 16; 8; 4; 2 ];
+  print_endline "   (windows rarely exceed a few instructions, so only the NEAREST fence";
+  print_endline "    above the critical load — at distance m mod k — matters: density";
+  print_endline "    helps exactly insofar as it shrinks that distance)";
+  print_newline ();
+  Printf.printf "3. release fences every 2 (permissive direction): %.4f\n"
+    (estimate rng (fun rng ->
+         Program.with_fences ~every:2 ~kind:Fence.Release (Program.generate rng ~m:37)));
+  print_endline "   (recover nothing: settling only moves instructions upward, and release";
+  print_endline "    fences allow upward passes)";
+  print_newline ();
+  print_endline "Matches the paper's conjecture: fences monotonically reduce manifestation,";
+  print_endline "capped by the SC value; a fence at d = 0 reproduces SC exactly."

@@ -1,0 +1,55 @@
+(* Litmus explorer: run the operational multiprocessor simulator on the
+   classic litmus tests and the paper's canonical atomicity violation,
+   exhaustively enumerating every reachable outcome under each memory model.
+
+   This grounds the paper's abstract reordering model: the same model
+   hierarchy (SC < TSO < PSO < WO) emerges from store buffers and
+   out-of-order issue windows.
+
+   Run with: dune exec examples/litmus_explorer.exe *)
+
+open Memrel
+
+let families =
+  [ (Model.Sequential_consistency, "SC"); (Model.Total_store_order, "TSO");
+    (Model.Partial_store_order, "PSO"); (Model.Weak_ordering, "WO") ]
+
+let outcome_to_string o =
+  String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) o)
+
+let () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      Printf.printf "== %s: %s\n" t.name t.description;
+      List.iteri
+        (fun i prog ->
+          Printf.printf "   T%d: %s\n" i
+            (String.concat "; " (List.map Instr.to_string (Array.to_list prog))))
+        t.programs;
+      Printf.printf "   asking about: %s\n" (outcome_to_string t.relaxed_outcome);
+      List.iter
+        (fun (family, name) ->
+          let r = Litmus.run_exhaustive t family in
+          let reachable = List.mem_assoc t.relaxed_outcome r.Enumerate.outcomes in
+          Printf.printf "   %-4s %-9s (%d outcomes, %d states): %s\n" name
+            (if reachable then "ALLOWED" else "forbidden")
+            (List.length r.Enumerate.outcomes) r.Enumerate.states_visited
+            (String.concat " | " (List.map (fun (o, _) -> outcome_to_string o) r.Enumerate.outcomes)))
+        families;
+      print_newline ())
+    Litmus.all;
+  (* the canonical bug under a random scheduler: manifestation frequency *)
+  print_endline "Canonical increment bug, random uniform scheduler, 20000 runs each:";
+  let t = Litmus.find "inc" in
+  let rng = Rng.create 11 in
+  List.iter
+    (fun (family, name) ->
+      let d = Semantics.of_model family in
+      let outcomes =
+        Machine_exec.estimate_outcome ~trials:20_000 d (Litmus.initial_state t)
+          ~observe:t.observe rng
+      in
+      let bug = Option.value ~default:0 (List.assoc_opt [ ("x", 1) ] outcomes) in
+      Printf.printf "  %-4s Pr[x = 1] ~ %.3f\n" name (float_of_int bug /. 20_000.0))
+    families;
+  print_endline "(nonzero everywhere — even SC: the paper's starting observation)"

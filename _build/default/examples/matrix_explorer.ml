@@ -1,0 +1,81 @@
+(* Matrix explorer (footnote 3 generality): which of the four reorderable
+   pairs actually matter for the canonical atomicity violation?
+
+   The paper's models are four points in a 16-point lattice of on/off
+   reordering matrices. This example computes the exact finite-m window
+   transform for EVERY matrix (s = 1/2 where a pair is on) and the implied
+   two-thread Pr[A], revealing the structure:
+
+   - the pairs that let the critical LOAD climb (ST/LD past stores, LD/LD
+     past loads) OPEN the window and cost reliability;
+   - the pairs that let the critical STORE chase it (ST/ST, LD/ST) CLOSE
+     the window again and recover reliability — that is why PSO (ST/ST on)
+     is SAFER than TSO here despite being the "weaker" hardware model.
+
+   Run with: dune exec examples/matrix_explorer.exe *)
+
+open Memrel
+
+let bit_names = [| "ST/ST"; "ST/LD"; "LD/ST"; "LD/LD" |]
+
+let () =
+  let m = 14 in
+  Printf.printf
+    "exact finite-m (m = %d) two-thread Pr[A] for all 16 on/off matrices, s = 1/2\n\n" m;
+  Printf.printf "%-6s %-6s %-6s %-6s | %-9s %9s | %s\n" "ST/ST" "ST/LD" "LD/ST" "LD/LD"
+    "Pr[A] n=2" "E[gamma]" "named model";
+  let results = ref [] in
+  for mask = 0 to 15 do
+    let bit i = mask land (1 lsl i) <> 0 in
+    let v b = if b then 0.5 else 0.0 in
+    let model =
+      Model.custom
+        ~name:(Printf.sprintf "m%x" mask)
+        ~st_st:(v (bit 0)) ~st_ld:(v (bit 1)) ~ld_st:(v (bit 2)) ~ld_ld:(v (bit 3))
+    in
+    let pmf = Window_exact_dp.gamma_pmf model ~m in
+    let e_transform = Window_exact_dp.expect_pow2_window model ~m ~k:1 in
+    let pr_a = 2.0 /. 3.0 *. e_transform in
+    let mean_gamma =
+      List.fold_left (fun acc (g, p) -> acc +. (float_of_int g *. p)) 0.0 pmf
+    in
+    let named =
+      match (bit 0, bit 1, bit 2, bit 3) with
+      | false, false, false, false -> "SC"
+      | false, true, false, false -> "TSO"
+      | true, true, false, false -> "PSO"
+      | true, true, true, true -> "WO"
+      | _ -> ""
+    in
+    results := (mask, pr_a) :: !results;
+    Printf.printf "%-6s %-6s %-6s %-6s | %9.4f %9.4f | %s\n"
+      (if bit 0 then "  X" else "")
+      (if bit 1 then "  X" else "")
+      (if bit 2 then "  X" else "")
+      (if bit 3 then "  X" else "")
+      pr_a mean_gamma named
+  done;
+  print_newline ();
+  (* quantify each bit's marginal effect: average Pr[A] delta from turning
+     the bit on, over the 8 settings of the other bits *)
+  Printf.printf "marginal effect of each pair on Pr[A] (averaged over the other bits):\n";
+  for i = 0 to 3 do
+    let delta = ref 0.0 in
+    List.iter
+      (fun (mask, pr) ->
+        if mask land (1 lsl i) <> 0 then begin
+          let off_pr = List.assoc (mask lxor (1 lsl i)) !results in
+          delta := !delta +. (pr -. off_pr)
+        end)
+      !results;
+    Printf.printf "  %-6s %+.4f %s\n" bit_names.(i) (!delta /. 8.0)
+      (match i with
+       | 1 | 3 -> "(opens the window: the critical load climbs)"
+       | _ -> "(closes it again: the critical store chases)")
+  done;
+  print_newline ();
+  print_endline "Reading: reliability is not monotone in how many pairs a model relaxes —";
+  print_endline "what matters is WHICH pairs. The load-advancing relaxations (ST/LD, LD/LD)";
+  print_endline "each cost ~2 points of Pr[A]; the store-advancing ones (ST/ST, LD/ST) each";
+  print_endline "buy back ~0.5. ST/LD — the one relaxation every real processor performs";
+  print_endline "(x86-TSO included) — is the single most damaging bit for this bug class."

@@ -1,0 +1,34 @@
+(* Quickstart: the paper's headline numbers in a dozen lines of API.
+
+   Computes Theorem 6.2 — the probability that the canonical atomicity
+   violation does NOT manifest for two threads — three ways: the paper's
+   closed forms, our exact-series refinement for TSO, and an end-to-end
+   Monte Carlo run of the whole pipeline (program generation -> settling ->
+   shifting -> overlap detection).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Memrel
+
+let () =
+  print_endline "Pr[A] = probability of NO bug manifestation, n = 2 threads";
+  print_endline "(Theorem 6.2: SC ~ 0.1666, TSO in (0.1315, 0.1369), WO ~ 0.1296)";
+  print_newline ();
+  let rng = Rng.create 2024 in
+  let trials = 500_000 in
+  let row name analytic model =
+    let mc = Joint.estimate ~trials model ~n:2 rng in
+    Printf.printf "  %-4s analytic %-9s (%.4f)   simulated %.4f  [%.4f, %.4f]\n" name
+      (Rational.to_string analytic) (Rational.to_float analytic) mc.pr_no_bug mc.ci.lo mc.ci.hi
+  in
+  row "SC" Manifestation.pr_a_n2_sc Model.sc;
+  row "WO" Manifestation.pr_a_n2_wo (Model.wo ());
+  let lo, hi = Manifestation.pr_a_n2_tso_bounds in
+  let mc = Joint.estimate ~trials (Model.tso ()) ~n:2 rng in
+  Printf.printf "  TSO  paper bounds (%.4f, %.4f); exact series %.4f; simulated %.4f\n"
+    (Rational.to_float lo) (Rational.to_float hi)
+    (Manifestation.pr_a_n2_tso_series ())
+    mc.pr_no_bug;
+  print_newline ();
+  print_endline "Reading: weaker memory models do make the bug more likely at n = 2 —";
+  print_endline "TSO sits much closer to WO (0.1296) than to SC (0.1666), the paper's point."

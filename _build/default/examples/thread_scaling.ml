@@ -1,0 +1,49 @@
+(* Thread scaling (Theorem 6.3): as the number of concurrent buggy threads
+   grows, the reliability advantage of a strict memory model becomes
+   proportionally insignificant.
+
+   The table prints, per thread count n:
+     - log2 Pr[A] per model (exact for SC/WO; exact-series independence
+       approximation for TSO),
+     - the normalized exponent -log2 Pr[A] / n^2 (Theorem 6.3 sends every
+       model's value to 3/2),
+     - the SC advantage in bits, and that advantage relative to the total
+       exponent — the quantity that vanishes.
+
+   Run with: dune exec examples/thread_scaling.exe *)
+
+open Memrel
+
+let () =
+  print_endline
+    "  n | log2 Pr[A]:   SC        WO       TSO | -log2Pr/n^2: SC     WO    TSO | SC adv.(bits)  relative";
+  List.iter
+    (fun (r : Scaling.row) ->
+      let norm v = Scaling.normalized_exponent ~log2_pr:v ~n:r.n in
+      let gap_wo, _ = Scaling.gap_ratio_log2 r in
+      Printf.printf "%3d |        %9.2f %9.2f %9.2f |            %.3f  %.3f  %.3f |   %6.2f      %6.4f\n"
+        r.n r.log2_sc r.log2_wo r.log2_tso (norm r.log2_sc) (norm r.log2_wo) (norm r.log2_tso)
+        gap_wo
+        (gap_wo /. -.r.log2_sc))
+    (List.map Scaling.row [ 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64; 96; 128 ]);
+  print_newline ();
+  print_endline "Two effects, as in the paper:";
+  print_endline "  1. every column's normalized exponent converges to the same 3/2 + o(1);";
+  print_endline "  2. SC's advantage grows only Theta(n) bits against a Theta(n^2)-bit exponent,";
+  print_endline "     so its relative value (last column) -> 0: with many threads, the strict";
+  print_endline "     model buys proportionally nothing.";
+  print_newline ();
+  (* the TSO column uses the independence approximation; quantify what it
+     misses with the exact correlated joint law (coupled-chain DP) *)
+  print_endline "TSO correlation correction (exact joint law vs independence approximation):";
+  List.iter
+    (fun n ->
+      let exact = Manifestation.pr_a_joint_exact (Model.tso ()) ~n in
+      let indep = Manifestation.pr_a_tso_independent_series ~n in
+      Printf.printf "  n=%d: exact %.4e vs indep %.4e (%+.1f%%)\n" n exact indep
+        (100.0 *. (indep -. exact) /. exact))
+    [ 2; 3; 4; 5 ];
+  print_endline
+    "(the shared initial program correlates window sizes across threads, nudging Pr[A] up;";
+  print_endline
+    " the effect grows with n but stays a constant factor against the 2^(-1.5 n^2) decay)"

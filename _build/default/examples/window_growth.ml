@@ -1,0 +1,45 @@
+(* Critical-window growth (Theorem 4.1), visualized.
+
+   For each memory model, prints the distribution of the number of
+   instructions the settling process inserts between the critical LD and
+   critical ST — the window whose size drives bug vulnerability — comparing
+   the paper's closed forms / bounds, the exact finite-m dynamic program,
+   and Monte Carlo, as bar charts.
+
+   Run with: dune exec examples/window_growth.exe *)
+
+open Memrel
+
+let gamma_max = 6
+
+let () =
+  let rng = Rng.create 99 in
+  let show name analytic_pmf model =
+    Printf.printf "== %s ==\n" name;
+    print_endline "analytic (m -> infinity):";
+    print_string (Render.window_bar analytic_pmf ~width:40);
+    let dp = Window_exact_dp.gamma_pmf model ~m:16 in
+    print_endline "exact DP (m = 16):";
+    print_string
+      (Render.window_bar (List.filter (fun (g, _) -> g <= gamma_max) dp) ~width:40);
+    let mc = Window_mc.estimate ~trials:200_000 model rng in
+    print_endline "Monte Carlo (200k samples, m = 64):";
+    print_string
+      (Render.window_bar (List.filter (fun (g, _) -> g <= gamma_max) mc.gamma_pmf) ~width:40);
+    print_newline ()
+  in
+  show "Sequential Consistency" (Window_analytic.window_pmf `SC ~gamma_max) Model.sc;
+  show "Total Store Order (exact series)"
+    (Window_analytic.window_pmf `TSO_series ~gamma_max)
+    (Model.tso ());
+  show "Weak Ordering" (Window_analytic.window_pmf `WO ~gamma_max) (Model.wo ());
+  (* PSO: the case the paper's footnote 4 waves at; our settling semantics
+     let the critical ST re-absorb passed stores, so PSO windows are smaller
+     than TSO's *)
+  Printf.printf "== Partial Store Order (no closed form in the paper) ==\n";
+  let dp = Window_exact_dp.gamma_pmf (Model.pso ()) ~m:16 in
+  print_endline "exact DP (m = 16):";
+  print_string (Render.window_bar (List.filter (fun (g, _) -> g <= gamma_max) dp) ~width:40);
+  print_newline ();
+  print_endline "Growth rates, as in Theorem 4.1's remark: per extra instruction the window";
+  print_endline "probability decays ~4x under TSO but only ~2x under WO; SC never grows."

@@ -1,0 +1,66 @@
+(** memrel — the public facade.
+
+    One [open Memrel] (or dune dependency on [memrel]) exposes the whole
+    reproduction: the probability substrate, the memory models, the two
+    random processes, the joined model, the operational machine and the
+    figure renderers. Each submodule is documented in its own interface;
+    see README.md for the map and DESIGN.md for the paper-to-module
+    correspondence. *)
+
+(** {1 Numerics substrate} *)
+
+module Bigint = Memrel_prob.Bigint
+module Rational = Memrel_prob.Rational
+module Rng = Memrel_prob.Rng
+module Dist = Memrel_prob.Dist
+module Stats = Memrel_prob.Stats
+module Combinatorics = Memrel_prob.Combinatorics
+module Series = Memrel_prob.Series
+module Logspace = Memrel_prob.Logspace
+module Interval = Memrel_prob.Interval
+
+(** {1 Memory models (Table 1)} *)
+
+module Op = Memrel_memmodel.Op
+module Fence = Memrel_memmodel.Fence
+module Model = Memrel_memmodel.Model
+
+(** {1 The settling process (Sections 3.1, 4)} *)
+
+module Program = Memrel_settling.Program
+module Settle = Memrel_settling.Settle
+module Window = Memrel_settling.Window
+module Window_analytic = Memrel_settling.Analytic
+module Window_analytic_general = Memrel_settling.Analytic_general
+module Window_exact_dp = Memrel_settling.Exact_dp
+module Window_exact_dp_q = Memrel_settling.Exact_dp_q
+module Window_joint_dp = Memrel_settling.Joint_dp
+module Window_verified = Memrel_settling.Verified
+module Window_mc = Memrel_settling.Mc
+
+(** {1 The shift process (Section 5)} *)
+
+module Shift = Memrel_shift.Process
+module Shift_exact = Memrel_shift.Exact
+module Asymptotic = Memrel_shift.Asymptotic
+
+(** {1 The joined model (Section 6)} *)
+
+module Joint = Memrel_interleave.Joint
+module Manifestation = Memrel_interleave.Analytic
+module Scaling = Memrel_interleave.Scaling
+module Timeline = Memrel_interleave.Timeline
+
+(** {1 Operational machine substrate} *)
+
+module Instr = Memrel_machine.Instr
+module Machine_state = Memrel_machine.State
+module Semantics = Memrel_machine.Semantics
+module Machine_exec = Memrel_machine.Exec
+module Enumerate = Memrel_machine.Enumerate
+module Litmus = Memrel_machine.Litmus
+module Litmus_parse = Memrel_machine.Parse
+
+(** {1 Figure renderings} *)
+
+module Render = Memrel_trace.Render

@@ -1,0 +1,1 @@
+lib/interleave/analytic.ml: Float Memrel_prob Memrel_settling Memrel_shift

@@ -1,0 +1,1 @@
+lib/interleave/analytic.mli: Memrel_memmodel Memrel_prob Memrel_settling

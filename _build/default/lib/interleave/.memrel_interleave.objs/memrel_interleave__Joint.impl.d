@@ -1,0 +1,1 @@
+lib/interleave/joint.ml: Array Float Memrel_prob Memrel_settling Memrel_shift

@@ -1,0 +1,1 @@
+lib/interleave/joint.mli: Memrel_memmodel Memrel_prob

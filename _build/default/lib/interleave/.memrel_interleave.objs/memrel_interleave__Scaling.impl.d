@@ -1,0 +1,1 @@
+lib/interleave/scaling.ml: Float List Memrel_prob Memrel_settling Memrel_shift

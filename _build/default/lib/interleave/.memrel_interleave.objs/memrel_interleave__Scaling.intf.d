@@ -1,0 +1,1 @@
+lib/interleave/scaling.mli: Memrel_settling

@@ -1,0 +1,1 @@
+lib/interleave/timeline.ml: Array List Memrel_prob Memrel_settling

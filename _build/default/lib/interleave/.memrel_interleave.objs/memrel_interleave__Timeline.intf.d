@@ -1,0 +1,1 @@
+lib/interleave/timeline.mli: Memrel_memmodel Memrel_prob

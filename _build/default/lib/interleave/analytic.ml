@@ -1,0 +1,53 @@
+module Q = Memrel_prob.Rational
+module SA = Memrel_settling.Analytic
+module SE = Memrel_shift.Exact
+module C = Memrel_prob.Combinatorics
+
+let two_thirds = Q.of_ints 2 3
+
+let pr_a_n2_sc = Q.of_ints 1 6
+let pr_a_n2_wo = Q.of_ints 7 54
+let pr_a_n2_tso_bounds = (Q.of_ints 58 441, Q.add (Q.of_ints 58 441) (Q.of_ints 1 189))
+
+let pr_a_n2 w = (2.0 /. 3.0) *. SA.expect_pow2_window w ~k:1
+let pr_a_n2_tso_series () = pr_a_n2 `TSO_series
+
+let binom2 n = n * (n + 1) / 2
+
+let prefactor_full n =
+  (* c(n) 2^-C(n+1,2) n! *)
+  Q.mul (Q.mul (SE.c n) (Q.pow2 (-binom2 n))) (Q.of_bigint (C.factorial n))
+
+let pr_exact_independent expect n =
+  if n < 2 then invalid_arg "Interleave.Analytic: n >= 2 required";
+  let product = ref Q.one in
+  for i = 1 to n - 1 do
+    product := Q.mul !product (expect ~k:i)
+  done;
+  Q.mul (prefactor_full n) !product
+
+let pr_a_sc ~n = pr_exact_independent (SA.expect_pow2_window_exact `SC) n
+let pr_a_wo ~n = pr_exact_independent (SA.expect_pow2_window_exact `WO) n
+
+let pr_a_tso_bounds ~n =
+  ( pr_exact_independent (SA.expect_pow2_window_exact `TSO_lower) n,
+    pr_exact_independent (SA.expect_pow2_window_exact `TSO_upper) n )
+
+let pr_a w ~n =
+  if n < 2 then invalid_arg "Interleave.Analytic.pr_a: n >= 2 required";
+  let product = ref 0.0 in
+  for i = 1 to n - 1 do
+    product := !product +. (Float.log (SA.expect_pow2_window w ~k:i) /. Float.log 2.0)
+  done;
+  Q.to_float (prefactor_full n) *. Float.pow 2.0 !product
+
+let pr_a_tso_independent_series ~n = pr_a `TSO_series ~n
+
+let pr_a_joint_exact ?p ?(m = 64) model ~n =
+  let e = Memrel_settling.Joint_dp.expect_product ?p model ~m ~n in
+  Q.to_float (prefactor_full n) *. e
+
+(* consistency: Theorem 6.2's closed forms are special cases of the general
+   path; the test suite asserts pr_a_sc ~n:2 = 1/6 etc. The 2/3 constant in
+   pr_a_n2 is prefactor_full 2 = (8/3) * 2^-3 * 2 = 2/3. *)
+let () = assert (Q.equal (prefactor_full 2) two_thirds)

@@ -1,0 +1,62 @@
+(** Closed-form bug-manifestation probabilities (Theorems 6.1 and 6.2).
+
+    For n = 2 only the marginal window law matters (the paper's symmetry
+    observation), so SC and WO are exact rationals, and TSO gets the paper's
+    bracketing bounds plus our exact-series value. For general [n], SC and
+    WO remain exact (their window laws are program-independent hence
+    i.i.d. across threads); TSO's cross-thread correlation is handled by
+    {!Joint.semi_analytic} and bracketed here under the independence
+    approximation. *)
+
+module Q = Memrel_prob.Rational
+
+(** {1 Theorem 6.2 — n = 2} *)
+
+val pr_a_n2_sc : Q.t
+(** 1/6 (~ 0.1666). *)
+
+val pr_a_n2_wo : Q.t
+(** 7/54 (~ 0.1296). *)
+
+val pr_a_n2_tso_bounds : Q.t * Q.t
+(** (58/441, 58/441 + 1/189): the paper's strict bracket
+    0.1315 < Pr[A] < 0.1369. *)
+
+val pr_a_n2_tso_series : unit -> float
+(** Exact-series value (~ 0.1343), inside the bracket. *)
+
+val pr_a_n2 : Memrel_settling.Analytic.model_window -> float
+(** [(2/3) E[2^-Gamma]] for any window-law variant. *)
+
+(** {1 General n (independent windows)} *)
+
+val pr_a_sc : n:int -> Q.t
+(** Exact: [c(n) 2^-C(n+1,2) n! 2^-2 C(n,2)]. *)
+
+val pr_a_wo : n:int -> Q.t
+(** Exact (WO windows are i.i.d. across threads). *)
+
+val pr_a_tso_bounds : n:int -> Q.t * Q.t
+(** Theorem 4.1's window bounds pushed through the independence
+    approximation. The lower entry is a true lower bound on the
+    independence-approximated value; the cross-thread correlation (positive
+    association of window sizes) additionally pushes the true Pr[A] up, so
+    treat these as brackets of the approximation, not of truth — see
+    EXPERIMENTS.md E9 for the measured comparison. *)
+
+val pr_a_tso_independent_series : n:int -> float
+(** Exact-series marginal window law under the independence approximation. *)
+
+val pr_a : Memrel_settling.Analytic.model_window -> n:int -> float
+(** Generic float path: Theorem 6.1 with independent identical windows. *)
+
+val pr_a_joint_exact :
+  ?p:float -> ?m:int -> Memrel_memmodel.Model.t -> n:int -> float
+(** [pr_a_joint_exact model ~n] is Theorem 6.1 evaluated with the TRUE
+    joint window law — the cross-thread correlation induced by the shared
+    initial program is handled exactly by {!Memrel_settling.Joint_dp}'s
+    coupled chains ([m] defaults to 64, far into the paper's m -> infinity
+    regime). For SC/WO this coincides with the exact independent values;
+    for TSO/PSO it is the number the paper could only bound, and
+    {!Joint.semi_analytic} can only estimate. Requires
+    [2 <= n <= Joint_dp.max_replicas + 1]. *)

@@ -1,0 +1,82 @@
+module Rng = Memrel_prob.Rng
+module Stats = Memrel_prob.Stats
+module Settle = Memrel_settling.Settle
+module Window = Memrel_settling.Window
+module Program = Memrel_settling.Program
+module Shift = Memrel_shift.Process
+
+type convention = [ `Paper | `Strict ]
+
+type estimate = {
+  pr_no_bug : float;
+  ci : Stats.interval;
+  trials : int;
+}
+
+let default_m = 64
+
+let check_n n = if n < 2 then invalid_arg "Joint: n >= 2 threads required"
+
+let sample ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) model ~n rng =
+  check_n n;
+  let prog = Program.generate_with_gap ~p rng ~m ~gap in
+  match convention with
+  | `Paper ->
+    let gammas =
+      Array.init n (fun _ ->
+          let pi = Settle.run model rng prog in
+          Window.gamma prog pi + 2)
+    in
+    (Shift.sample rng gammas).disjoint
+  | `Strict ->
+    (* absolute inclusive windows [load_pos - eta, store_pos - eta]; the bug
+       manifests when two windows share an integer time step *)
+    let windows =
+      Array.init n (fun _ ->
+          let pi = Settle.run model rng prog in
+          let load_pos, store_pos = Window.bounds prog pi in
+          let eta = Rng.geometric_half rng in
+          (load_pos - eta, store_pos - eta))
+    in
+    Array.sort compare windows;
+    let ok = ref true in
+    for i = 0 to n - 2 do
+      let _, bottom = windows.(i) and top, _ = windows.(i + 1) in
+      if top <= bottom then ok := false
+    done;
+    !ok
+
+let estimate ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) ~trials model ~n rng =
+  check_n n;
+  if trials <= 0 then invalid_arg "Joint.estimate: trials must be positive";
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    if sample ~p ~m ~gap ~convention model ~n rng then incr successes
+  done;
+  {
+    pr_no_bug = Stats.binomial_point ~successes:!successes ~trials;
+    ci = Stats.wilson_ci ~successes:!successes ~trials ~z:1.96;
+    trials;
+  }
+
+let semi_analytic ?(p = 0.5) ?(m = default_m) ?(gap = 0) ~trials model ~n rng =
+  check_n n;
+  if trials <= 0 then invalid_arg "Joint.semi_analytic: trials must be positive";
+  (* E[prod_{i=1}^{n-1} 2^(-i Gamma_i)] over the joint (shared-program) law
+     of the window lengths; Theorem 6.1's exchangeability lets us fix the
+     assignment of threads to exponents. *)
+  let acc = ref 0.0 in
+  for _ = 1 to trials do
+    let prog = Program.generate_with_gap ~p rng ~m ~gap in
+    let exponent = ref 0 in
+    for i = 1 to n - 1 do
+      let pi = Settle.run model rng prog in
+      let gamma_len = Window.gamma prog pi + 2 in
+      exponent := !exponent + (i * gamma_len)
+    done;
+    acc := !acc +. Float.pow 2.0 (float_of_int (- !exponent))
+  done;
+  let mean = !acc /. float_of_int trials in
+  let prefactor = Memrel_prob.Rational.to_float (Memrel_shift.Exact.prefactor n) in
+  let fact = Memrel_prob.Bigint.to_float (Memrel_prob.Combinatorics.factorial n) in
+  prefactor *. fact *. mean

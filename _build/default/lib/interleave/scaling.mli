@@ -1,0 +1,35 @@
+(** Thread-scaling behaviour (Theorem 6.3).
+
+    Computes log2 Pr[A] per memory model as [n] grows, the normalized
+    exponent [-log2 Pr[A] / n^2] (which Theorem 6.3 sends to 3/2 for every
+    model), and the gap diagnostics showing that the advantage of strict
+    models becomes proportionally insignificant. SC and WO rows are exact;
+    TSO rows use the exact-series marginal under the independence
+    approximation (bracketed by the Theorem 4.1 bounds, and validated
+    against {!Joint.semi_analytic} at small n in the benches). *)
+
+type row = {
+  n : int;
+  log2_sc : float;  (** exact *)
+  log2_wo : float;  (** exact *)
+  log2_tso : float;  (** exact-series marginal, independence approximation *)
+  log2_tso_lo : float;  (** Theorem 4.1 lower window bound *)
+  log2_tso_hi : float;  (** Theorem 4.1 upper window bound *)
+}
+
+val row : int -> row
+(** [row n] for [n >= 2]. Stable for large [n] (log-space throughout). *)
+
+val table : n_max:int -> row list
+(** Rows for [n = 2 .. n_max]. *)
+
+val normalized_exponent : log2_pr:float -> n:int -> float
+(** [-log2 Pr / n^2]; 3/2 + o(1) per Theorem 6.3. *)
+
+val gap_ratio_log2 : row -> float * float
+(** [(log2 (Pr_SC / Pr_WO), log2 (Pr_SC / Pr_TSO))]: how many bits of
+    reliability the strict model buys. Grows like Theta(n) — vanishing
+    relative to the Theta(n^2) exponent, the paper's headline. *)
+
+val log2_pr : Memrel_settling.Analytic.model_window -> n:int -> float
+(** log2 Pr[A] for an arbitrary window-law variant (independent windows). *)

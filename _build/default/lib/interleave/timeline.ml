@@ -1,0 +1,70 @@
+module Rng = Memrel_prob.Rng
+module Settle = Memrel_settling.Settle
+module Window = Memrel_settling.Window
+module Program = Memrel_settling.Program
+
+type schedule = { load_time : int; store_time : int }
+
+let validate schedules =
+  if Array.length schedules = 0 then invalid_arg "Timeline: empty schedule array";
+  Array.iter
+    (fun s ->
+      if s.load_time >= s.store_time then
+        invalid_arg "Timeline: load must strictly precede store")
+    schedules
+
+let execute schedules =
+  validate schedules;
+  let n = Array.length schedules in
+  (* event times, processed in order; loads of a step fire before stores *)
+  let times =
+    Array.to_list schedules
+    |> List.concat_map (fun s -> [ s.load_time; s.store_time ])
+    |> List.sort_uniq compare
+  in
+  let x = ref 0 in
+  let read = Array.make n 0 in
+  List.iter
+    (fun t ->
+      Array.iteri (fun k s -> if s.load_time = t then read.(k) <- !x) schedules;
+      Array.iteri (fun k s -> if s.store_time = t then x := read.(k) + 1) schedules)
+    times;
+  !x
+
+let windows_disjoint schedules =
+  validate schedules;
+  let sorted = Array.copy schedules in
+  Array.sort (fun a b -> compare a.load_time b.load_time) sorted;
+  let ok = ref true in
+  for i = 0 to Array.length sorted - 2 do
+    if sorted.(i + 1).load_time <= sorted.(i).store_time then ok := false
+  done;
+  !ok
+
+type sample = {
+  final_value : int;
+  disjoint : bool;
+  schedules : schedule array;
+}
+
+let sample ?(p = 0.5) ?(m = 64) model ~n rng =
+  if n < 2 then invalid_arg "Timeline.sample: n >= 2 required";
+  let prog = Program.generate ~p rng ~m in
+  let schedules =
+    Array.init n (fun _ ->
+        let pi = Settle.run model rng prog in
+        let load_pos, store_pos = Window.bounds prog pi in
+        let eta = Rng.geometric_half rng in
+        { load_time = load_pos - eta; store_time = store_pos - eta })
+  in
+  { final_value = execute schedules; disjoint = windows_disjoint schedules; schedules }
+
+let bug_rate ?(p = 0.5) ?(m = 64) ~trials model ~n rng =
+  if trials <= 0 then invalid_arg "Timeline.bug_rate: trials must be positive";
+  let bugs = ref 0 and overlaps = ref 0 in
+  for _ = 1 to trials do
+    let s = sample ~p ~m model ~n rng in
+    if s.final_value <> n then incr bugs;
+    if not s.disjoint then incr overlaps
+  done;
+  (float_of_int !bugs /. float_of_int trials, float_of_int !overlaps /. float_of_int trials)

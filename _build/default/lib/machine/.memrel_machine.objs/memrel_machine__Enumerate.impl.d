@@ -1,0 +1,1 @@
+lib/machine/enumerate.ml: Hashtbl List Option Semantics State

@@ -1,0 +1,1 @@
+lib/machine/enumerate.mli: Semantics State

@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Hashtbl List Memrel_prob Option Semantics State

@@ -1,0 +1,1 @@
+lib/machine/exec.mli: Memrel_prob Semantics State

@@ -1,0 +1,1 @@
+lib/machine/instr.ml: Format Memrel_memmodel Printf

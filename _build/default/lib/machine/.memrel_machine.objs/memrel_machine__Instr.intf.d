@@ -1,0 +1,1 @@
+lib/machine/instr.mli: Format Memrel_memmodel

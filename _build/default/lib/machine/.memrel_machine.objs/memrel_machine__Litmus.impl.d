@@ -1,0 +1,1 @@
+lib/machine/litmus.ml: Array Enumerate Instr List Memrel_memmodel Printf Semantics State String

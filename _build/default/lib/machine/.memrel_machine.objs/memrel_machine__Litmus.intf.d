@@ -1,0 +1,1 @@
+lib/machine/litmus.mli: Enumerate Instr Memrel_memmodel State

@@ -1,0 +1,1 @@
+lib/machine/parse.ml: Array Instr List Litmus Memrel_memmodel Printf State String

@@ -1,0 +1,1 @@
+lib/machine/parse.mli: Instr Litmus

@@ -1,0 +1,1 @@
+lib/machine/semantics.ml: Array Instr List Memrel_memmodel Option Printf State

@@ -1,0 +1,1 @@
+lib/machine/semantics.mli: Instr Memrel_memmodel State

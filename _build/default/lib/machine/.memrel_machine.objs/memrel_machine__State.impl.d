@@ -1,0 +1,1 @@
+lib/machine/state.ml: Array Buffer Format Instr Int List Map Option Printf

@@ -1,0 +1,34 @@
+type 'a result = {
+  outcomes : ('a * int) list;
+  states_visited : int;
+  terminals : int;
+}
+
+let outcomes ?(max_states = 2_000_000) discipline st ~observe =
+  let visited = Hashtbl.create 4096 in
+  let outcome_counts = Hashtbl.create 64 in
+  let terminals = ref 0 in
+  let rec explore st =
+    let k = State.key st in
+    if not (Hashtbl.mem visited k) then begin
+      Hashtbl.add visited k ();
+      if Hashtbl.length visited > max_states then failwith "Enumerate: state limit exceeded";
+      match Semantics.transitions discipline st with
+      | [] ->
+        incr terminals;
+        let o = observe st in
+        Hashtbl.replace outcome_counts o
+          (1 + Option.value ~default:0 (Hashtbl.find_opt outcome_counts o))
+      | ts -> List.iter (fun (_, st') -> explore st') ts
+    end
+  in
+  explore st;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcome_counts [] in
+  {
+    outcomes = List.sort compare l;
+    states_visited = Hashtbl.length visited;
+    terminals = !terminals;
+  }
+
+let reachable_terminal_count ?max_states discipline st =
+  (outcomes ?max_states discipline st ~observe:(fun s -> State.key s)).terminals

@@ -1,0 +1,28 @@
+(** Exhaustive state-space exploration (stateless model checking).
+
+    Depth-first search over the transition relation with state
+    deduplication. For litmus-sized programs the reachable space is tiny,
+    so every reachable final state — hence the complete set of observable
+    outcomes under a memory model — is computed exactly. This is what turns
+    the operational simulator into an oracle for "is this relaxed outcome
+    allowed under model M?". *)
+
+type 'a result = {
+  outcomes : ('a * int) list;
+      (** distinct observations with the number of distinct terminal states
+          mapping to each, sorted by observation *)
+  states_visited : int;
+  terminals : int;
+}
+
+val outcomes :
+  ?max_states:int ->
+  Semantics.discipline ->
+  State.t ->
+  observe:(State.t -> 'a) ->
+  'a result
+(** [outcomes d st ~observe] explores exhaustively. Raises [Failure] when
+    more than [max_states] (default 2_000_000) distinct states are reached. *)
+
+val reachable_terminal_count : ?max_states:int -> Semantics.discipline -> State.t -> int
+(** Number of distinct terminal states. *)

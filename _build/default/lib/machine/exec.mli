@@ -1,0 +1,29 @@
+(** Random execution of the operational machine.
+
+    Drives the transition relation with a uniformly random scheduler until
+    a terminal state. This is the machine-level analogue of the paper's
+    random interleaving: repeated runs of the canonical increment bug give
+    the empirical manifestation rate per memory model (experiment E13). *)
+
+type run = {
+  final : State.t;
+  steps : int;
+  trace : Semantics.label list;  (** chronological *)
+}
+
+val run : ?max_steps:int -> Semantics.discipline -> State.t -> Memrel_prob.Rng.t -> run
+(** [run d st rng] schedules uniformly at random until no transition is
+    enabled. Raises [Failure] after [max_steps] (default 100_000) —
+    terminal states are always reached for well-formed programs, so hitting
+    the cap indicates a semantics bug. *)
+
+val estimate_outcome :
+  ?max_steps:int ->
+  trials:int ->
+  Semantics.discipline ->
+  State.t ->
+  observe:(State.t -> 'a) ->
+  Memrel_prob.Rng.t ->
+  ('a * int) list
+(** [estimate_outcome ~trials d st ~observe rng] repeats [run] and counts
+    distinct observations (ordered by decreasing frequency). *)

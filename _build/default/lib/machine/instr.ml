@@ -1,0 +1,56 @@
+type operand = Reg of int | Imm of int
+
+type binop = Add | Sub | Mul
+
+type t =
+  | Load of { reg : int; loc : int }
+  | Store of { loc : int; src : operand }
+  | Binop of { dst : int; op : binop; a : operand; b : operand }
+  | Rmw of { reg : int; loc : int; op : binop; operand : operand }
+  | Fence of Memrel_memmodel.Fence.t
+
+let load ~reg ~loc = Load { reg; loc }
+let store ~loc ~src = Store { loc; src }
+let binop ~dst op a b = Binop { dst; op; a; b }
+let rmw ~reg ~loc op operand = Rmw { reg; loc; op; operand }
+let fence f = Fence f
+
+let operand_regs = function Reg r -> [ r ] | Imm _ -> []
+
+let reads_regs = function
+  | Load _ -> []
+  | Store { src; _ } -> operand_regs src
+  | Binop { a; b; _ } -> operand_regs a @ operand_regs b
+  | Rmw { operand; _ } -> operand_regs operand
+  | Fence _ -> []
+
+let writes_reg = function
+  | Load { reg; _ } -> Some reg
+  | Binop { dst; _ } -> Some dst
+  | Rmw { reg; _ } -> Some reg
+  | Store _ | Fence _ -> None
+
+let loc_accessed = function
+  | Load { loc; _ } | Store { loc; _ } | Rmw { loc; _ } -> Some loc
+  | Binop _ | Fence _ -> None
+
+let is_load = function Load _ | Rmw _ -> true | Store _ | Binop _ | Fence _ -> false
+let is_store = function Store _ | Rmw _ -> true | Load _ | Binop _ | Fence _ -> false
+let is_fence = function Fence _ -> true | Load _ | Store _ | Binop _ | Rmw _ -> false
+
+let operand_to_string = function Reg r -> Printf.sprintf "r%d" r | Imm i -> string_of_int i
+
+let binop_to_string = function Add -> "+" | Sub -> "-" | Mul -> "*"
+
+let to_string = function
+  | Load { reg; loc } -> Printf.sprintf "r%d := mem[%d]" reg loc
+  | Store { loc; src } -> Printf.sprintf "mem[%d] := %s" loc (operand_to_string src)
+  | Binop { dst; op; a; b } ->
+    Printf.sprintf "r%d := %s %s %s" dst (operand_to_string a) (binop_to_string op)
+      (operand_to_string b)
+  | Rmw { reg; loc; op; operand } ->
+    Printf.sprintf "r%d := rmw mem[%d] %s %s" reg loc (binop_to_string op)
+      (operand_to_string operand)
+  | Fence f -> Printf.sprintf "fence.%s" (Memrel_memmodel.Fence.to_string f)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,50 @@
+(** Thread instructions for the operational multiprocessor simulator.
+
+    The abstract model of the paper reduces programs to LD/ST streams; this
+    substrate executes real (tiny) programs — loads, stores, register
+    arithmetic and fences — under operational semantics for SC, TSO, PSO
+    and WO, so the paper's motivating examples (the canonical atomicity
+    violation of Section 2.2, classic litmus tests) can be run and
+    exhaustively enumerated. Registers and locations are small integers;
+    registers are thread-private, locations are shared. *)
+
+type operand =
+  | Reg of int  (** current value of a register *)
+  | Imm of int  (** immediate constant *)
+
+type binop = Add | Sub | Mul
+
+type t =
+  | Load of { reg : int; loc : int }  (** reg := mem[loc] *)
+  | Store of { loc : int; src : operand }  (** mem[loc] := src *)
+  | Binop of { dst : int; op : binop; a : operand; b : operand }
+      (** dst := a op b (register-only; never touches memory) *)
+  | Rmw of { reg : int; loc : int; op : binop; operand : operand }
+      (** atomically: reg := mem[loc]; mem[loc] := reg op operand — the
+          fetch-and-op primitive that FIXES the canonical atomicity
+          violation. Under TSO/PSO it drains the store buffer before
+          executing (x86 locked-instruction semantics); it is both a load
+          and a store for ordering purposes. *)
+  | Fence of Memrel_memmodel.Fence.t
+
+val load : reg:int -> loc:int -> t
+val store : loc:int -> src:operand -> t
+val binop : dst:int -> binop -> operand -> operand -> t
+val rmw : reg:int -> loc:int -> binop -> operand -> t
+val fence : Memrel_memmodel.Fence.t -> t
+
+val reads_regs : t -> int list
+(** Registers whose value the instruction consumes. *)
+
+val writes_reg : t -> int option
+val loc_accessed : t -> int option
+val is_load : t -> bool
+(** True for loads and RMWs. *)
+
+val is_store : t -> bool
+(** True for stores and RMWs. *)
+
+val is_fence : t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+(** Litmus-test corpus with per-model expectations.
+
+    Each test names a distinguished "relaxed outcome" — the observation the
+    literature asks about — together with the set of paper models expected
+    to allow it under this simulator's semantics. {!check} runs the
+    exhaustive enumerator and verdicts the expectation; the test suite does
+    this for the whole corpus under all four models, which is the
+    end-to-end validation of the operational substrate. The corpus includes
+    the canonical atomicity violation of Section 2.2 (allowed everywhere,
+    including SC — exactly the paper's point of departure). *)
+
+type outcome = (string * int) list
+(** Named observables, e.g. [("0:r0", 1); ("1:r1", 0); ("x", 2)], sorted by
+    name. *)
+
+type t = {
+  name : string;
+  description : string;
+  programs : Instr.t array list;
+  initial_mem : (int * int) list;
+  observe : State.t -> outcome;
+  relaxed_outcome : outcome;
+  allowed_under : Memrel_memmodel.Model.family -> bool;
+      (** expected: may [relaxed_outcome] occur under the model? *)
+}
+
+val x : int
+(** Location 0 — the shared variable of the canonical bug. *)
+
+val y : int
+(** Location 1. *)
+
+val observe_regs : (int * int) list -> State.t -> outcome
+(** [observe_regs specs] observes [(thread, reg)] pairs, named
+    ["<thread>:r<reg>"]. *)
+
+val all : t list
+(** The corpus: canonical increment (atomicity violation), the same bug
+    fixed with an atomic fetch-and-add, store buffering (SB), SB with full
+    fences, SB fenced on one side only, message passing (MP), MP with
+    release/acquire fences, load buffering (LB), coherence (CoRR), 2+2W,
+    write-to-read causality (WRC), independent reads of independent writes
+    (IRIW). *)
+
+val increment_n : int -> t
+(** [increment_n n] is the canonical atomicity violation generalized to [n]
+    unsynchronized incrementing threads (observing the final value of x;
+    the relaxed outcome asked about is x = 1, the maximal loss). The paper's
+    Theorem 6.3 regime, machine-side. Requires [n >= 2]. *)
+
+val find : string -> t
+(** Lookup by name. Raises [Not_found]. *)
+
+val initial_state : t -> State.t
+
+val run_exhaustive :
+  ?window:int -> t -> Memrel_memmodel.Model.family -> outcome Enumerate.result
+(** All outcomes of the test under a model's discipline. *)
+
+type verdict = {
+  test : string;
+  model : Memrel_memmodel.Model.family;
+  observed_relaxed : bool;
+  expected_relaxed : bool;
+  agrees : bool;
+  outcome_count : int;
+}
+
+val check : ?window:int -> t -> Memrel_memmodel.Model.family -> verdict
+(** Compare observed reachability of the relaxed outcome against the
+    expectation. *)
+
+val check_all : ?window:int -> unit -> verdict list
+(** Every test under every standard model family. *)

@@ -1,0 +1,202 @@
+module Fence = Memrel_memmodel.Fence
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let is_ident_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_location_name s =
+  String.length s > 0
+  && s.[0] >= 'a'
+  && s.[0] <= 'z'
+  && String.for_all is_ident_char s
+  && not (String.length s >= 2 && s.[0] = 'r' && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 (String.length s - 1)))
+
+let register_of_string s =
+  if String.length s >= 2 && s.[0] = 'r' then begin
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n when n >= 0 -> Some n
+    | _ -> None (* e.g. "rate": a location name, not a register *)
+  end
+  else None
+
+let tokens_of_line s = String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+(* location environment: mutable binding list built in first-appearance
+   order *)
+type env = { mutable locations : (string * int) list }
+
+let lookup_loc env name =
+  match List.assoc_opt name env.locations with
+  | Some l -> l
+  | None ->
+    let l = List.length env.locations in
+    env.locations <- env.locations @ [ (name, l) ];
+    l
+
+let operand_of_token ~line env tok =
+  match int_of_string_opt tok with
+  | Some i -> `Imm i
+  | None ->
+    (match register_of_string tok with
+     | Some r -> `Reg r
+     | None ->
+       if is_location_name tok then `Loc (lookup_loc env tok)
+       else fail line "cannot parse operand %S" tok)
+
+let instr_operand ~line = function
+  | `Imm i -> Instr.Imm i
+  | `Reg r -> Instr.Reg r
+  | `Loc _ -> fail line "memory location not allowed here (only one access per instruction)"
+
+let binop_of_token ~line = function
+  | "+" -> Instr.Add
+  | "-" -> Instr.Sub
+  | "*" -> Instr.Mul
+  | t -> fail line "unknown operator %S" t
+
+let parse_instruction_line ~line env s =
+  let s = String.trim s in
+  match s with
+  | "fence.full" -> Instr.fence Fence.Full
+  | "fence.acquire" -> Instr.fence Fence.Acquire
+  | "fence.release" -> Instr.fence Fence.Release
+  | _ ->
+    (match tokens_of_line s with
+     | [ dst; "="; src ] ->
+       (match (operand_of_token ~line env dst, operand_of_token ~line env src) with
+        | `Loc loc, (`Imm _ | `Reg _) ->
+          Instr.store ~loc ~src:(instr_operand ~line (operand_of_token ~line env src))
+        | `Reg reg, `Loc loc -> Instr.load ~reg ~loc
+        | `Reg dst, ((`Imm _ | `Reg _) as src) ->
+          (* register move: encode as dst := src + 0 *)
+          Instr.binop ~dst Instr.Add (instr_operand ~line src) (Instr.Imm 0)
+        | `Loc _, `Loc _ -> fail line "memory-to-memory moves are not instructions"
+        | `Imm _, _ -> fail line "cannot assign to a constant")
+     | [ dst; "="; "rmw"; loc; op; operand ] ->
+       (match (operand_of_token ~line env dst, operand_of_token ~line env loc) with
+        | `Reg reg, `Loc loc ->
+          Instr.rmw ~reg ~loc (binop_of_token ~line op)
+            (instr_operand ~line (operand_of_token ~line env operand))
+        | _ -> fail line "rmw form is 'rN = rmw LOC OP OPERAND'")
+     | [ dst; "="; a; op; b ] ->
+       let binop = binop_of_token ~line op in
+       (match operand_of_token ~line env dst with
+        | `Reg reg ->
+          let a = instr_operand ~line (operand_of_token ~line env a) in
+          let b = instr_operand ~line (operand_of_token ~line env b) in
+          Instr.binop ~dst:reg binop a b
+        | `Loc _ | `Imm _ -> fail line "arithmetic destination must be a register")
+     | _ -> fail line "cannot parse instruction %S" s)
+
+let parse_instruction ~locations s =
+  let env = { locations } in
+  parse_instruction_line ~line:0 env s
+
+let split_key_value ~line s =
+  match String.index_opt s ':' with
+  | None -> fail line "expected 'key: value'"
+  | Some i ->
+    (String.trim (String.sub s 0 i), String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_observable ~line env tok =
+  (* T:rN=int (register) or LOC=int (memory) *)
+  match String.index_opt tok '=' with
+  | None -> fail line "observable %S needs '=value'" tok
+  | Some i ->
+    let lhs = String.sub tok 0 i in
+    let value =
+      match int_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1)) with
+      | Some v -> v
+      | None -> fail line "bad observable value in %S" tok
+    in
+    (match String.index_opt lhs ':' with
+     | Some j ->
+       let thread =
+         match int_of_string_opt (String.sub lhs 0 j) with
+         | Some t when t >= 0 -> t
+         | _ -> fail line "bad thread index in %S" tok
+       in
+       (match register_of_string (String.sub lhs (j + 1) (String.length lhs - j - 1)) with
+        | Some r -> (`Reg (thread, r), lhs, value)
+        | None -> fail line "bad register in %S" tok)
+     | None ->
+       if is_location_name lhs then (`Mem (lookup_loc env lhs), lhs, value)
+       else fail line "bad observable %S" tok)
+
+let parse_with_locations text =
+  let env = { locations = [] } in
+  let name = ref None and description = ref "" in
+  let init = ref [] and threads = ref [] and relaxed = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      let s = String.trim s in
+      if s <> "" then begin
+        let key, value = split_key_value ~line s in
+        match key with
+        | "name" -> name := Some value
+        | "description" -> description := value
+        | "init" ->
+          List.iter
+            (fun tok ->
+              match String.index_opt tok '=' with
+              | None -> fail line "init binding %S needs '=value'" tok
+              | Some j ->
+                let loc_name = String.sub tok 0 j in
+                if not (is_location_name loc_name) then fail line "bad location %S" loc_name;
+                (match int_of_string_opt (String.sub tok (j + 1) (String.length tok - j - 1)) with
+                 | Some v -> init := (lookup_loc env loc_name, v) :: !init
+                 | None -> fail line "bad init value in %S" tok))
+            (tokens_of_line value)
+        | "thread" ->
+          let instrs =
+            String.split_on_char ';' value
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+            |> List.map (parse_instruction_line ~line env)
+          in
+          if instrs = [] then fail line "empty thread";
+          threads := Array.of_list instrs :: !threads
+        | "relaxed" ->
+          relaxed := List.map (parse_observable ~line env) (tokens_of_line value)
+        | k -> fail line "unknown key %S" k
+      end)
+    lines;
+  let name = match !name with Some n -> n | None -> fail 0 "missing 'name:'" in
+  let programs = List.rev !threads in
+  if programs = [] then fail 0 "no threads";
+  let relaxed = !relaxed in
+  if relaxed = [] then fail 0 "missing 'relaxed:'";
+  let observe st =
+    List.sort compare
+      (List.map
+         (fun (what, label, _) ->
+           match what with
+           | `Reg (t, r) ->
+             if t >= Array.length st.State.threads then fail 0 "observable thread out of range";
+             (label, State.reg st.State.threads.(t) r)
+           | `Mem loc -> (label, State.mem_read st loc))
+         relaxed)
+  in
+  let relaxed_outcome = List.sort compare (List.map (fun (_, label, v) -> (label, v)) relaxed) in
+  let test =
+    {
+      Litmus.name;
+      description = (if !description = "" then "(parsed litmus test)" else !description);
+      programs;
+      initial_mem = List.rev !init;
+      observe;
+      relaxed_outcome;
+      allowed_under = (fun _ -> true);
+    }
+  in
+  (test, env.locations)
+
+let parse text = fst (parse_with_locations text)

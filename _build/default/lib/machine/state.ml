@@ -1,0 +1,81 @@
+module IntMap = Map.Make (Int)
+
+type thread = {
+  prog : Instr.t array;
+  executed : int;
+  regs : int IntMap.t;
+  fifo : (int * int) list;
+  perloc : int list IntMap.t;
+}
+
+type t = { mem : int IntMap.t; threads : thread array }
+
+let max_prog_len = 60
+
+let init ~programs ~initial_mem =
+  let mk prog =
+    if Array.length prog > max_prog_len then invalid_arg "State.init: program too long";
+    { prog; executed = 0; regs = IntMap.empty; fifo = []; perloc = IntMap.empty }
+  in
+  let mem = List.fold_left (fun m (loc, v) -> IntMap.add loc v m) IntMap.empty initial_mem in
+  { mem; threads = Array.of_list (List.map mk programs) }
+
+let reg th r = Option.value ~default:0 (IntMap.find_opt r th.regs)
+let mem_read st loc = Option.value ~default:0 (IntMap.find_opt loc st.mem)
+
+let is_executed th i = th.executed land (1 lsl i) <> 0
+
+let next_unexecuted th =
+  let n = Array.length th.prog in
+  let rec go i = if i >= n || not (is_executed th i) then i else go (i + 1) in
+  go 0
+
+let buffers_empty th = th.fifo = [] && IntMap.for_all (fun _ l -> l = []) th.perloc
+
+let thread_done th = th.executed = (1 lsl Array.length th.prog) - 1 && buffers_empty th
+
+let all_done st = Array.for_all thread_done st.threads
+
+let buffered_read_fifo th loc =
+  (* newest = last matching entry *)
+  List.fold_left (fun acc (l, v) -> if l = loc then Some v else acc) None th.fifo
+
+let buffered_read_perloc th loc =
+  match IntMap.find_opt loc th.perloc with
+  | None | Some [] -> None
+  | Some l -> Some (List.nth l (List.length l - 1))
+
+let key st =
+  let buf = Buffer.create 128 in
+  (* zero-valued bindings read identically to absent ones: skip them so the
+     key is canonical *)
+  IntMap.iter (fun l v -> if v <> 0 then Buffer.add_string buf (Printf.sprintf "%d:%d;" l v)) st.mem;
+  Array.iter
+    (fun th ->
+      Buffer.add_string buf (Printf.sprintf "|e%d" th.executed);
+      IntMap.iter
+        (fun r v -> if v <> 0 then Buffer.add_string buf (Printf.sprintf "r%d=%d;" r v))
+        th.regs;
+      List.iter (fun (l, v) -> Buffer.add_string buf (Printf.sprintf "f%d,%d;" l v)) th.fifo;
+      IntMap.iter
+        (fun l vs ->
+          if vs <> [] then begin
+            Buffer.add_string buf (Printf.sprintf "p%d=" l);
+            List.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%d," v)) vs
+          end)
+        th.perloc)
+    st.threads;
+  Buffer.contents buf
+
+let pp fmt st =
+  Format.fprintf fmt "mem:";
+  IntMap.iter (fun l v -> Format.fprintf fmt " [%d]=%d" l v) st.mem;
+  Array.iteri
+    (fun i th ->
+      Format.fprintf fmt "@.T%d: executed=%x regs:" i th.executed;
+      IntMap.iter (fun r v -> Format.fprintf fmt " r%d=%d" r v) th.regs;
+      if th.fifo <> [] then begin
+        Format.fprintf fmt " fifo:";
+        List.iter (fun (l, v) -> Format.fprintf fmt " (%d,%d)" l v) th.fifo
+      end)
+    st.threads

@@ -1,0 +1,49 @@
+(** Machine state for the operational simulator.
+
+    A state is the shared memory plus per-thread contexts (program,
+    executed-instruction set, registers, and the store-buffer structures
+    used by TSO/PSO). States are immutable; {!key} provides a canonical
+    serialization so the exhaustive enumerator can deduplicate states that
+    compare structurally different (Map balance) but are semantically
+    equal. *)
+
+module IntMap : Map.S with type key = int
+
+type thread = {
+  prog : Instr.t array;
+  executed : int;  (** bitmask over instruction indices *)
+  regs : int IntMap.t;  (** absent register = 0 *)
+  fifo : (int * int) list;  (** TSO store buffer: (loc, value), oldest first *)
+  perloc : int list IntMap.t;  (** PSO buffers: per-location FIFO, oldest first *)
+}
+
+type t = { mem : int IntMap.t; threads : thread array }
+
+val init : programs:Instr.t array list -> initial_mem:(int * int) list -> t
+(** Fresh state: nothing executed, empty buffers, registers zero, memory
+    zero except the given bindings. Programs are capped at 60 instructions
+    (the executed bitmask lives in a native int). *)
+
+val reg : thread -> int -> int
+val mem_read : t -> int -> int
+(** Shared-memory value, ignoring store buffers (0 when never written). *)
+
+val is_executed : thread -> int -> bool
+val next_unexecuted : thread -> int
+(** Lowest unexecuted instruction index ([Array.length prog] when done). *)
+
+val thread_done : thread -> bool
+(** All instructions executed and both buffers drained. *)
+
+val all_done : t -> bool
+
+val buffered_read_fifo : thread -> int -> int option
+(** Newest buffered value for a location in the TSO FIFO, if any. *)
+
+val buffered_read_perloc : thread -> int -> int option
+(** Newest buffered value for a location in the PSO buffers, if any. *)
+
+val key : t -> string
+(** Canonical serialization (deduplication key for enumeration). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/memmodel/fence.mli: Format

@@ -1,0 +1,1 @@
+lib/memmodel/model.ml: Buffer Float Format List Op Printf String

@@ -1,0 +1,1 @@
+lib/memmodel/model.mli: Format Op

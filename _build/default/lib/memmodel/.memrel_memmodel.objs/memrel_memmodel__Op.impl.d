@@ -1,0 +1,1 @@
+lib/memmodel/op.ml: Fence Format

@@ -1,0 +1,1 @@
+lib/memmodel/op.mli: Fence Format

@@ -1,0 +1,11 @@
+type t = Acquire | Release | Full
+
+let equal a b =
+  match (a, b) with
+  | Acquire, Acquire | Release, Release | Full, Full -> true
+  | (Acquire | Release | Full), _ -> false
+
+let to_string = function Acquire -> "acquire" | Release -> "release" | Full -> "full"
+let to_char = function Acquire -> 'A' | Release -> 'R' | Full -> 'F'
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let blocks_upward_pass = function Acquire | Full -> true | Release -> false

@@ -1,0 +1,29 @@
+(** Fence operations for the Section 7 extension.
+
+    The paper conjectures (Section 7) that acquire/release fences — one-way
+    barriers that let instructions reorder {e into} but not {e out of} a
+    critical section — reduce the manifestation probability without changing
+    the paper's conclusions. The settling process only ever moves an
+    instruction {e upward} (earlier in program order), so the one-way
+    semantics specialize to:
+
+    - {b Acquire} (top of a critical section): a settling instruction that
+      reaches an acquire fence always fails to pass it — nothing escapes
+      upward out of the section.
+    - {b Release} (bottom of a critical section): a settling instruction may
+      pass a release fence (with the model's usual swap probability) — later
+      instructions may move up into the section.
+    - {b Full}: never passed.
+
+    Fences themselves never settle. *)
+
+type t = Acquire | Release | Full
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val to_char : t -> char
+val pp : Format.formatter -> t -> unit
+
+val blocks_upward_pass : t -> bool
+(** Whether a settling instruction is forbidden from swapping above this
+    fence: [true] for [Acquire] and [Full], [false] for [Release]. *)

@@ -1,0 +1,1 @@
+lib/prob/bigint.ml: Array Buffer Format List Printf Stdlib String

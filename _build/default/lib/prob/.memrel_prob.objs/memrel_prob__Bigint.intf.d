@@ -1,0 +1,1 @@
+lib/prob/bigint.mli: Format

@@ -1,0 +1,1 @@
+lib/prob/combinatorics.ml: Array Bigint Float Hashtbl List

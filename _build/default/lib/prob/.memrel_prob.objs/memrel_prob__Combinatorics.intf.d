@@ -1,0 +1,1 @@
+lib/prob/combinatorics.mli: Bigint

@@ -1,0 +1,1 @@
+lib/prob/logspace.ml: Bigint Float Format List Rational

@@ -1,0 +1,1 @@
+lib/prob/logspace.mli: Format Rational

@@ -1,0 +1,1 @@
+lib/prob/rational.ml: Bigint Float Format Int64 List String

@@ -1,0 +1,1 @@
+lib/prob/series.ml: Float List

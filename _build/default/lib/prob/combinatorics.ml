@@ -1,0 +1,101 @@
+module B = Bigint
+
+let binomial n k =
+  if n < 0 then invalid_arg "Combinatorics.binomial: n < 0";
+  if k < 0 || k > n then B.zero
+  else begin
+    let k = if k > n - k then n - k else k in
+    (* multiplicative formula; each intermediate division is exact *)
+    let acc = ref B.one in
+    for i = 1 to k do
+      acc := B.div (B.mul_int !acc (n - k + i)) (B.of_int i)
+    done;
+    !acc
+  end
+
+let binomial_float n k = B.to_float (binomial n k)
+
+let factorial n =
+  if n < 0 then invalid_arg "Combinatorics.factorial: n < 0";
+  let acc = ref B.one in
+  for i = 2 to n do acc := B.mul_int !acc i done;
+  !acc
+
+let log2_factorial n =
+  let acc = ref 0.0 in
+  for i = 2 to n do acc := !acc +. (Float.log (float_of_int i) /. Float.log 2.0) done;
+  !acc
+
+(* phi(x,y,z) = partitions of x into exactly y positive parts each <= z.
+   Subtracting 1 from every part reduces to f(x-y, y, z-1) where f(n,k,m) is
+   the count of partitions of n into at most k parts each <= m, with the
+   classic recurrence f(n,k,m) = f(n,k,m-1) + f(n-m,k-1,m). *)
+let partition_cache : (int * int * int, B.t) Hashtbl.t = Hashtbl.create 4096
+
+let rec bounded_at_most n k m =
+  if n = 0 then B.one
+  else if n < 0 || k = 0 || m = 0 then B.zero
+  else begin
+    let key = (n, k, m) in
+    match Hashtbl.find_opt partition_cache key with
+    | Some v -> v
+    | None ->
+      let v = B.add (bounded_at_most n k (m - 1)) (bounded_at_most (n - m) (k - 1) m) in
+      Hashtbl.add partition_cache key v;
+      v
+  end
+
+let partitions_bounded x y z =
+  if y < 0 || z < 0 then invalid_arg "Combinatorics.partitions_bounded: negative parameter";
+  if y = 0 then (if x = 0 then B.one else B.zero)
+  else if x < y || x > y * z then B.zero
+  else bounded_at_most (x - y) y (z - 1)
+
+let check_perm_size n =
+  if n < 0 || n > 9 then invalid_arg "Combinatorics: permutation degree must be in [0, 9]"
+
+(* Heap's algorithm, iterative folding. *)
+let fold_permutations f init n =
+  check_perm_size n;
+  let a = Array.init n (fun i -> i) in
+  let c = Array.make n 0 in
+  let acc = ref (f init a) in
+  let i = ref 0 in
+  while !i < n do
+    if c.(!i) < !i then begin
+      let j = if !i land 1 = 0 then 0 else c.(!i) in
+      let tmp = a.(j) in
+      a.(j) <- a.(!i);
+      a.(!i) <- tmp;
+      acc := f !acc a;
+      c.(!i) <- c.(!i) + 1;
+      i := 0
+    end
+    else begin
+      c.(!i) <- 0;
+      incr i
+    end
+  done;
+  !acc
+
+let permutations n =
+  List.rev (fold_permutations (fun acc a -> Array.copy a :: acc) [] n)
+
+let compositions total parts f =
+  if parts < 0 || total < 0 then invalid_arg "Combinatorics.compositions: negative parameter";
+  if parts = 0 then (if total = 0 then f [||])
+  else begin
+    let a = Array.make parts 0 in
+    let rec go idx remaining =
+      if idx = parts - 1 then begin
+        a.(idx) <- remaining;
+        f a
+      end
+      else
+        for v = 0 to remaining do
+          a.(idx) <- v;
+          go (idx + 1) (remaining - v)
+        done
+    in
+    go 0 total
+  end

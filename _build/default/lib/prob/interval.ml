@@ -1,0 +1,77 @@
+type t = { lo : float; hi : float }
+
+let check_finite v = if not (Float.is_finite v) then invalid_arg "Interval: not finite"
+
+let make lo hi =
+  check_finite lo;
+  check_finite hi;
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point v = make v v
+
+let zero = point 0.0
+let one = point 1.0
+
+(* widen one ulp in each direction: sound because every float op below is
+   correctly rounded, so the true result is within one ulp of the computed
+   one *)
+let down v = if v = 0.0 then 0.0 else Float.pred v
+let up v = if v = 0.0 then 0.0 else Float.succ v
+
+(* NB: down/up keep exact zeros exact; fine for our nonnegative series *)
+
+let add a b = { lo = down (a.lo +. b.lo); hi = up (a.hi +. b.hi) }
+let sub a b = { lo = down (a.lo -. b.hi); hi = up (a.hi -. b.lo) }
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let mul a b =
+  let products = [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ] in
+  {
+    lo = down (List.fold_left Float.min Float.infinity products);
+    hi = up (List.fold_left Float.max Float.neg_infinity products);
+  }
+
+let div a b =
+  if b.lo <= 0.0 && b.hi >= 0.0 then raise Division_by_zero;
+  let quotients = [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ] in
+  {
+    lo = down (List.fold_left Float.min Float.infinity quotients);
+    hi = up (List.fold_left Float.max Float.neg_infinity quotients);
+  }
+
+let sum l = List.fold_left add zero l
+
+let pow2i k =
+  if abs k > 1022 then invalid_arg "Interval.pow2i: exponent out of range";
+  point (Float.pow 2.0 (float_of_int k))
+
+let mul_pow2i a k =
+  let f = Float.pow 2.0 (float_of_int k) in
+  (* scaling by a power of two is exact in binary floats (barring overflow
+     and subnormal underflow, which our probabilities never approach) *)
+  { lo = a.lo *. f; hi = a.hi *. f }
+
+let of_rational q =
+  let f = Rational.to_float q in
+  (* to_float is near-correctly-rounded; widen two ulps to be safe, then
+     verify the rational really is inside using exact comparisons *)
+  let lo = ref (down (down f)) and hi = ref (up (up f)) in
+  let leq_q x = Rational.compare (Rational.of_float_dyadic x) q <= 0 in
+  let geq_q x = Rational.compare (Rational.of_float_dyadic x) q >= 0 in
+  while not (leq_q !lo) do
+    lo := down !lo
+  done;
+  while not (geq_q !hi) do
+    hi := up !hi
+  done;
+  { lo = !lo; hi = !hi }
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let width a = a.hi -. a.lo
+let contains a v = a.lo <= v && v <= a.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let strictly_within a ~lo ~hi = lo < a.lo && a.hi < hi
+
+let to_string a = Printf.sprintf "[%.17g, %.17g]" a.lo a.hi
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,58 @@
+(** Outward-rounded interval arithmetic.
+
+    Float evaluation of the paper's series carries rounding error that plain
+    testing can only wave at. This module computes with closed intervals
+    whose endpoints are widened by one ulp after every correctly-rounded
+    float operation, so the true real value provably lies inside — which
+    upgrades statements like "0.1315 < Pr[A] < 0.1369" from spot checks to
+    machine-verified inequalities (see {!Memrel_settling.Verified}).
+
+    Only the operations the series need are provided; all inputs are assumed
+    finite, and invalid constructions raise [Invalid_argument]. *)
+
+type t = private { lo : float; hi : float }
+(** A closed interval [lo, hi] with lo <= hi. *)
+
+val make : float -> float -> t
+(** [make lo hi]; raises if [lo > hi] or either is not finite. *)
+
+val point : float -> t
+(** Degenerate interval (the float is taken as exact — use for integers and
+    dyadics only). *)
+
+val of_rational : Rational.t -> t
+(** Tight outward enclosure of an exact rational. *)
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Raises [Division_by_zero] when the divisor straddles zero. *)
+
+val neg : t -> t
+val sum : t list -> t
+
+val pow2i : int -> t
+(** [pow2i k] is exactly [2^k] for |k| <= 1022 (floats represent it). *)
+
+val mul_pow2i : t -> int -> t
+(** Exact scaling by a power of two (no widening needed). *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val width : t -> float
+
+val contains : t -> float -> bool
+val subset : t -> t -> bool
+(** [subset a b]: is [a] contained in [b]? *)
+
+val strictly_within : t -> lo:float -> hi:float -> bool
+(** [strictly_within t ~lo ~hi]: does the whole interval lie strictly
+    between the bounds? The verified-inequality primitive. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

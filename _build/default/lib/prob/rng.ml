@@ -1,0 +1,105 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand a seed into the four xoshiro words, per
+   the generator authors' recommendation. *)
+let splitmix64_next st =
+  let open Int64 in
+  st := add !st 0x9E3779B97F4A7C15L;
+  let z = !st in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  (* xoshiro must not start from the all-zero state; splitmix output is only
+     all-zero with negligible probability, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
+  else { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tt = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let st = ref (bits64 t) in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
+  else { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then
+    (* power of two: mask the low bits *)
+    Int64.to_int (bits64 t) land (bound - 1)
+  else begin
+    (* rejection sampling on 62 usable bits to avoid modulo bias *)
+    let mask = (1 lsl 62) - 1 in
+    let limit = mask / bound * bound in
+    let rec draw () =
+      let v = Int64.to_int (bits64 t) land mask in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  end
+
+let float t =
+  (* top 53 bits scaled into [0,1) *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v *. 0x1.0p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t < p
+
+let geometric_half t =
+  (* Count heads before the first tail, consuming one 64-bit word at a time.
+     Each word contributes its count of leading one-bits; a non-full run
+     terminates the count. Exact (no float rounding) for all practical k. *)
+  let rec go acc =
+    let w = bits64 t in
+    if w = -1L then go (acc + 64)
+    else begin
+      (* count trailing... we want consecutive 1s from bit 0 upward *)
+      let rec leading i = if i < 64 && Int64.logand (Int64.shift_right_logical w i) 1L = 1L then leading (i + 1) else i in
+      acc + leading 0
+    end
+  in
+  go 0
+
+let geometric t p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p = 1. then 0
+  else if p = 0.5 then geometric_half t
+  else begin
+    let u = 1. -. float t (* in (0,1] *) in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+  end
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

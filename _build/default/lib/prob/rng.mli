@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of memrel draw randomness through this module
+    so that every experiment is reproducible from a single integer seed. The
+    generator is xoshiro256++ seeded via splitmix64, which is both fast and
+    of far higher quality than the needs of Monte Carlo estimation here. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator deterministically from [seed]. Equal
+    seeds yield identical streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t]; the two
+    subsequent streams are statistically independent. Used to hand each
+    thread/replica of an experiment its own stream. *)
+
+val bits64 : t -> int64
+(** [bits64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. Uses rejection sampling, hence exactly uniform. *)
+
+val float : t -> float
+(** [float t] is uniform on [0, 1) with 53 bits of precision. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val geometric_half : t -> int
+(** [geometric_half t] samples the paper's shift distribution:
+    [Pr[k] = 2^-(k+1)] for [k >= 0], i.e. the number of heads before the
+    first tail of a fair coin. Sampled by counting leading coin flips, so no
+    floating-point log is involved. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] samples [Pr[k] = (1-p)^k p] for [k >= 0], the number of
+    failures before the first success with success probability [p].
+    Requires [0 < p <= 1]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** [shuffle_in_place t a] applies a uniform Fisher–Yates shuffle. *)

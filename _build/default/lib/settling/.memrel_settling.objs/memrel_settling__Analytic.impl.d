@@ -1,0 +1,1 @@
+lib/settling/analytic.ml: Float Hashtbl List Memrel_prob

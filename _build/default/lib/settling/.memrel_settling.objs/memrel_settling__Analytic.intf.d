@@ -1,0 +1,1 @@
+lib/settling/analytic.mli: Memrel_prob

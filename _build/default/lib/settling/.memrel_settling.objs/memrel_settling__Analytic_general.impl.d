@@ -1,0 +1,1 @@
+lib/settling/analytic_general.ml: Float Hashtbl Memrel_prob

@@ -1,0 +1,1 @@
+lib/settling/exact_dp.ml: Array Float List Memrel_memmodel

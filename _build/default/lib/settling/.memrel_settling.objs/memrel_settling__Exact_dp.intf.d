@@ -1,0 +1,1 @@
+lib/settling/exact_dp.mli: Memrel_memmodel

@@ -1,0 +1,1 @@
+lib/settling/exact_dp_q.ml: Array List Memrel_memmodel Memrel_prob Printf

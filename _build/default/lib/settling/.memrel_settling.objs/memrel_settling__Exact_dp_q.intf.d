@@ -1,0 +1,1 @@
+lib/settling/exact_dp_q.mli: Memrel_memmodel Memrel_prob

@@ -1,0 +1,1 @@
+lib/settling/joint_dp.ml: Analytic_general Array Float Memrel_memmodel Memrel_prob

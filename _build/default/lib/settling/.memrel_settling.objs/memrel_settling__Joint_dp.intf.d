@@ -1,0 +1,1 @@
+lib/settling/joint_dp.mli: Memrel_memmodel

@@ -1,0 +1,1 @@
+lib/settling/mc.ml: Hashtbl Memrel_prob Option Program Settle Window

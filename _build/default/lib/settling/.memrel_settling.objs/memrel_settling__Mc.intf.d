@@ -1,0 +1,1 @@
+lib/settling/mc.mli: Memrel_memmodel Memrel_prob Program

@@ -1,0 +1,1 @@
+lib/settling/program.ml: Array Format List Memrel_memmodel Memrel_prob String

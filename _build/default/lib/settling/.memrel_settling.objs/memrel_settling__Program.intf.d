@@ -1,0 +1,1 @@
+lib/settling/program.mli: Format Memrel_memmodel Memrel_prob

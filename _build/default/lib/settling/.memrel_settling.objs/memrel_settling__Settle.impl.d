@@ -1,0 +1,1 @@
+lib/settling/settle.ml: Array List Memrel_memmodel Memrel_prob Program

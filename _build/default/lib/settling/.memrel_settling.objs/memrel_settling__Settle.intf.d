@@ -1,0 +1,1 @@
+lib/settling/settle.mli: Memrel_memmodel Memrel_prob Program

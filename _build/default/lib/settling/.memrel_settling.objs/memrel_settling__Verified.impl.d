@@ -1,0 +1,1 @@
+lib/settling/verified.ml: Array Hashtbl Memrel_prob

@@ -1,0 +1,1 @@
+lib/settling/verified.mli: Memrel_prob

@@ -1,0 +1,1 @@
+lib/settling/window.ml: Array Program

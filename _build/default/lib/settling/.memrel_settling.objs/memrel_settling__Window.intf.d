@@ -1,0 +1,1 @@
+lib/settling/window.mli: Program Settle

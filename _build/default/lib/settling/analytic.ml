@@ -1,0 +1,149 @@
+module Q = Memrel_prob.Rational
+module C = Memrel_prob.Combinatorics
+module Series = Memrel_prob.Series
+
+let third = Q.of_ints 1 3
+let two_thirds = Q.of_ints 2 3
+
+let check_gamma gamma = if gamma < 0 then invalid_arg "Analytic: gamma < 0"
+
+let b_sc gamma =
+  check_gamma gamma;
+  if gamma = 0 then Q.one else Q.zero
+
+let b_wo gamma =
+  check_gamma gamma;
+  if gamma = 0 then two_thirds else Q.mul (Q.pow2 (-gamma)) third
+
+let b_tso_lower gamma =
+  check_gamma gamma;
+  if gamma = 0 then two_thirds else Q.mul (Q.of_ints 6 7) (Q.pow (Q.of_ints 1 4) gamma)
+
+let remainder_mass = Q.of_ints 2 21
+
+let b_tso_upper gamma =
+  check_gamma gamma;
+  if gamma = 0 then two_thirds
+  else Q.add (b_tso_lower gamma) (Q.mul remainder_mass (Q.pow2 (-gamma)))
+
+let st_bottom_prob i =
+  if i < 1 then invalid_arg "Analytic.st_bottom_prob: i >= 1 required";
+  (* X_i = 2/3 + (1/4)^(i-1) (1/2 - 2/3), the Claim 4.3 recurrence solution *)
+  Q.add two_thirds (Q.mul (Q.pow (Q.of_ints 1 4) (i - 1)) (Q.of_ints (-1) 6))
+
+let st_bottom_limit = two_thirds
+
+let l0 = third
+
+let h mu =
+  if mu < 1 then invalid_arg "Analytic.h: mu >= 1 required";
+  let one_minus_pow2 k = Q.sub Q.one (Q.pow2 (-k)) in
+  Q.sub
+    (Q.add (Q.of_ints 8 7) (Q.div two_thirds (one_minus_pow2 (mu + 2))))
+    (Q.inv (one_minus_pow2 (mu + 1)))
+
+let l_mu_lower mu = Q.mul (Q.pow2 (-mu)) (h mu)
+
+let psi_pmf ~mu ~q =
+  if mu < 1 || q < 0 then invalid_arg "Analytic.psi_pmf: mu >= 1, q >= 0 required";
+  Q.mul (Q.pow2 (-(mu + q))) (Q.of_bigint (C.binomial (mu + q - 1) q))
+
+(* H(q, c) = sum over multisets of q parts in {1..c} of prod 2^-part — the
+   complete homogeneous symmetric polynomial h_q(2^-1, ..., 2^-c). Then
+   E[2^-Delta] = H(q, mu) / C(mu+q-1, q): the arrangement of q LDs below
+   mu STs is uniform, and Delta is the sum over LDs of the STs above each. *)
+let hom_sym_table = Hashtbl.create 512
+
+let rec hom_sym q c =
+  if q = 0 then 1.0
+  else if c = 0 then 0.0
+  else begin
+    match Hashtbl.find_opt hom_sym_table (q, c) with
+    | Some v -> v
+    | None ->
+      let v = hom_sym q (c - 1) +. (Float.pow 2.0 (float_of_int (-c)) *. hom_sym (q - 1) c) in
+      Hashtbl.add hom_sym_table (q, c) v;
+      v
+  end
+
+let f_mu_given_q ~mu ~q =
+  if mu < 1 || q < 0 then invalid_arg "Analytic.f_mu_given_q: mu >= 1, q >= 0 required";
+  if q = 0 then 1.0 else hom_sym q mu /. C.binomial_float (mu + q - 1) q
+
+let f_mu_given_q_lower ~mu ~q =
+  if mu < 1 || q < 1 then invalid_arg "Analytic.f_mu_given_q_lower: mu >= 1, q >= 1 required";
+  Q.div
+    (Q.sub (Q.pow2 (-(q - 1))) (Q.pow2 (-(mu * q))))
+    (Q.of_bigint (C.binomial (mu + q - 1) q))
+
+let l_mu_cache = Hashtbl.create 128
+
+let rec l_mu_series ?(q_max = 200) mu =
+  if mu < 0 then invalid_arg "Analytic.l_mu_series: mu < 0";
+  if mu = 0 then Q.to_float l0
+  else begin
+    match Hashtbl.find_opt l_mu_cache (mu, q_max) with
+    | Some v -> v
+    | None ->
+      let v = l_mu_series_raw ~q_max mu in
+      Hashtbl.add l_mu_cache (mu, q_max) v;
+      v
+  end
+
+and l_mu_series_raw ~q_max mu =
+  begin
+    (* Pr[L_mu] = sum_q Pr[Psi=q] Pr[F|q] (1 - (2/3) 2^-q); terms decay like
+       4^-q C(mu+q-1,q), so q_max = 200 is far past float precision. *)
+    let term q =
+      let psi = Float.pow 2.0 (float_of_int (-(mu + q))) *. C.binomial_float (mu + q - 1) q in
+      let f = f_mu_given_q ~mu ~q in
+      psi *. f *. (1.0 -. ((2.0 /. 3.0) *. Float.pow 2.0 (float_of_int (-q))))
+    in
+    (Series.sum_to_convergence ~max_terms:q_max term).value
+  end
+
+let b_tso_series ?(q_max = 200) ?(mu_max = 80) gamma =
+  check_gamma gamma;
+  if gamma = 0 then 2.0 /. 3.0
+  else begin
+    let l mu = l_mu_series ~q_max mu in
+    let head = Float.pow 2.0 (float_of_int (-gamma)) *. l gamma in
+    let tail =
+      Series.sum_range (fun mu -> Float.pow 2.0 (float_of_int (-(gamma + 1))) *. l mu) (gamma + 1) mu_max
+    in
+    head +. tail
+  end
+
+type model_window = [ `SC | `WO | `TSO_lower | `TSO_upper | `TSO_series ]
+
+let b_value w gamma =
+  match w with
+  | `SC -> Q.to_float (b_sc gamma)
+  | `WO -> Q.to_float (b_wo gamma)
+  | `TSO_lower -> Q.to_float (b_tso_lower gamma)
+  | `TSO_upper -> Q.to_float (b_tso_upper gamma)
+  | `TSO_series -> b_tso_series gamma
+
+let window_pmf w ~gamma_max =
+  if gamma_max < 0 then invalid_arg "Analytic.window_pmf: gamma_max < 0";
+  List.init (gamma_max + 1) (fun gamma -> (gamma, b_value w gamma))
+
+let expect_pow2_window w ~k =
+  if k < 1 then invalid_arg "Analytic.expect_pow2_window: k >= 1 required";
+  let term gamma = b_value w gamma *. Float.pow 2.0 (float_of_int (-k * (gamma + 2))) in
+  (Series.sum_to_convergence ~max_terms:300 term).value
+
+let expect_pow2_window_exact w ~k =
+  if k < 1 then invalid_arg "Analytic.expect_pow2_window_exact: k >= 1 required";
+  let scale = Q.pow2 (-2 * k) in
+  let pow2m1 e = Q.sub (Q.pow2 e) Q.one in
+  match w with
+  | `SC -> scale
+  | `WO ->
+    (* 2^-2k (2/3 + 1/(3 (2^(k+1) - 1))) *)
+    Q.mul scale (Q.add two_thirds (Q.inv (Q.mul_int (pow2m1 (k + 1)) 3)))
+  | `TSO_lower -> Q.mul scale (Q.add two_thirds (Q.div (Q.of_ints 6 7) (pow2m1 (k + 2))))
+  | `TSO_upper ->
+    Q.add
+      (Q.mul scale (Q.add two_thirds (Q.div (Q.of_ints 6 7) (pow2m1 (k + 2)))))
+      (Q.mul scale (Q.div remainder_mass (pow2m1 (k + 1))))

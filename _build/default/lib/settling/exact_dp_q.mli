@@ -1,0 +1,44 @@
+(** The finite-m window distribution in exact rational arithmetic.
+
+    {!Exact_dp} computes in floats; this module re-runs the same dynamic
+    program over {!Memrel_prob.Rational}, so finite-m statements become
+    machine-checked identities rather than approximations — e.g. the total
+    mass is *exactly* 1, and small-m window probabilities come out as the
+    dyadic fractions they really are (TSO at m = 1: Pr[B_0] = 3/4,
+    Pr[B_1] = 1/4). Parameters are rational too, so the footnote-3
+    generality is preserved exactly.
+
+    Rational arithmetic over 2^m states is costly, so [m] is capped lower
+    than the float DP's. *)
+
+module Q = Memrel_prob.Rational
+
+type matrix = {
+  st_st : Q.t;
+  st_ld : Q.t;
+  ld_st : Q.t;
+  ld_ld : Q.t;
+}
+(** Swap probabilities rho(earlier, later), as in Table 1 / footnote 3.
+    Entries must lie in [0, 1]. *)
+
+val sc : matrix
+val tso : ?s:Q.t -> unit -> matrix
+val pso : ?s:Q.t -> unit -> matrix
+val wo : ?s:Q.t -> unit -> matrix
+(** Presets mirroring {!Memrel_memmodel.Model}; [s] defaults to 1/2. *)
+
+val of_model : Memrel_memmodel.Model.t -> matrix
+(** Exact dyadic lift of a float model (every float probability is a dyadic
+    rational, so this is lossless). *)
+
+val max_m : int
+(** Largest accepted prefix length (12). *)
+
+val gamma_pmf : ?p:Q.t -> matrix -> m:int -> (int * Q.t) list
+(** [gamma_pmf matrix ~m] is the exact pmf of the window growth gamma.
+    The returned masses sum to exactly 1 (tested as a rational identity). *)
+
+val bottom_st_probability : ?p:Q.t -> matrix -> m:int -> Q.t
+(** Exact finite-m Claim 4.3 quantity; under TSO with p = s = 1/2 it equals
+    {!Analytic.st_bottom_prob} as a rational identity. *)

@@ -1,0 +1,44 @@
+module Stats = Memrel_prob.Stats
+
+type estimate = {
+  gamma_pmf : (int * float) list;
+  trials : int;
+  mean_gamma : float;
+  histogram : Stats.histogram;
+}
+
+let default_m = 64
+
+let sample_gamma_program model rng prog =
+  let pi = Settle.run model rng prog in
+  Window.gamma prog pi
+
+let sample_gamma ?(p = 0.5) ?(m = default_m) model rng =
+  let prog = Program.generate ~p rng ~m in
+  sample_gamma_program model rng prog
+
+let estimate ?(p = 0.5) ?(m = default_m) ~trials model rng =
+  if trials <= 0 then invalid_arg "Mc.estimate: trials must be positive";
+  let counts = Hashtbl.create 32 in
+  let sum = ref 0 in
+  for _ = 1 to trials do
+    let g = sample_gamma ~p ~m model rng in
+    sum := !sum + g;
+    Hashtbl.replace counts g (1 + Option.value ~default:0 (Hashtbl.find_opt counts g))
+  done;
+  let histogram = Stats.histogram_of_counts counts in
+  {
+    gamma_pmf = Stats.empirical_pmf histogram;
+    trials;
+    mean_gamma = float_of_int !sum /. float_of_int trials;
+    histogram;
+  }
+
+let probability_b ?(p = 0.5) ?(m = default_m) ~trials ~gamma model rng =
+  if trials <= 0 then invalid_arg "Mc.probability_b: trials must be positive";
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    if sample_gamma ~p ~m model rng = gamma then incr successes
+  done;
+  ( Stats.binomial_point ~successes:!successes ~trials,
+    Stats.wilson_ci ~successes:!successes ~trials ~z:1.96 )

@@ -1,0 +1,35 @@
+(** Monte Carlo estimation of critical-window statistics.
+
+    Samples the full program-generation + settling pipeline and estimates
+    Pr[B_gamma] empirically, with confidence intervals. The prefix length
+    [m] stands in for the paper's m -> infinity limit; the default 64 makes
+    truncation effects (a critical LD bubbling off the top) smaller than
+    2^-40, far below sampling noise. *)
+
+type estimate = {
+  gamma_pmf : (int * float) list;  (** empirical Pr[B_gamma] *)
+  trials : int;
+  mean_gamma : float;
+  histogram : Memrel_prob.Stats.histogram;
+}
+
+val sample_gamma :
+  ?p:float -> ?m:int -> Memrel_memmodel.Model.t -> Memrel_prob.Rng.t -> int
+(** [sample_gamma model rng] draws one program, settles it, and returns the
+    window growth gamma. *)
+
+val estimate :
+  ?p:float -> ?m:int -> trials:int -> Memrel_memmodel.Model.t -> Memrel_prob.Rng.t -> estimate
+(** [estimate ~trials model rng] aggregates [trials] samples. *)
+
+val probability_b :
+  ?p:float -> ?m:int -> trials:int -> gamma:int ->
+  Memrel_memmodel.Model.t -> Memrel_prob.Rng.t ->
+  float * Memrel_prob.Stats.interval
+(** [probability_b ~trials ~gamma model rng] is the point estimate of
+    Pr[B_gamma] with its 95% Wilson interval. *)
+
+val sample_gamma_program :
+  Memrel_memmodel.Model.t -> Memrel_prob.Rng.t -> Program.t -> int
+(** Settle one given program (used when several threads must share the same
+    initial program, as in the joined model). *)

@@ -1,0 +1,10 @@
+let bounds prog pi =
+  (pi.(Program.critical_load_index prog), pi.(Program.critical_store_index prog))
+
+let gamma prog pi =
+  let load_pos, store_pos = bounds prog pi in
+  let g = store_pos - load_pos - 1 in
+  assert (g >= 0);
+  g
+
+let length prog pi = gamma prog pi + 2

@@ -1,0 +1,18 @@
+(** Critical-window extraction (Sections 3.2 and 4).
+
+    After settling, the critical window W is the inclusive index range
+    between the settled critical LD and settled critical ST. The paper's
+    growth variable gamma (event B_gamma) counts the instructions strictly
+    between them; the segment length fed to the shift process is the full
+    window length gamma + 2. *)
+
+val gamma : Program.t -> Settle.permutation -> int
+(** [gamma prog pi] is the number of instructions strictly between the
+    settled critical LD and critical ST. Always nonnegative (the store can
+    never pass the load). *)
+
+val length : Program.t -> Settle.permutation -> int
+(** [length prog pi = gamma prog pi + 2]: the inclusive window size. *)
+
+val bounds : Program.t -> Settle.permutation -> int * int
+(** [(load_pos, store_pos)] in the final order. *)

@@ -1,0 +1,1 @@
+lib/shift/asymptotic.ml: Float Memrel_prob

@@ -1,0 +1,1 @@
+lib/shift/asymptotic.mli:

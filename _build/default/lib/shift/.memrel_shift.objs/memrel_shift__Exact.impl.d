@@ -1,0 +1,1 @@
+lib/shift/exact.ml: Array List Memrel_prob

@@ -1,0 +1,1 @@
+lib/shift/exact.mli: Memrel_prob

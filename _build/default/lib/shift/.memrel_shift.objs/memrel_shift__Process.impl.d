@@ -1,0 +1,1 @@
+lib/shift/process.ml: Array Memrel_prob

@@ -1,0 +1,1 @@
+lib/shift/process.mli: Memrel_prob

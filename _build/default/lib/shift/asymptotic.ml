@@ -1,0 +1,33 @@
+let log2f x = Float.log x /. Float.log 2.0
+
+let log2_c n =
+  if n < 1 then invalid_arg "Asymptotic.log2_c: n >= 1 required";
+  let acc = ref (log2f 2.0) in
+  for i = 2 to n do
+    acc := !acc -. log2f (1.0 -. Float.pow 2.0 (float_of_int (-i)))
+  done;
+  !acc
+
+let log2_factorial = Memrel_prob.Combinatorics.log2_factorial
+
+let binom2 n = n * (n + 1) / 2
+
+let log2_disjoint_symmetric ~log2_expect ~n =
+  if n < 1 then invalid_arg "Asymptotic.log2_disjoint_symmetric: n >= 1 required";
+  let sum = ref 0.0 in
+  for i = 1 to n - 1 do
+    sum := !sum +. log2_expect i
+  done;
+  log2_c n -. float_of_int (binom2 n) +. log2_factorial n +. !sum
+
+let log2_pr_sc n =
+  (* Gamma = 2 deterministically: log2 E[2^-i Gamma] = -2i, summing to
+     -2 C(n,2) = -n(n-1) *)
+  log2_disjoint_symmetric ~log2_expect:(fun i -> float_of_int (-2 * i)) ~n
+
+let log2_pr_floor_any_model n =
+  log2_pr_sc n -. float_of_int (n - 1)
+
+let normalized_exponent ~log2_pr ~n =
+  if n < 1 then invalid_arg "Asymptotic.normalized_exponent: n >= 1 required";
+  -.log2_pr /. float_of_int (n * n)

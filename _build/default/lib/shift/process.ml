@@ -1,0 +1,46 @@
+module Rng = Memrel_prob.Rng
+module Stats = Memrel_prob.Stats
+
+type sample = { shifts : int array; disjoint : bool }
+
+let disjoint ~shifts ~gammas =
+  let n = Array.length shifts in
+  if n <> Array.length gammas then invalid_arg "Process.disjoint: length mismatch";
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare shifts.(a) shifts.(b)) idx;
+  let ok = ref true in
+  for j = 0 to n - 2 do
+    let prev = idx.(j) and next = idx.(j + 1) in
+    if shifts.(next) < shifts.(prev) + gammas.(prev) + 1 then ok := false
+  done;
+  !ok
+
+let sample rng gammas =
+  Array.iter (fun g -> if g < 0 then invalid_arg "Process.sample: negative segment length") gammas;
+  let shifts = Array.map (fun _ -> Rng.geometric_half rng) gammas in
+  { shifts; disjoint = disjoint ~shifts ~gammas }
+
+let sample_geom ~q rng gammas =
+  if not (q > 0.0 && q < 1.0) then invalid_arg "Process.sample_geom: q must be in (0,1)";
+  Array.iter (fun g -> if g < 0 then invalid_arg "Process.sample_geom: negative segment length") gammas;
+  (* geometric(q) failures-before-success with success probability 1 - q *)
+  let shifts = Array.map (fun _ -> Rng.geometric rng (1.0 -. q)) gammas in
+  { shifts; disjoint = disjoint ~shifts ~gammas }
+
+let estimate_geom ~q ~trials rng gammas =
+  if trials <= 0 then invalid_arg "Process.estimate_geom: trials must be positive";
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    if (sample_geom ~q rng gammas).disjoint then incr successes
+  done;
+  ( Stats.binomial_point ~successes:!successes ~trials,
+    Stats.wilson_ci ~successes:!successes ~trials ~z:1.96 )
+
+let estimate ~trials rng gammas =
+  if trials <= 0 then invalid_arg "Process.estimate: trials must be positive";
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    if (sample rng gammas).disjoint then incr successes
+  done;
+  ( Stats.binomial_point ~successes:!successes ~trials,
+    Stats.wilson_ci ~successes:!successes ~trials ~z:1.96 )

@@ -1,0 +1,37 @@
+(** The shift process (Definition 1, Section 5) — sampling side.
+
+    [n] integer-length segments start at the origin and are translated by
+    i.i.d. geometric shifts with pmf [Pr[s = k] = 2^-(k+1)]. The event
+    A(gamma-bar) is that the translated closed segments
+    [[s_i, s_i + gamma_i]] are pairwise disjoint. Note the endpoint
+    convention implied by Theorem 5.1's algebra (and verified in the tests):
+    a segment of length gamma occupies the gamma + 1 integer slots
+    [s .. s + gamma], and two segments touching at an endpoint DO overlap —
+    the next segment must start at least [gamma + 1] above the previous
+    start. *)
+
+type sample = { shifts : int array; disjoint : bool }
+
+val sample : Memrel_prob.Rng.t -> int array -> sample
+(** [sample rng gammas] draws the shifts and evaluates disjointness.
+    Segment lengths must be nonnegative. *)
+
+val disjoint : shifts:int array -> gammas:int array -> bool
+(** Pure disjointness check (exposed for tests and for the joined model):
+    sorted by shift, every consecutive pair must satisfy
+    [s_next >= s_prev + gamma_prev + 1]. Equal shifts always overlap. *)
+
+val estimate :
+  trials:int -> Memrel_prob.Rng.t -> int array -> float * Memrel_prob.Stats.interval
+(** [estimate ~trials rng gammas] is the Monte Carlo estimate of
+    Pr[A(gamma-bar)] with a 95% Wilson interval. *)
+
+val sample_geom : q:float -> Memrel_prob.Rng.t -> int array -> sample
+(** Like {!sample} but with geometric(q) shifts — pmf [(1-q) q^k] — the
+    generalized dispersion of {!Memrel_shift.Exact.disjoint_probability_geom}.
+    Requires [0 < q < 1]. [q = 0.5] coincides with {!sample}'s law. *)
+
+val estimate_geom :
+  q:float -> trials:int -> Memrel_prob.Rng.t -> int array ->
+  float * Memrel_prob.Stats.interval
+(** Monte Carlo counterpart of the generalized exact formula. *)

@@ -1,0 +1,1 @@
+lib/trace/render.ml: Array Buffer Float List Memrel_memmodel Memrel_prob Memrel_settling Memrel_shift Printf String

@@ -1,0 +1,1 @@
+lib/trace/render.mli: Memrel_memmodel Memrel_settling

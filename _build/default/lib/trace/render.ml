@@ -1,0 +1,95 @@
+module Op = Memrel_memmodel.Op
+module Settle = Memrel_settling.Settle
+module Program = Memrel_settling.Program
+module Shift = Memrel_shift.Process
+
+let op_cell ~highlight_critical op =
+  let base =
+    match Op.kind_of op with
+    | Some Op.LD -> "LD"
+    | Some Op.ST -> "ST"
+    | None -> "FN"
+  in
+  if highlight_critical && Op.is_critical op then "*" ^ base else " " ^ base
+
+let figure1 ?(highlight_critical = true) prog snaps =
+  let n = Program.length prog in
+  let initial = Program.ops prog in
+  let columns =
+    (Array.to_list initial, None)
+    :: List.map (fun (s : Settle.snapshot) -> (Array.to_list s.order, Some s.stop_pos)) snaps
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "settling process (left = initial order, one column per round)\n";
+  let headers =
+    "init" :: List.map (fun (s : Settle.snapshot) -> Printf.sprintf "r%d" s.round) snaps
+  in
+  List.iter (fun h -> Buffer.add_string buf (Printf.sprintf "%7s" h)) headers;
+  Buffer.add_char buf '\n';
+  for pos = 0 to n - 1 do
+    List.iter
+      (fun (order, moved) ->
+        let cell = op_cell ~highlight_critical (List.nth order pos) in
+        let cell = if moved = Some pos then "(" ^ cell ^ ")" else " " ^ cell ^ " " in
+        Buffer.add_string buf (Printf.sprintf "%7s" cell))
+      columns;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let figure1_random ?(m = 6) ?(seed = 1) model =
+  let rng = Memrel_prob.Rng.create seed in
+  let prog = Program.generate rng ~m in
+  let _, snaps = Settle.run_traced model rng prog in
+  Printf.sprintf "model: %s\n%s" (Memrel_memmodel.Model.name model) (figure1 prog snaps)
+
+let figure2 ~gammas ~shifts =
+  let n = Array.length gammas in
+  if Array.length shifts <> n then invalid_arg "Render.figure2: length mismatch";
+  let height = Array.fold_left max 0 (Array.mapi (fun i g -> shifts.(i) + g) gammas) + 2 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "shift process (time axis upward; # = occupied slot)\n";
+  for level = height - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "%3d |" level);
+    for i = 0 to n - 1 do
+      let occupied = level >= shifts.(i) && level <= shifts.(i) + gammas.(i) in
+      Buffer.add_string buf (if occupied then "  #  " else "  .  ")
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "     ";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf " g%d=%d" (i + 1) gammas.(i))
+  done;
+  Buffer.add_char buf '\n';
+  let log2p = Array.fold_left (fun acc s -> acc - (s + 1)) 0 shifts in
+  let disjoint = Shift.disjoint ~shifts ~gammas in
+  (* the paper's Figure 2 reads segments as half-open (touching endpoints do
+     not collide); Theorem 5.1's algebra requires strict separation. Report
+     both so the discrepancy is visible. *)
+  let halfopen =
+    Array.length gammas = 0
+    || Shift.disjoint ~shifts ~gammas:(Array.map (fun g -> max 0 (g - 1)) gammas)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "shifts = (%s); probability 2^%d\ndisjointness A: %s (Theorem 5.1 closed convention); %s \
+        (Figure 2 half-open convention)\n"
+       (String.concat ", " (Array.to_list (Array.map string_of_int shifts)))
+       log2p
+       (if disjoint then "holds" else "violated")
+       (if halfopen then "holds" else "violated"));
+  Buffer.contents buf
+
+let figure2_paper_instance () = figure2 ~gammas:[| 3; 2; 5 |] ~shifts:[| 8; 0; 2 |]
+
+let window_bar pmf ~width =
+  if width < 1 then invalid_arg "Render.window_bar: width >= 1 required";
+  let maxp = List.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 pmf in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (v, p) ->
+      let len = if maxp = 0.0 then 0 else int_of_float (Float.round (p /. maxp *. float_of_int width)) in
+      Buffer.add_string buf (Printf.sprintf "%4d | %-*s %.6f\n" v width (String.make len '#') p))
+    pmf;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** ASCII renderings of the paper's two process figures.
+
+    Figure 1 shows an instantiation of the settling process (one column per
+    round, the settling instruction marked); Figure 2 shows an instantiation
+    of the shift process (segments drawn against the integer time line).
+    These renderings are what the bench harness prints for experiments E2
+    and E3. *)
+
+val figure1 :
+  ?highlight_critical:bool ->
+  Memrel_settling.Program.t ->
+  Memrel_settling.Settle.snapshot list ->
+  string
+(** [figure1 prog snaps] draws the initial order followed by the order
+    after each settling round. Instructions print as [ST]/[LD]; the
+    critical pair as [*ST]/[*LD] when highlighted (default true); the
+    just-settled instruction is parenthesized; fences show as [FN]. *)
+
+val figure1_random :
+  ?m:int -> ?seed:int -> Memrel_memmodel.Model.t -> string
+(** Generate a small random program (default m = 6), settle it traced under
+    the model, and render — a self-contained Figure 1. *)
+
+val figure2 : gammas:int array -> shifts:int array -> string
+(** [figure2 ~gammas ~shifts] draws each shifted segment
+    [[s_i, s_i + gamma_i]] as a column against the number line, exactly the
+    layout of the paper's Figure 2, and reports the sample's probability
+    [prod 2^-(s_i + 1)] and whether the disjointness event A holds. *)
+
+val figure2_paper_instance : unit -> string
+(** The literal instance of the paper's Figure 2: gammas = (3, 2, 5),
+    shifts = (8, 0, 2), probability 2^-13. Note an internal inconsistency of
+    the paper surfaced here: the figure declares A to hold, which is true
+    under its half-open drawing, while Theorem 5.1's algebra (strict
+    separation) has segments [0,2] and [2,7] colliding at slot 2. The
+    rendering reports both verdicts. *)
+
+val window_bar : (int * float) list -> width:int -> string
+(** Tiny horizontal bar chart of a pmf — used by the CLI to visualize
+    window distributions. *)

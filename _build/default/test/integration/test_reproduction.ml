@@ -1,0 +1,132 @@
+(* End-to-end reproduction checks through the Memrel facade: each test is a
+   fast version of an EXPERIMENTS.md row, asserting that the independently
+   implemented layers (closed forms, exact series, finite-m DP, Monte Carlo,
+   operational machine) land on the same numbers. *)
+
+open Memrel
+module Q = Rational
+
+let test_e1_table1 () =
+  let t = Model.table1 () in
+  (* the paper's Table 1 content, row by row *)
+  List.iter
+    (fun needle ->
+      if not (Astring.String.is_infix ~affix:needle t) then Alcotest.fail (needle ^ " missing"))
+    [ "SC"; "TSO"; "PSO"; "WO" ]
+
+let test_e4_window_chain_tso () =
+  (* Theorem 4.1 chain: bounds >= series = DP = MC for TSO *)
+  let dp = Window_exact_dp.gamma_pmf (Model.tso ()) ~m:16 in
+  let rng = Rng.create 1 in
+  let mc = Window_mc.estimate ~trials:60_000 (Model.tso ()) rng in
+  for g = 0 to 4 do
+    let lo = Q.to_float (Window_analytic.b_tso_lower g) in
+    let hi = Q.to_float (Window_analytic.b_tso_upper g) in
+    let series = Window_analytic.b_tso_series g in
+    let dpv = List.assoc g dp in
+    let mcv = try List.assoc g mc.gamma_pmf with Not_found -> 0.0 in
+    Alcotest.(check bool) "bounds bracket series" true (lo -. 1e-9 <= series && series <= hi +. 1e-9);
+    Alcotest.(check (float 1e-4)) "series = dp" series dpv;
+    Alcotest.(check bool) "mc close" true (Float.abs (mcv -. series) < 0.01)
+  done
+
+let test_e5_claim43_chain () =
+  (* recurrence = DP at every finite m, limit 2/3 *)
+  for m = 1 to 10 do
+    Alcotest.(check (float 1e-12)) "recurrence = DP"
+      (Q.to_float (Window_analytic.st_bottom_prob m))
+      (Window_exact_dp.bottom_st_probability (Model.tso ()) ~m)
+  done
+
+let test_e7_shift_chain () =
+  (* Theorem 5.1 = MC on an asymmetric instance *)
+  let g = [| 2; 0; 4 |] in
+  let exact = Q.to_float (Shift_exact.disjoint_probability g) in
+  let rng = Rng.create 2 in
+  let est, ci = Shift.estimate ~trials:150_000 rng g in
+  Alcotest.(check bool)
+    (Printf.sprintf "exact %.5f in [%.5f, %.5f] est %.5f" exact ci.lo ci.hi est)
+    true
+    (ci.lo -. 0.003 <= exact && exact <= ci.hi +. 0.003)
+
+let test_e8_theorem62_full_chain () =
+  (* the headline n=2 table: closed form = generic path = joint MC *)
+  let rng = Rng.create 3 in
+  let checks =
+    [ (Model.sc, Q.to_float Manifestation.pr_a_n2_sc);
+      (Model.wo (), Q.to_float Manifestation.pr_a_n2_wo);
+      (Model.tso (), Manifestation.pr_a_n2_tso_series ()) ]
+  in
+  List.iter
+    (fun (model, expected) ->
+      let e = Joint.estimate ~trials:80_000 model ~n:2 rng in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.4f vs %.4f" (Model.name model) e.pr_no_bug expected)
+        true
+        (Float.abs (e.pr_no_bug -. expected) < 0.006))
+    checks
+
+let test_e9_scaling_consistency () =
+  (* scaling rows vs semi-analytic estimator at n=3 *)
+  let rng = Rng.create 4 in
+  let r = Scaling.row 3 in
+  let wo = Joint.semi_analytic ~trials:100_000 (Model.wo ()) ~n:3 rng in
+  Alcotest.(check bool) "WO semi-analytic matches exact row" true
+    (Float.abs ((Float.log wo /. Float.log 2.0) -. r.log2_wo) < 0.1)
+
+let test_e11_fences_reduce_vulnerability () =
+  (* Section 7: fences shrink windows, raising Pr[A]; acquire fences every
+     2 instructions under WO must beat fence-free WO *)
+  let rng = Rng.create 5 in
+  let trials = 40_000 in
+  let no_fence = ref 0 and fenced = ref 0 in
+  for _ = 1 to trials do
+    let prog = Program.generate rng ~m:32 in
+    let gamma_of prog =
+      let pi = Settle.run (Model.wo ()) rng prog in
+      Window.gamma prog pi + 2
+    in
+    let g1 = gamma_of prog and g2 = gamma_of prog in
+    if (Shift.sample rng [| g1; g2 |]).disjoint then incr no_fence;
+    let progf = Program.with_fences ~every:2 ~kind:Fence.Acquire prog in
+    let g1 = gamma_of progf and g2 = gamma_of progf in
+    if (Shift.sample rng [| g1; g2 |]).disjoint then incr fenced
+  done;
+  let p_nf = float_of_int !no_fence /. float_of_int trials in
+  let p_f = float_of_int !fenced /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "fenced %.4f > unfenced %.4f" p_f p_nf) true (p_f > p_nf);
+  (* fences can only push WO toward (not past) SC *)
+  Alcotest.(check bool) "still at most SC" true (p_f <= 1.0 /. 6.0 +. 0.01)
+
+let test_e13_machine_agrees_qualitatively () =
+  (* canonical bug is reachable in every model on the machine; litmus corpus
+     expectations all hold *)
+  let vs = Litmus.check_all () in
+  List.iter
+    (fun (v : Litmus.verdict) ->
+      if not v.agrees then Alcotest.fail (v.test ^ " machine/model disagreement"))
+    vs
+
+let test_facade_exports () =
+  (* the facade must expose working aliases (compile-time mostly; spot-check
+     a couple of values) *)
+  Alcotest.(check bool) "rational" true (Q.equal (Q.of_ints 1 6) Manifestation.pr_a_n2_sc);
+  Alcotest.(check int) "bigint" 120 (Bigint.to_int (Combinatorics.factorial 5));
+  Alcotest.(check bool) "render" true (String.length (Render.figure2_paper_instance ()) > 0)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("E1: Table 1", test_e1_table1);
+      ("E4: TSO window chain", test_e4_window_chain_tso);
+      ("E5: Claim 4.3 chain", test_e5_claim43_chain);
+      ("E7: shift chain", test_e7_shift_chain);
+      ("E8: Theorem 6.2 chain", test_e8_theorem62_full_chain);
+      ("E9: scaling consistency", test_e9_scaling_consistency);
+      ("E11: fences reduce vulnerability", test_e11_fences_reduce_vulnerability);
+      ("E13: machine corpus", test_e13_machine_agrees_qualitatively);
+      ("facade exports", test_facade_exports);
+    ]
+
+let () = Alcotest.run "memrel_integration" [ ("reproduction", suite) ]

@@ -1,0 +1,1 @@
+test/interleave/main.ml: Alcotest Test_analytic Test_gap Test_joint Test_scaling Test_timeline

@@ -1,0 +1,1 @@
+test/interleave/main.mli:

@@ -1,0 +1,1 @@
+test/interleave/test_analytic.ml: Alcotest Float Fmt List Memrel_interleave Memrel_prob Memrel_settling Printf

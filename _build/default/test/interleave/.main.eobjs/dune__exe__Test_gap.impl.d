@@ -1,0 +1,1 @@
+test/interleave/test_gap.ml: Alcotest Float List Memrel_interleave Memrel_memmodel Memrel_prob Memrel_settling Printf

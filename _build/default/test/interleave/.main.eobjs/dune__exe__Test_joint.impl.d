@@ -1,0 +1,1 @@
+test/interleave/test_joint.ml: Alcotest Float List Memrel_interleave Memrel_memmodel Memrel_prob Printf

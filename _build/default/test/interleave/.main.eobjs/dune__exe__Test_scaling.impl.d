@@ -1,0 +1,1 @@
+test/interleave/test_scaling.ml: Alcotest Float List Memrel_interleave Memrel_prob Printf

@@ -1,0 +1,1 @@
+test/interleave/test_timeline.ml: Alcotest Array Float Gen List Memrel_interleave Memrel_memmodel Memrel_prob Printf QCheck QCheck_alcotest

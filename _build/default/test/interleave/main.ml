@@ -1,0 +1,9 @@
+let () =
+  Alcotest.run "memrel_interleave"
+    [
+      ("analytic", Test_analytic.suite);
+      ("joint", Test_joint.suite);
+      ("scaling", Test_scaling.suite);
+      ("timeline", Test_timeline.suite);
+      ("gap", Test_gap.suite);
+    ]

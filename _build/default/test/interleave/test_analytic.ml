@@ -1,0 +1,106 @@
+module IA = Memrel_interleave.Analytic
+module SA = Memrel_settling.Analytic
+module Q = Memrel_prob.Rational
+
+let qt = Alcotest.testable (Fmt.of_to_string Q.to_string) Q.equal
+
+let test_theorem62_sc () =
+  Alcotest.check qt "1/6" (Q.of_ints 1 6) IA.pr_a_n2_sc;
+  Alcotest.check qt "general path agrees" (Q.of_ints 1 6) (IA.pr_a_sc ~n:2);
+  Alcotest.(check (float 1e-4)) "~0.1666" 0.1666 (Q.to_float IA.pr_a_n2_sc)
+
+let test_theorem62_wo () =
+  Alcotest.check qt "7/54" (Q.of_ints 7 54) IA.pr_a_n2_wo;
+  Alcotest.check qt "general path agrees" (Q.of_ints 7 54) (IA.pr_a_wo ~n:2);
+  Alcotest.(check (float 1e-4)) "~0.1296" 0.1296 (Q.to_float IA.pr_a_n2_wo)
+
+let test_theorem62_tso () =
+  let lo, hi = IA.pr_a_n2_tso_bounds in
+  Alcotest.check qt "lower 58/441" (Q.of_ints 58 441) lo;
+  Alcotest.check qt "upper 58/441 + 1/189" (Q.add (Q.of_ints 58 441) (Q.of_ints 1 189)) hi;
+  (* the paper's printed digits *)
+  Alcotest.(check bool) "0.1315 < lo" true (Q.to_float lo > 0.1315);
+  Alcotest.(check bool) "hi < 0.1369" true (Q.to_float hi < 0.1369);
+  let glo, ghi = IA.pr_a_tso_bounds ~n:2 in
+  Alcotest.check qt "general path lower" lo glo;
+  Alcotest.check qt "general path upper" hi ghi
+
+let test_tso_series_inside_bracket () =
+  let s = IA.pr_a_n2_tso_series () in
+  let lo, hi = IA.pr_a_n2_tso_bounds in
+  Alcotest.(check bool) "inside" true (Q.to_float lo <= s && s <= Q.to_float hi);
+  (* paper's observation: TSO is substantially closer to WO than to SC *)
+  let d_wo = Float.abs (s -. Q.to_float IA.pr_a_n2_wo) in
+  let d_sc = Float.abs (s -. Q.to_float IA.pr_a_n2_sc) in
+  Alcotest.(check bool) "closer to WO than SC" true (d_wo < d_sc)
+
+let test_model_ordering_n2 () =
+  (* strict models are safer: Pr[A] SC > TSO > WO *)
+  let sc = Q.to_float IA.pr_a_n2_sc in
+  let tso = IA.pr_a_n2_tso_series () in
+  let wo = Q.to_float IA.pr_a_n2_wo in
+  Alcotest.(check bool) "SC > TSO" true (sc > tso);
+  Alcotest.(check bool) "TSO > WO" true (tso > wo)
+
+let test_pr_a_n2_generic_path () =
+  Alcotest.(check (float 1e-12)) "SC via float path" (1.0 /. 6.0) (IA.pr_a_n2 `SC);
+  Alcotest.(check (float 1e-12)) "WO via float path" (7.0 /. 54.0) (IA.pr_a_n2 `WO);
+  Alcotest.(check (float 1e-12)) "n=2 equals general pr_a" (IA.pr_a_n2 `WO) (IA.pr_a `WO ~n:2)
+
+let test_ordering_general_n () =
+  for n = 2 to 8 do
+    let sc = Q.to_float (IA.pr_a_sc ~n) in
+    let tso = IA.pr_a_tso_independent_series ~n in
+    let wo = Q.to_float (IA.pr_a_wo ~n) in
+    Alcotest.(check bool) (Printf.sprintf "n=%d SC > TSO > WO" n) true (sc > tso && tso > wo)
+  done
+
+let test_bounds_bracket_series_general_n () =
+  for n = 2 to 6 do
+    let lo, hi = IA.pr_a_tso_bounds ~n in
+    let s = IA.pr_a_tso_independent_series ~n in
+    Alcotest.(check bool) (Printf.sprintf "n=%d" n) true
+      (Q.to_float lo <= s +. 1e-12 && s <= Q.to_float hi +. 1e-12)
+  done
+
+let test_probability_range () =
+  for n = 2 to 10 do
+    List.iter
+      (fun v ->
+        Alcotest.(check bool) "in (0,1)" true (v > 0.0 && v < 1.0))
+      [ Q.to_float (IA.pr_a_sc ~n); Q.to_float (IA.pr_a_wo ~n); IA.pr_a_tso_independent_series ~n ]
+  done
+
+let test_sc_n3_value () =
+  (* independently derived: c(3) 2^-6 3! 2^-(2*3)/... = 1/224 *)
+  Alcotest.check qt "1/224" (Q.of_ints 1 224) (IA.pr_a_sc ~n:3)
+
+let test_guard () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Interleave.Analytic: n >= 2 required") (fun () ->
+      ignore (IA.pr_a_sc ~n:1))
+
+let test_transform_consistency () =
+  (* Theorem 6.2's derivation: Pr[A] = (2/3) E[2^-Gamma]; cross-check the
+     WO transform value 7/36 *)
+  Alcotest.check qt "E[2^-Gamma]_WO = 7/36" (Q.of_ints 7 36)
+    (SA.expect_pow2_window_exact `WO ~k:1);
+  Alcotest.check qt "2/3 * 7/36 = 7/54" (Q.of_ints 7 54)
+    (Q.mul (Q.of_ints 2 3) (Q.of_ints 7 36))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("Theorem 6.2: SC = 1/6", test_theorem62_sc);
+      ("Theorem 6.2: WO = 7/54", test_theorem62_wo);
+      ("Theorem 6.2: TSO bracket", test_theorem62_tso);
+      ("TSO series inside bracket", test_tso_series_inside_bracket);
+      ("model ordering n=2", test_model_ordering_n2);
+      ("generic float path", test_pr_a_n2_generic_path);
+      ("ordering for general n", test_ordering_general_n);
+      ("bounds bracket series", test_bounds_bracket_series_general_n);
+      ("probabilities in range", test_probability_range);
+      ("SC n=3 = 1/224", test_sc_n3_value);
+      ("guards", test_guard);
+      ("transform consistency", test_transform_consistency);
+    ]

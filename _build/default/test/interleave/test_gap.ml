@@ -1,0 +1,102 @@
+(* The generalized bug pattern: [gap] plain operations inside the critical
+   section (Program.generate_with_gap threaded through Joint). *)
+
+module J = Memrel_interleave.Joint
+module Program = Memrel_settling.Program
+module Settle = Memrel_settling.Settle
+module Window = Memrel_settling.Window
+module Model = Memrel_memmodel.Model
+module Op = Memrel_memmodel.Op
+module Rng = Memrel_prob.Rng
+
+let test_program_shape () =
+  let rng = Rng.create 1 in
+  let p = Program.generate_with_gap rng ~m:5 ~gap:3 in
+  Alcotest.(check int) "length" 10 (Program.length p);
+  Alcotest.(check int) "cl" 5 (Program.critical_load_index p);
+  Alcotest.(check int) "cs" 9 (Program.critical_store_index p);
+  for i = 6 to 8 do
+    Alcotest.(check bool) "interior is plain" false (Op.is_critical (Program.op p i))
+  done;
+  Alcotest.check_raises "negative gap" (Invalid_argument "Program.generate_with_gap: gap < 0")
+    (fun () -> ignore (Program.generate_with_gap rng ~m:3 ~gap:(-1)))
+
+let test_gap_zero_is_generate () =
+  (* same rng stream, same program *)
+  let a = Program.to_string (Program.generate (Rng.create 7) ~m:10) in
+  let b = Program.to_string (Program.generate_with_gap (Rng.create 7) ~m:10 ~gap:0) in
+  Alcotest.(check string) "identical" a b
+
+let test_sc_gamma_is_gap () =
+  let rng = Rng.create 2 in
+  for gap = 0 to 5 do
+    let prog = Program.generate_with_gap rng ~m:8 ~gap in
+    let pi = Settle.run Model.sc rng prog in
+    Alcotest.(check int) (Printf.sprintf "gap=%d" gap) gap (Window.gamma prog pi)
+  done
+
+let test_tso_gamma_at_least_gap () =
+  (* under TSO the interior can only grow (the critical LD climbs; interior
+     STs are pinned; interior LDs cannot pass the critical LD) *)
+  let rng = Rng.create 3 in
+  for _ = 1 to 500 do
+    let prog = Program.generate_with_gap rng ~m:10 ~gap:3 in
+    let pi = Settle.run (Model.tso ()) rng prog in
+    if Window.gamma prog pi < 3 then Alcotest.fail "TSO window shrank below the gap"
+  done
+
+let test_wo_gamma_can_shrink () =
+  (* under WO interior operations migrate out and the critical store chases:
+     windows below the gap must occur *)
+  let rng = Rng.create 4 in
+  let shrunk = ref false in
+  for _ = 1 to 2000 do
+    let prog = Program.generate_with_gap rng ~m:10 ~gap:3 in
+    let pi = Settle.run (Model.wo ()) rng prog in
+    if Window.gamma prog pi < 3 then shrunk := true
+  done;
+  Alcotest.(check bool) "window shrank at least once" true !shrunk
+
+let test_sc_closed_form () =
+  (* SC: Gamma = gap + 2 deterministically, so Pr[A] = (2/3) 2^-(gap+2) *)
+  let rng = Rng.create 5 in
+  List.iter
+    (fun gap ->
+      let e = J.estimate ~gap ~trials:150_000 Model.sc ~n:2 rng in
+      let expected = 2.0 /. 3.0 *. Float.pow 2.0 (float_of_int (-(gap + 2))) in
+      Alcotest.(check bool)
+        (Printf.sprintf "gap=%d: %f vs %f" gap e.pr_no_bug expected)
+        true
+        (Float.abs (e.pr_no_bug -. expected) < 0.004))
+    [ 0; 1; 3 ]
+
+let test_ordering_inversion () =
+  (* the headline finding: at gap 0 SC beats WO; with a fat critical section
+     WO's compression wins and WO beats SC *)
+  let rng = Rng.create 6 in
+  let pr model gap = (J.estimate ~gap ~trials:120_000 model ~n:2 rng).J.pr_no_bug in
+  Alcotest.(check bool) "gap=0: SC safer" true (pr Model.sc 0 > pr (Model.wo ()) 0);
+  Alcotest.(check bool) "gap=4: WO safer" true (pr (Model.wo ()) 4 > pr Model.sc 4);
+  (* TSO stays below SC at every gap: its windows only grow *)
+  Alcotest.(check bool) "TSO still below SC at gap=4" true (pr Model.sc 4 > pr (Model.tso ()) 4)
+
+let test_semi_analytic_gap () =
+  let rng = Rng.create 8 in
+  let mc = (J.estimate ~gap:2 ~trials:200_000 (Model.wo ()) ~n:2 rng).J.pr_no_bug in
+  let semi = J.semi_analytic ~gap:2 ~trials:200_000 (Model.wo ()) ~n:2 rng in
+  Alcotest.(check bool) (Printf.sprintf "mc %f ~ semi %f" mc semi) true
+    (Float.abs (mc -. semi) < 0.005)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("program shape", test_program_shape);
+      ("gap 0 is generate", test_gap_zero_is_generate);
+      ("SC gamma equals gap", test_sc_gamma_is_gap);
+      ("TSO gamma at least gap", test_tso_gamma_at_least_gap);
+      ("WO gamma can shrink", test_wo_gamma_can_shrink);
+      ("SC closed form", test_sc_closed_form);
+      ("ordering inversion at large gaps", test_ordering_inversion);
+      ("semi-analytic with gap", test_semi_analytic_gap);
+    ]

@@ -1,0 +1,92 @@
+module S = Memrel_interleave.Scaling
+module IA = Memrel_interleave.Analytic
+module Q = Memrel_prob.Rational
+
+let test_row_matches_exact_small_n () =
+  for n = 2 to 8 do
+    let r = S.row n in
+    let log2 v = Float.log v /. Float.log 2.0 in
+    Alcotest.(check (float 1e-6)) "SC" (log2 (Q.to_float (IA.pr_a_sc ~n))) r.log2_sc;
+    Alcotest.(check (float 1e-6)) "WO" (log2 (Q.to_float (IA.pr_a_wo ~n))) r.log2_wo;
+    Alcotest.(check (float 1e-6)) "TSO" (log2 (IA.pr_a_tso_independent_series ~n)) r.log2_tso
+  done
+
+let test_ordering_within_row () =
+  List.iter
+    (fun n ->
+      let r = S.row n in
+      Alcotest.(check bool) "SC safest" true (r.log2_sc > r.log2_tso);
+      Alcotest.(check bool) "WO weakest" true (r.log2_tso > r.log2_wo);
+      Alcotest.(check bool) "TSO brackets hold" true
+        (r.log2_tso_lo <= r.log2_tso +. 1e-9 && r.log2_tso <= r.log2_tso_hi +. 1e-9))
+    [ 2; 5; 10; 20; 40 ]
+
+let test_table_shape () =
+  let t = S.table ~n_max:10 in
+  Alcotest.(check int) "rows 2..10" 9 (List.length t);
+  Alcotest.(check (list int)) "n sequence" (List.init 9 (fun i -> i + 2))
+    (List.map (fun (r : S.row) -> r.n) t)
+
+let test_normalized_exponents_converge () =
+  (* Theorem 6.3's headline: all models share the n^2 (3/2 + o(1)) exponent;
+     the per-model normalized exponents must approach each other *)
+  let spread n =
+    let r = S.row n in
+    let norms =
+      List.map
+        (fun l -> S.normalized_exponent ~log2_pr:l ~n)
+        [ r.log2_sc; r.log2_wo; r.log2_tso ]
+    in
+    List.fold_left Float.max neg_infinity norms -. List.fold_left Float.min infinity norms
+  in
+  let s5 = spread 5 and s20 = spread 20 and s80 = spread 80 in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread shrinks: %.4f > %.4f > %.4f" s5 s20 s80)
+    true
+    (s5 > s20 && s20 > s80);
+  Alcotest.(check bool) "tiny by n=80" true (s80 < 0.01)
+
+let test_gap_grows_linearly () =
+  (* the absolute advantage of SC (in bits) grows ~linearly: the per-n
+     increments approach a constant *)
+  let gap n = fst (S.gap_ratio_log2 (S.row n)) in
+  let d1 = gap 21 -. gap 20 and d2 = gap 41 -. gap 40 in
+  Alcotest.(check bool) "increments stabilize" true (Float.abs (d1 -. d2) < 0.02);
+  Alcotest.(check bool) "gap grows" true (gap 40 > gap 20 && gap 20 > gap 10)
+
+let test_gap_vanishes_relative_to_exponent () =
+  let rel n =
+    let r = S.row n in
+    let g, _ = S.gap_ratio_log2 r in
+    g /. -.r.log2_sc
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "relative gap shrinks: %.4f > %.4f" (rel 5) (rel 50))
+    true
+    (rel 5 > rel 20 && rel 20 > rel 50);
+  Alcotest.(check bool) "under 2 percent by n=50" true (rel 50 < 0.02)
+
+let test_large_n_stability () =
+  (* log-space path must stay finite far beyond float underflow *)
+  let r = S.row 200 in
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite r.log2_sc && Float.is_finite r.log2_wo && Float.is_finite r.log2_tso);
+  Alcotest.(check bool) "huge exponent" true (r.log2_sc < -50_000.0)
+
+let test_guard () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Scaling.row: n >= 2 required") (fun () ->
+      ignore (S.row 1))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("rows match exact values", test_row_matches_exact_small_n);
+      ("ordering within rows", test_ordering_within_row);
+      ("table shape", test_table_shape);
+      ("Theorem 6.3: normalized exponents converge", test_normalized_exponents_converge);
+      ("gap grows linearly in bits", test_gap_grows_linearly);
+      ("gap vanishes relative to exponent", test_gap_vanishes_relative_to_exponent);
+      ("large n stability", test_large_n_stability);
+      ("guards", test_guard);
+    ]

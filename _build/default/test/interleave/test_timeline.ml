@@ -1,0 +1,109 @@
+module T = Memrel_interleave.Timeline
+module Model = Memrel_memmodel.Model
+module Rng = Memrel_prob.Rng
+
+let sched l s = { T.load_time = l; T.store_time = s }
+
+let test_sequential_executes_cleanly () =
+  (* disjoint windows: classic sequential increments *)
+  let v = T.execute [| sched 0 1; sched 2 3; sched 4 5 |] in
+  Alcotest.(check int) "x = 3" 3 v;
+  Alcotest.(check bool) "disjoint" true (T.windows_disjoint [| sched 0 1; sched 2 3; sched 4 5 |])
+
+let test_canonical_interleaving_loses_update () =
+  (* the Section 2.2 interleaving: both read before either writes *)
+  let v = T.execute [| sched 0 2; sched 1 3 |] in
+  Alcotest.(check int) "x = 1" 1 v
+
+let test_touching_windows_lose_update () =
+  (* thread 2 loads in the same step thread 1's store commits: the load
+     reads the pre-step value and the increment is lost *)
+  let v = T.execute [| sched 0 1; sched 1 2 |] in
+  Alcotest.(check int) "x = 1" 1 v;
+  Alcotest.(check bool) "counted as overlap" false (T.windows_disjoint [| sched 0 1; sched 1 2 |])
+
+let test_adjacent_windows_fine () =
+  let v = T.execute [| sched 0 1; sched 2 3 |] in
+  Alcotest.(check int) "x = 2" 2 v
+
+let test_simultaneous_loads () =
+  let v = T.execute [| sched 0 1; sched 0 2 |] in
+  Alcotest.(check int) "both read 0: x = 1" 1 v
+
+let test_nested_windows () =
+  (* one window containing another: inner commits first, outer overwrites *)
+  let v = T.execute [| sched 0 10; sched 2 3 |] in
+  Alcotest.(check int) "x = 1" 1 v
+
+let test_negative_times () =
+  (* shifted schedules may sit at negative times; semantics unchanged *)
+  let v = T.execute [| sched (-5) (-4); sched (-2) (-1) |] in
+  Alcotest.(check int) "x = 2" 2 v
+
+let test_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Timeline: empty schedule array") (fun () ->
+      ignore (T.execute [||]));
+  Alcotest.check_raises "store before load"
+    (Invalid_argument "Timeline: load must strictly precede store") (fun () ->
+      ignore (T.execute [| sched 3 3 |]))
+
+(* the paper's central equivalence, hunted by property test: the final value
+   is n exactly when the windows are pairwise disjoint *)
+let prop_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"x = n iff windows pairwise disjoint" ~count:2000
+       QCheck.(list_of_size (Gen.int_range 2 6) (pair (int_range 0 15) (int_range 1 6)))
+       (fun specs ->
+         let schedules =
+           Array.of_list (List.map (fun (l, len) -> sched l (l + len)) specs)
+         in
+         let n = Array.length schedules in
+         QCheck.assume (n >= 2);
+         let v = T.execute schedules in
+         let d = T.windows_disjoint schedules in
+         (v = n) = d))
+
+let test_sample_consistency () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 2000 do
+    let s = T.sample (Model.tso ()) ~n:3 rng in
+    if (s.final_value = 3) <> s.disjoint then
+      Alcotest.fail "sampled draw violates the equivalence"
+  done
+
+let test_bug_rate_matches_strict_joint () =
+  (* Pr[overlap] from the timeline equals the `Strict joint estimate (they
+     are the same event on the same process) *)
+  let rng = Rng.create 11 in
+  let semantic, overlap = T.bug_rate ~trials:60_000 (Model.wo ()) ~n:2 rng in
+  Alcotest.(check (float 1e-9)) "semantic = overlap rate" overlap semantic;
+  let rng2 = Rng.create 13 in
+  let e = Memrel_interleave.Joint.estimate ~convention:`Strict ~trials:60_000 (Model.wo ()) ~n:2 rng2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 - %f within noise of %f" semantic e.pr_no_bug)
+    true
+    (Float.abs ((1.0 -. semantic) -. e.pr_no_bug) < 0.01)
+
+let test_bug_rate_model_ordering () =
+  let rng = Rng.create 17 in
+  let rate model = fst (T.bug_rate ~trials:40_000 model ~n:2 rng) in
+  let sc = rate Model.sc and wo = rate (Model.wo ()) in
+  Alcotest.(check bool) (Printf.sprintf "SC %.3f < WO %.3f" sc wo) true (sc < wo)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("sequential increments", test_sequential_executes_cleanly);
+      ("canonical interleaving", test_canonical_interleaving_loses_update);
+      ("touching windows lose an update", test_touching_windows_lose_update);
+      ("adjacent windows fine", test_adjacent_windows_fine);
+      ("simultaneous loads", test_simultaneous_loads);
+      ("nested windows", test_nested_windows);
+      ("negative times", test_negative_times);
+      ("validation", test_validation);
+      ("sampled equivalence", test_sample_consistency);
+      ("bug rate matches strict joint", test_bug_rate_matches_strict_joint);
+      ("model ordering", test_bug_rate_model_ordering);
+    ]
+  @ [ prop_equivalence ]

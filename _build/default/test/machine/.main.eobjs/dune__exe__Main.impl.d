@@ -1,0 +1,1 @@
+test/machine/main.ml: Alcotest Test_enumerate Test_exec Test_instr Test_litmus Test_litmus_files Test_parse Test_semantics Test_state

@@ -1,0 +1,1 @@
+test/machine/main.mli:

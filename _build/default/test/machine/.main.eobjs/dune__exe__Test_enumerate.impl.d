@@ -1,0 +1,1 @@
+test/machine/test_enumerate.ml: Alcotest Array List Memrel_machine Printf

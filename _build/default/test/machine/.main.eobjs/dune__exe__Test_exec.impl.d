@@ -1,0 +1,1 @@
+test/machine/test_exec.ml: Alcotest List Memrel_machine Memrel_memmodel Memrel_prob Option Printf

@@ -1,0 +1,1 @@
+test/machine/test_instr.ml: Alcotest List Memrel_machine Memrel_memmodel

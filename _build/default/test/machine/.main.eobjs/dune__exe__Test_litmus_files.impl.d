@@ -1,0 +1,1 @@
+test/machine/test_litmus_files.ml: Alcotest List Memrel_machine Memrel_memmodel Printf

@@ -1,0 +1,1 @@
+test/machine/test_parse.ml: Alcotest Astring List Memrel_machine Memrel_memmodel Printf

@@ -1,0 +1,1 @@
+test/machine/test_semantics.ml: Alcotest Array Gen List Memrel_machine Memrel_memmodel Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/machine/test_state.ml: Alcotest Array List Memrel_machine

@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "memrel_machine"
+    [
+      ("instr", Test_instr.suite);
+      ("state", Test_state.suite);
+      ("semantics", Test_semantics.suite);
+      ("enumerate", Test_enumerate.suite);
+      ("litmus", Test_litmus.suite);
+      ("parse", Test_parse.suite);
+      ("litmus_files", Test_litmus_files.suite);
+      ("exec", Test_exec.suite);
+    ]

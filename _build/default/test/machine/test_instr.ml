@@ -1,0 +1,46 @@
+module I = Memrel_machine.Instr
+module Fence = Memrel_memmodel.Fence
+
+let test_accessors () =
+  let ld = I.load ~reg:2 ~loc:7 in
+  Alcotest.(check bool) "load is load" true (I.is_load ld);
+  Alcotest.(check (option int)) "writes reg" (Some 2) (I.writes_reg ld);
+  Alcotest.(check (option int)) "loc" (Some 7) (I.loc_accessed ld);
+  Alcotest.(check (list int)) "reads none" [] (I.reads_regs ld);
+  let st = I.store ~loc:3 ~src:(I.Reg 1) in
+  Alcotest.(check bool) "store is store" true (I.is_store st);
+  Alcotest.(check (option int)) "no reg write" None (I.writes_reg st);
+  Alcotest.(check (list int)) "reads src" [ 1 ] (I.reads_regs st);
+  let sti = I.store ~loc:3 ~src:(I.Imm 5) in
+  Alcotest.(check (list int)) "imm reads none" [] (I.reads_regs sti)
+
+let test_binop () =
+  let b = I.binop ~dst:0 I.Add (I.Reg 0) (I.Imm 1) in
+  Alcotest.(check (option int)) "writes dst" (Some 0) (I.writes_reg b);
+  Alcotest.(check (list int)) "reads a" [ 0 ] (I.reads_regs b);
+  Alcotest.(check (option int)) "no memory" None (I.loc_accessed b);
+  let b2 = I.binop ~dst:2 I.Mul (I.Reg 0) (I.Reg 1) in
+  Alcotest.(check (list int)) "reads both" [ 0; 1 ] (I.reads_regs b2)
+
+let test_fence () =
+  let f = I.fence Fence.Full in
+  Alcotest.(check bool) "is fence" true (I.is_fence f);
+  Alcotest.(check bool) "not load/store" true (not (I.is_load f) && not (I.is_store f));
+  Alcotest.(check (option int)) "no loc" None (I.loc_accessed f)
+
+let test_to_string () =
+  Alcotest.(check string) "load" "r1 := mem[2]" (I.to_string (I.load ~reg:1 ~loc:2));
+  Alcotest.(check string) "store imm" "mem[0] := 7" (I.to_string (I.store ~loc:0 ~src:(I.Imm 7)));
+  Alcotest.(check string) "binop" "r0 := r0 + 1"
+    (I.to_string (I.binop ~dst:0 I.Add (I.Reg 0) (I.Imm 1)));
+  Alcotest.(check string) "fence" "fence.acquire" (I.to_string (I.fence Fence.Acquire))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("accessors", test_accessors);
+      ("binop", test_binop);
+      ("fence", test_fence);
+      ("to_string", test_to_string);
+    ]

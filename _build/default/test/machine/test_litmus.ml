@@ -1,0 +1,136 @@
+module L = Memrel_machine.Litmus
+module E = Memrel_machine.Enumerate
+module Sem = Memrel_machine.Semantics
+module Model = Memrel_memmodel.Model
+
+let families =
+  [ Model.Sequential_consistency; Model.Total_store_order; Model.Partial_store_order;
+    Model.Weak_ordering ]
+
+let test_corpus_well_formed () =
+  Alcotest.(check int) "twelve tests" 12 (List.length L.all);
+  List.iter
+    (fun (t : L.t) ->
+      Alcotest.(check bool) (t.name ^ " has threads") true (List.length t.programs >= 1);
+      Alcotest.(check bool) (t.name ^ " has description") true (String.length t.description > 0))
+    L.all
+
+let test_find () =
+  Alcotest.(check string) "finds sb" "sb" (L.find "sb").L.name;
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (L.find "nonexistent"))
+
+(* The heart of the operational validation: every corpus expectation must
+   hold under exhaustive enumeration for every model. One alcotest case per
+   (test, model) pair so failures localize. *)
+let verdict_cases =
+  List.concat_map
+    (fun (t : L.t) ->
+      List.map
+        (fun family ->
+          let name =
+            Printf.sprintf "%s under %s" t.L.name
+              (match family with
+               | Model.Sequential_consistency -> "SC"
+               | Model.Total_store_order -> "TSO"
+               | Model.Partial_store_order -> "PSO"
+               | Model.Weak_ordering -> "WO"
+               | Model.Custom -> "custom")
+          in
+          Alcotest.test_case name `Quick (fun () ->
+              let v = L.check t family in
+              if not v.agrees then
+                Alcotest.fail
+                  (Printf.sprintf "observed_relaxed=%b expected=%b" v.observed_relaxed
+                     v.expected_relaxed)))
+        families)
+    L.all
+
+let test_outcome_monotonicity () =
+  (* weaker models can only ADD outcomes: SC outcomes must be a subset of
+     every other model's outcome set *)
+  List.iter
+    (fun (t : L.t) ->
+      let outcomes family =
+        List.map fst (L.run_exhaustive t family).E.outcomes
+      in
+      let sc = outcomes Model.Sequential_consistency in
+      List.iter
+        (fun f ->
+          let other = outcomes f in
+          List.iter
+            (fun o ->
+              if not (List.mem o other) then
+                Alcotest.fail (Printf.sprintf "%s: SC outcome missing under weaker model" t.name))
+            sc)
+        [ Model.Total_store_order; Model.Partial_store_order; Model.Weak_ordering ])
+    L.all
+
+let test_inc_outcomes () =
+  (* the canonical bug: exactly {x=1, x=2} are reachable under every model *)
+  List.iter
+    (fun f ->
+      let r = L.run_exhaustive (L.find "inc") f in
+      let outcomes = List.map fst r.E.outcomes in
+      Alcotest.(check int) "two outcomes" 2 (List.length outcomes);
+      Alcotest.(check bool) "x=1 reachable" true (List.mem [ ("x", 1) ] outcomes);
+      Alcotest.(check bool) "x=2 reachable" true (List.mem [ ("x", 2) ] outcomes))
+    families
+
+let test_sb_outcome_sets () =
+  (* SC allows exactly 3 of the 4 (r0, r1) combinations; relaxed models all 4 *)
+  let count f = List.length (L.run_exhaustive (L.find "sb") f).E.outcomes in
+  Alcotest.(check int) "SC" 3 (count Model.Sequential_consistency);
+  Alcotest.(check int) "TSO" 4 (count Model.Total_store_order);
+  Alcotest.(check int) "WO" 4 (count Model.Weak_ordering)
+
+let test_inc_atomic_fixes_bug () =
+  (* the RMW version: x = 2 is the ONLY outcome under every model *)
+  List.iter
+    (fun f ->
+      let r = L.run_exhaustive (L.find "inc+rmw") f in
+      match r.E.outcomes with
+      | [ (o, _) ] -> Alcotest.(check (list (pair string int))) "only x=2" [ ("x", 2) ] o
+      | l -> Alcotest.fail (Printf.sprintf "expected one outcome, got %d" (List.length l)))
+    families
+
+let test_increment_n () =
+  (* n = 2 must coincide with the corpus inc; outcomes of inc_n are exactly
+     x in {1 .. n} under SC *)
+  let t3 = L.increment_n 3 in
+  let r = L.run_exhaustive t3 Model.Sequential_consistency in
+  let outcomes = List.map fst r.E.outcomes in
+  Alcotest.(check int) "three outcomes" 3 (List.length outcomes);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (Printf.sprintf "x=%d reachable" v) true
+        (List.mem [ ("x", v) ] outcomes))
+    [ 1; 2; 3 ];
+  (* the maximal-loss outcome x = 1 stays reachable under every model *)
+  List.iter
+    (fun f ->
+      let v = L.check t3 f in
+      Alcotest.(check bool) "x=1 reachable" true v.observed_relaxed)
+    families;
+  Alcotest.check_raises "n=1 rejected" (Invalid_argument "Litmus.increment_n: n >= 2 required")
+    (fun () -> ignore (L.increment_n 1))
+
+let test_window_parameter_matters () =
+  (* with window 1, WO degrades to in-order issue: LB's relaxed outcome
+     disappears *)
+  let v = L.check ~window:1 (L.find "lb") Model.Weak_ordering in
+  Alcotest.(check bool) "window=1 forbids LB" false v.observed_relaxed
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("corpus well-formed", test_corpus_well_formed);
+      ("find", test_find);
+      ("SC outcomes subset of weaker models", test_outcome_monotonicity);
+      ("inc outcome set", test_inc_outcomes);
+      ("sb outcome counts", test_sb_outcome_sets);
+      ("inc+rmw single outcome", test_inc_atomic_fixes_bug);
+      ("increment_n", test_increment_n);
+      ("WO window parameter", test_window_parameter_matters);
+    ]
+  @ verdict_cases

@@ -1,0 +1,44 @@
+(* The .litmus files shipped under examples/litmus/ must parse and behave as
+   their header comments claim. The dune stanza copies them next to the test
+   binary. *)
+
+module P = Memrel_machine.Parse
+module L = Memrel_machine.Litmus
+module E = Memrel_machine.Enumerate
+module Model = Memrel_memmodel.Model
+
+let read path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let reachable t family =
+  List.mem_assoc t.L.relaxed_outcome (L.run_exhaustive t family).E.outcomes
+
+let families =
+  [ Model.Sequential_consistency; Model.Total_store_order; Model.Partial_store_order;
+    Model.Weak_ordering ]
+
+let check_file file expected_reachable () =
+  let t = P.parse (read file) in
+  List.iter2
+    (fun family expected ->
+      let got = reachable t family in
+      if got <> expected then
+        Alcotest.fail
+          (Printf.sprintf "%s: expected reachable=%b got %b" t.L.name expected got))
+    families expected_reachable
+
+let suite =
+  [
+    Alcotest.test_case "dekker entry broken from TSO up" `Quick
+      (check_file "litmus_files/dekker_attempt.litmus" [ false; true; true; true ]);
+    Alcotest.test_case "dekker entry fixed by full fences" `Quick
+      (check_file "litmus_files/dekker_fenced.litmus" [ false; false; false; false ]);
+    Alcotest.test_case "seqlock torn read from PSO up" `Quick
+      (check_file "litmus_files/seqlock_read.litmus" [ false; false; true; true ]);
+    Alcotest.test_case "atomic tickets never duplicate" `Quick
+      (check_file "litmus_files/ticket_counter.litmus" [ false; false; false; false ]);
+  ]

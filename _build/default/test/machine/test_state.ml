@@ -1,0 +1,61 @@
+module State = Memrel_machine.State
+module I = Memrel_machine.Instr
+
+let test_init_defaults () =
+  let st = State.init ~programs:[ [| I.load ~reg:0 ~loc:0 |] ] ~initial_mem:[ (3, 7) ] in
+  Alcotest.(check int) "initial binding" 7 (State.mem_read st 3);
+  Alcotest.(check int) "unwritten loc reads 0" 0 (State.mem_read st 99);
+  Alcotest.(check int) "register default 0" 0 (State.reg st.State.threads.(0) 5);
+  Alcotest.(check bool) "nothing executed" false (State.is_executed st.State.threads.(0) 0);
+  Alcotest.(check int) "next = 0" 0 (State.next_unexecuted st.State.threads.(0))
+
+let test_program_length_cap () =
+  Alcotest.check_raises "61 instructions rejected" (Invalid_argument "State.init: program too long")
+    (fun () ->
+      ignore (State.init ~programs:[ Array.make 61 (I.load ~reg:0 ~loc:0) ] ~initial_mem:[]))
+
+let test_thread_done () =
+  let st = State.init ~programs:[ [||] ] ~initial_mem:[] in
+  Alcotest.(check bool) "empty program done" true (State.thread_done st.State.threads.(0));
+  Alcotest.(check bool) "all done" true (State.all_done st)
+
+let test_buffered_reads () =
+  let st = State.init ~programs:[ [||] ] ~initial_mem:[] in
+  let th = { (st.State.threads.(0)) with State.fifo = [ (0, 1); (1, 5); (0, 2) ] } in
+  Alcotest.(check (option int)) "newest wins" (Some 2) (State.buffered_read_fifo th 0);
+  Alcotest.(check (option int)) "other loc" (Some 5) (State.buffered_read_fifo th 1);
+  Alcotest.(check (option int)) "absent" None (State.buffered_read_fifo th 9);
+  let th2 =
+    { (st.State.threads.(0)) with State.perloc = State.IntMap.add 0 [ 1; 2 ] State.IntMap.empty }
+  in
+  Alcotest.(check (option int)) "perloc newest is last" (Some 2) (State.buffered_read_perloc th2 0);
+  Alcotest.(check (option int)) "perloc absent" None (State.buffered_read_perloc th2 1)
+
+let test_key_canonical () =
+  (* zero-valued writes must not split states *)
+  let st = State.init ~programs:[ [||] ] ~initial_mem:[] in
+  let st_explicit_zero = { st with State.mem = State.IntMap.add 0 0 st.State.mem } in
+  Alcotest.(check string) "zero binding same key" (State.key st) (State.key st_explicit_zero);
+  let st_one = { st with State.mem = State.IntMap.add 0 1 st.State.mem } in
+  Alcotest.(check bool) "different values different keys" true
+    (State.key st <> State.key st_one)
+
+let test_key_distinguishes_buffers () =
+  let st = State.init ~programs:[ [||] ] ~initial_mem:[] in
+  let with_fifo =
+    { st with
+      State.threads = [| { (st.State.threads.(0)) with State.fifo = [ (0, 1) ] } |] }
+  in
+  Alcotest.(check bool) "buffer state in key" true (State.key st <> State.key with_fifo)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("init defaults", test_init_defaults);
+      ("program length cap", test_program_length_cap);
+      ("thread_done", test_thread_done);
+      ("buffered reads", test_buffered_reads);
+      ("canonical keys", test_key_canonical);
+      ("keys distinguish buffers", test_key_distinguishes_buffers);
+    ]

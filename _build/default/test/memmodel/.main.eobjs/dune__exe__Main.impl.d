@@ -1,0 +1,1 @@
+test/memmodel/main.ml: Alcotest Test_model Test_op

@@ -1,0 +1,1 @@
+test/memmodel/main.mli:

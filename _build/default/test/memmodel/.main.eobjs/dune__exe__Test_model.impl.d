@@ -1,0 +1,1 @@
+test/memmodel/test_model.ml: Alcotest Astring List Memrel_memmodel String

@@ -1,0 +1,1 @@
+test/memmodel/test_op.ml: Alcotest List Memrel_memmodel String

@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "memrel_memmodel"
+    [ ("op", Test_op.suite); ("model", Test_model.suite) ]

@@ -1,0 +1,1 @@
+test/prob/main.ml: Alcotest Test_bigint Test_combinatorics Test_dist Test_interval Test_logspace Test_rational Test_rng Test_series Test_stats

@@ -1,0 +1,1 @@
+test/prob/main.mli:

@@ -1,0 +1,1 @@
+test/prob/test_bigint.ml: Alcotest Float Gen List Memrel_prob Printf QCheck QCheck_alcotest String

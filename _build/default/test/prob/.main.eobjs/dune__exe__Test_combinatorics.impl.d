@@ -1,0 +1,1 @@
+test/prob/test_combinatorics.ml: Alcotest Array Float List Memrel_prob Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/prob/test_dist.ml: Alcotest Array Float Gen List Memrel_prob QCheck QCheck_alcotest

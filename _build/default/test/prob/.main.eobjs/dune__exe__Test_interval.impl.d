@@ -1,0 +1,1 @@
+test/prob/test_interval.ml: Alcotest Float List Memrel_prob Printf QCheck QCheck_alcotest

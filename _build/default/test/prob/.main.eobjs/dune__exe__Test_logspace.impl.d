@@ -1,0 +1,1 @@
+test/prob/test_logspace.ml: Alcotest Float List Memrel_prob QCheck QCheck_alcotest

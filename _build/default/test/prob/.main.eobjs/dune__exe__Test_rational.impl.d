@@ -1,0 +1,1 @@
+test/prob/test_rational.ml: Alcotest Float List Memrel_prob QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/prob/test_rng.ml: Alcotest Array Float Hashtbl Int64 List Memrel_prob Option Printf

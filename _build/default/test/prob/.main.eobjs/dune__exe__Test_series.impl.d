@@ -1,0 +1,1 @@
+test/prob/test_series.ml: Alcotest Float Gen List Memrel_prob QCheck QCheck_alcotest

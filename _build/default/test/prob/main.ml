@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "memrel_prob"
+    [
+      ("bigint", Test_bigint.suite);
+      ("rational", Test_rational.suite);
+      ("rng", Test_rng.suite);
+      ("combinatorics", Test_combinatorics.suite);
+      ("stats", Test_stats.suite);
+      ("series", Test_series.suite);
+      ("logspace", Test_logspace.suite);
+      ("interval", Test_interval.suite);
+      ("dist", Test_dist.suite);
+    ]

@@ -1,0 +1,94 @@
+module D = Memrel_prob.Dist
+module Q = Memrel_prob.Rational
+module Rng = Memrel_prob.Rng
+
+let test_geometric_half_pmf () =
+  Alcotest.(check (float 1e-12)) "k=0" 0.5 (D.geometric_half_pmf 0);
+  Alcotest.(check (float 1e-12)) "k=3" 0.0625 (D.geometric_half_pmf 3);
+  Alcotest.(check (float 1e-12)) "negative" 0.0 (D.geometric_half_pmf (-1));
+  Alcotest.(check bool) "rational k=4" true (Q.equal (Q.pow2 (-5)) (D.geometric_half_pmf_q 4))
+
+let test_pmf_sums_to_one () =
+  let s = ref 0.0 in
+  for k = 0 to 60 do
+    s := !s +. D.geometric_half_pmf k
+  done;
+  Alcotest.(check (float 1e-12)) "mass 1" 1.0 !s
+
+let test_survival () =
+  Alcotest.(check (float 1e-12)) "sf 0" 1.0 (D.geometric_half_sf 0);
+  Alcotest.(check (float 1e-12)) "sf 3" 0.125 (D.geometric_half_sf 3);
+  Alcotest.(check (float 1e-12)) "sf negative" 1.0 (D.geometric_half_sf (-2));
+  (* sf(k) = sum_{j>=k} pmf(j), spot check *)
+  let tail = ref 0.0 in
+  for j = 5 to 80 do
+    tail := !tail +. D.geometric_half_pmf j
+  done;
+  Alcotest.(check (float 1e-12)) "sf consistent" (D.geometric_half_sf 5) !tail
+
+let test_geometric_pmf_general () =
+  Alcotest.(check (float 1e-12)) "p=0.25 k=2" (0.75 *. 0.75 *. 0.25) (D.geometric_pmf ~p:0.25 2)
+
+let test_categorical () =
+  let rng = Rng.create 3 in
+  let w = [| 1.0; 0.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 40_000 do
+    let i = D.sample_categorical rng w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never drawn" 0 counts.(1);
+  Alcotest.(check (float 0.02)) "ratio 1:3" 0.25 (float_of_int counts.(0) /. 40_000.0);
+  Alcotest.check_raises "all-zero weights"
+    (Invalid_argument "Dist.sample_categorical: weights must have positive sum") (fun () ->
+      ignore (D.sample_categorical rng [| 0.0; 0.0 |]))
+
+let test_pmf_ops () =
+  let pmf = [ (0, Q.of_ints 1 3); (1, Q.of_ints 1 3); (0, Q.of_ints 1 3) ] in
+  let merged = D.pmf_merge pmf in
+  Alcotest.(check int) "merged size" 2 (List.length merged);
+  Alcotest.(check bool) "merged mass at 0" true (Q.equal (Q.of_ints 2 3) (List.assoc 0 merged));
+  Alcotest.(check bool) "total" true (Q.equal Q.one (D.pmf_total merged));
+  let e = D.pmf_expect merged (fun v -> Q.of_int v) in
+  Alcotest.(check bool) "expectation 1/3" true (Q.equal (Q.of_ints 1 3) e)
+
+let test_pmf_normalize () =
+  let pmf = [ (0, Q.one); (1, Q.one) ] in
+  let n = D.pmf_normalize pmf in
+  Alcotest.(check bool) "normalized" true (Q.equal Q.one (D.pmf_total n));
+  Alcotest.(check bool) "halved" true (Q.equal Q.half (List.assoc 0 n));
+  Alcotest.check_raises "zero mass" (Invalid_argument "Dist.pmf_normalize: zero total mass")
+    (fun () -> ignore (D.pmf_normalize [ (0, Q.zero) ]))
+
+let prop name ?(count = 100) gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let properties =
+  [
+    prop "sampler matches pmf mean" QCheck.(int_range 0 1000) (fun seed ->
+        let rng = Rng.create seed in
+        let n = 20_000 in
+        let s = ref 0 in
+        for _ = 1 to n do
+          s := !s + D.sample_geometric_half rng
+        done;
+        Float.abs ((float_of_int !s /. float_of_int n) -. 1.0) < 0.1);
+    prop "pmf_merge preserves total mass"
+      QCheck.(list_of_size (Gen.int_range 0 20) (pair (int_range 0 4) (int_range 0 100)))
+      (fun entries ->
+        let pmf = List.map (fun (v, w) -> (v, Q.of_ints w 100)) entries in
+        Q.equal (D.pmf_total pmf) (D.pmf_total (D.pmf_merge pmf)));
+  ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("geometric_half pmf", test_geometric_half_pmf);
+      ("pmf mass", test_pmf_sums_to_one);
+      ("survival function", test_survival);
+      ("general geometric pmf", test_geometric_pmf_general);
+      ("categorical sampling", test_categorical);
+      ("pmf merge/expect", test_pmf_ops);
+      ("pmf normalize", test_pmf_normalize);
+    ]
+  @ properties

@@ -1,0 +1,92 @@
+module I = Memrel_prob.Interval
+module Q = Memrel_prob.Rational
+
+let test_construction () =
+  let i = I.make 1.0 2.0 in
+  Alcotest.(check bool) "bounds" true (i.I.lo = 1.0 && i.I.hi = 2.0);
+  Alcotest.check_raises "crossed" (Invalid_argument "Interval.make: lo > hi") (fun () ->
+      ignore (I.make 2.0 1.0));
+  Alcotest.check_raises "nan" (Invalid_argument "Interval: not finite") (fun () ->
+      ignore (I.make Float.nan 1.0))
+
+let test_add_outward () =
+  (* 0.1 + 0.2 <> 0.3 in floats; the interval must still contain the real
+     sum 3/10 *)
+  let s = I.add (I.point 0.1) (I.point 0.2) in
+  let real = Q.to_float (Q.of_ints 3 10) in
+  Alcotest.(check bool) "contains 0.3" true (I.contains s real);
+  Alcotest.(check bool) "nontrivial width" true (I.width s > 0.0)
+
+let test_mul_signs () =
+  let a = I.make (-2.0) 3.0 and b = I.make (-1.0) 4.0 in
+  let p = I.mul a b in
+  (* true range is [-8, 12] *)
+  Alcotest.(check bool) "contains -8" true (I.contains p (-8.0));
+  Alcotest.(check bool) "contains 12" true (I.contains p 12.0);
+  Alcotest.(check bool) "tight-ish" true (p.I.lo > -8.001 && p.I.hi < 12.001)
+
+let test_div () =
+  let q = I.div (I.point 1.0) (I.make 2.0 4.0) in
+  Alcotest.(check bool) "range [1/4, 1/2]" true (I.contains q 0.25 && I.contains q 0.5);
+  Alcotest.check_raises "zero straddle" Division_by_zero (fun () ->
+      ignore (I.div I.one (I.make (-1.0) 1.0)))
+
+let test_of_rational_guaranteed () =
+  List.iter
+    (fun (n, d) ->
+      let q = Q.of_ints n d in
+      let i = I.of_rational q in
+      (* the rational provably inside: check via exact comparisons *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%d/%d" n d)
+        true
+        (Q.compare (Q.of_float_dyadic i.I.lo) q <= 0
+         && Q.compare q (Q.of_float_dyadic i.I.hi) <= 0))
+    [ (1, 3); (2, 3); (7, 54); (58, 441); (-5, 7); (1, 1) ]
+
+let test_pow2_exact () =
+  let i = I.pow2i (-10) in
+  Alcotest.(check (float 0.0)) "exact" (1.0 /. 1024.0) i.I.lo;
+  Alcotest.(check (float 0.0)) "degenerate" 0.0 (I.width i);
+  let j = I.mul_pow2i (I.make 1.0 3.0) (-1) in
+  Alcotest.(check (float 0.0)) "scale exact lo" 0.5 j.I.lo;
+  Alcotest.(check (float 0.0)) "scale exact hi" 1.5 j.I.hi
+
+let test_hull_subset () =
+  let a = I.make 0.0 1.0 and b = I.make 0.5 2.0 in
+  let h = I.hull a b in
+  Alcotest.(check bool) "hull contains both" true (I.subset a h && I.subset b h);
+  Alcotest.(check bool) "strict within" true (I.strictly_within a ~lo:(-0.1) ~hi:1.1);
+  Alcotest.(check bool) "not strict at boundary" false (I.strictly_within a ~lo:0.0 ~hi:1.1)
+
+let prop_arithmetic_soundness =
+  (* random rational arithmetic: interval result must contain the exact
+     rational result *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"interval ops enclose exact rational ops" ~count:500
+       QCheck.(quad (int_range (-100) 100) (int_range 1 100) (int_range (-100) 100)
+                 (int_range 1 100))
+       (fun (a, b, c, d) ->
+         let qa = Q.of_ints a b and qc = Q.of_ints c d in
+         let ia = I.of_rational qa and ic = I.of_rational qc in
+         let inside q i =
+           Q.compare (Q.of_float_dyadic i.I.lo) q <= 0
+           && Q.compare q (Q.of_float_dyadic i.I.hi) <= 0
+         in
+         inside (Q.add qa qc) (I.add ia ic)
+         && inside (Q.sub qa qc) (I.sub ia ic)
+         && inside (Q.mul qa qc) (I.mul ia ic)))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("construction", test_construction);
+      ("outward addition", test_add_outward);
+      ("multiplication signs", test_mul_signs);
+      ("division", test_div);
+      ("of_rational guaranteed", test_of_rational_guaranteed);
+      ("exact powers of two", test_pow2_exact);
+      ("hull and subset", test_hull_subset);
+    ]
+  @ [ prop_arithmetic_soundness ]

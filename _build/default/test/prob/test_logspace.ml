@@ -1,0 +1,87 @@
+module L = Memrel_prob.Logspace
+module Q = Memrel_prob.Rational
+
+let test_roundtrip () =
+  List.iter
+    (fun f ->
+      Alcotest.(check (float (f *. 1e-12))) (string_of_float f) f (L.to_float (L.of_float f)))
+    [ 1.0; 0.5; 0.001; 123456.0 ]
+
+let test_zero_one () =
+  Alcotest.(check (float 0.0)) "zero" 0.0 (L.to_float L.zero);
+  Alcotest.(check (float 0.0)) "one" 1.0 (L.to_float L.one);
+  Alcotest.(check (float 0.0)) "log2 one" 0.0 (L.log2 L.one)
+
+let test_mul_is_add () =
+  let a = L.of_float 0.25 and b = L.of_float 0.5 in
+  Alcotest.(check (float 1e-12)) "0.25 * 0.5" 0.125 (L.to_float (L.mul a b));
+  Alcotest.(check (float 0.0)) "zero absorbs" 0.0 (L.to_float (L.mul a L.zero))
+
+let test_add_lse () =
+  let a = L.of_float 0.25 and b = L.of_float 0.5 in
+  Alcotest.(check (float 1e-12)) "0.25 + 0.5" 0.75 (L.to_float (L.add a b));
+  Alcotest.(check (float 1e-12)) "identity" 0.25 (L.to_float (L.add a L.zero))
+
+let test_add_extreme_scales () =
+  (* adding 2^-900 to 2^-100 must not produce nan and must keep the bigger *)
+  let big = L.pow2 (-100.0) and small = L.pow2 (-900.0) in
+  let s = L.add big small in
+  Alcotest.(check (float 1e-9)) "dominated add" (-100.0) (L.log2 s)
+
+let test_sub () =
+  let a = L.of_float 0.75 and b = L.of_float 0.25 in
+  Alcotest.(check (float 1e-12)) "0.75 - 0.25" 0.5 (L.to_float (L.sub a b));
+  Alcotest.(check (float 0.0)) "self - self = 0" 0.0 (L.to_float (L.sub a a));
+  Alcotest.check_raises "negative result" (Invalid_argument "Logspace.sub: result would be negative")
+    (fun () -> ignore (L.sub b a))
+
+let test_pow () =
+  Alcotest.(check (float 1e-12)) "square" 0.25 (L.to_float (L.pow (L.of_float 0.5) 2.0));
+  Alcotest.(check (float 0.0)) "0^0 = 1" 1.0 (L.to_float (L.pow L.zero 0.0))
+
+let test_of_rational_underflow_regime () =
+  (* 2^-2000 underflows float entirely, but its log2 must be exact *)
+  let v = L.of_rational (Q.pow2 (-2000)) in
+  Alcotest.(check (float 1e-6)) "log2 2^-2000" (-2000.0) (L.log2 v);
+  let v = L.of_rational (Q.of_ints 7 54) in
+  Alcotest.(check (float 1e-9)) "7/54" (Float.log (7.0 /. 54.0) /. Float.log 2.0) (L.log2 v);
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Logspace.of_rational: negative")
+    (fun () -> ignore (L.of_rational (Q.of_ints (-1) 2)))
+
+let test_sum_list () =
+  let l = List.init 8 (fun _ -> L.of_float 0.125) in
+  Alcotest.(check (float 1e-12)) "8 * 1/8" 1.0 (L.to_float (L.sum l))
+
+let prop name ?(count = 200) gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
+
+let properties =
+  [
+    prop "add commutative" QCheck.(pair (float_range 1e-10 10.0) (float_range 1e-10 10.0))
+      (fun (a, b) ->
+        let x = L.of_float a and y = L.of_float b in
+        Float.abs (L.log2 (L.add x y) -. L.log2 (L.add y x)) < 1e-12);
+    prop "mul then div identity" QCheck.(pair (float_range 1e-10 10.0) (float_range 1e-10 10.0))
+      (fun (a, b) ->
+        let x = L.of_float a and y = L.of_float b in
+        Float.abs (L.log2 (L.div (L.mul x y) y) -. L.log2 x) < 1e-9);
+    prop "of_rational consistent with to_float" QCheck.(pair (int_range 1 10000) (int_range 1 10000))
+      (fun (n, d) ->
+        let q = Q.of_ints n d in
+        Float.abs (L.to_float (L.of_rational q) -. Q.to_float q) < 1e-9 *. Q.to_float q +. 1e-12);
+  ]
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("roundtrip", test_roundtrip);
+      ("zero and one", test_zero_one);
+      ("mul", test_mul_is_add);
+      ("add (log-sum-exp)", test_add_lse);
+      ("add across extreme scales", test_add_extreme_scales);
+      ("sub", test_sub);
+      ("pow", test_pow);
+      ("of_rational in underflow regime", test_of_rational_underflow_regime);
+      ("sum", test_sum_list);
+    ]
+  @ properties

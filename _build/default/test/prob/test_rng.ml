@@ -1,0 +1,170 @@
+module Rng = Memrel_prob.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* advancing a does not advance b *)
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  Alcotest.(check bool) "streams diverge after independent use" false (Int64.equal va vb)
+
+let test_split () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check int) "split streams unrelated" 0 !same
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "out of range"
+  done;
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 8 in
+    (* power-of-two path *)
+    if v < 0 || v >= 8 then Alcotest.fail "out of range (pow2)"
+  done
+
+let test_int_invalid () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.create 5 in
+  let n = 60_000 and k = 6 in
+  let counts = Array.make k 0 in
+  for _ = 1 to n do
+    let v = Rng.int rng k in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* chi-squared with 5 dof: 99.9% critical value ~ 20.5 *)
+  let expected = float_of_int n /. float_of_int k in
+  let chi2 =
+    Array.fold_left (fun acc c -> acc +. (((float_of_int c -. expected) ** 2.0) /. expected)) 0.0 counts
+  in
+  Alcotest.(check bool) (Printf.sprintf "chi2=%.2f < 20.5" chi2) true (chi2 < 20.5)
+
+let test_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    if not (f >= 0.0 && f < 1.0) then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 13 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  Alcotest.(check (float 0.01)) "mean ~ 0.5" 0.5 (!sum /. float_of_int n)
+
+let test_geometric_half_distribution () =
+  let rng = Rng.create 17 in
+  let n = 200_000 in
+  let counts = Hashtbl.create 32 in
+  for _ = 1 to n do
+    let k = Rng.geometric_half rng in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  (* Pr[k] = 2^-(k+1): check the first few cells within 3 sigma *)
+  for k = 0 to 4 do
+    let p = Float.pow 2.0 (float_of_int (-(k + 1))) in
+    let c = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+    let mean = p *. float_of_int n in
+    let sigma = Float.sqrt (mean *. (1.0 -. p)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "cell %d within 4 sigma" k)
+      true
+      (Float.abs (c -. mean) < 4.0 *. sigma)
+  done
+
+let test_geometric_general () =
+  let rng = Rng.create 19 in
+  let n = 100_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng 0.25
+  done;
+  (* mean of failures-before-success = (1-p)/p = 3 *)
+  Alcotest.(check (float 0.1)) "mean ~ 3" 3.0 (float_of_int !sum /. float_of_int n);
+  Alcotest.(check int) "p = 1 degenerate" 0 (Rng.geometric rng 1.0);
+  Alcotest.check_raises "p = 0 invalid" (Invalid_argument "Rng.geometric: p must be in (0,1]")
+    (fun () -> ignore (Rng.geometric rng 0.0))
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 23 in
+  let n = 100_000 in
+  let c = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr c
+  done;
+  Alcotest.(check (float 0.01)) "rate ~ 0.3" 0.3 (float_of_int !c /. float_of_int n)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 29 in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_shuffle_uniform_pairs () =
+  (* for a 3-element array, each of the 6 orders should appear ~1/6 *)
+  let rng = Rng.create 31 in
+  let counts = Hashtbl.create 6 in
+  let n = 60_000 in
+  for _ = 1 to n do
+    let a = [| 0; 1; 2 |] in
+    Rng.shuffle_in_place rng a;
+    let k = (a.(0) * 100) + (a.(1) * 10) + a.(2) in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  Alcotest.(check int) "all 6 orders seen" 6 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      Alcotest.(check bool) "roughly uniform" true
+        (Float.abs (float_of_int c -. (float_of_int n /. 6.0)) < 500.0))
+    counts
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("determinism", test_determinism);
+      ("seed sensitivity", test_seed_sensitivity);
+      ("copy independence", test_copy_independent);
+      ("split independence", test_split);
+      ("int bounds", test_int_bounds);
+      ("int invalid bound", test_int_invalid);
+      ("int uniformity (chi2)", test_int_uniformity);
+      ("float range", test_float_range);
+      ("float mean", test_float_mean);
+      ("geometric_half pmf", test_geometric_half_distribution);
+      ("geometric general", test_geometric_general);
+      ("bernoulli rate", test_bernoulli_rate);
+      ("shuffle permutes", test_shuffle_permutes);
+      ("shuffle uniform", test_shuffle_uniform_pairs);
+    ]

@@ -1,0 +1,1 @@
+test/settling/main.mli:

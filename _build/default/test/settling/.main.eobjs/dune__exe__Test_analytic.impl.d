@@ -1,0 +1,1 @@
+test/settling/test_analytic.ml: Alcotest Float Fmt Fun List Memrel_prob Memrel_settling Printf

@@ -1,0 +1,1 @@
+test/settling/test_analytic_general.ml: Alcotest Array Float List Memrel_interleave Memrel_memmodel Memrel_prob Memrel_settling Printf

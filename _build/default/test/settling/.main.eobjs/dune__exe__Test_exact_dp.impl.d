@@ -1,0 +1,1 @@
+test/settling/test_exact_dp.ml: Alcotest Float List Memrel_memmodel Memrel_prob Memrel_settling Printf

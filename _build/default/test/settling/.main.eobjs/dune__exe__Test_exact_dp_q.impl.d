@@ -1,0 +1,1 @@
+test/settling/test_exact_dp_q.ml: Alcotest Fmt List Memrel_memmodel Memrel_prob Memrel_settling Printf

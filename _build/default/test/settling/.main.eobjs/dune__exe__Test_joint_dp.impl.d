@@ -1,0 +1,1 @@
+test/settling/test_joint_dp.ml: Alcotest Array Float List Memrel_memmodel Memrel_prob Memrel_settling Printf

@@ -1,0 +1,1 @@
+test/settling/test_program.ml: Alcotest Array List Memrel_memmodel Memrel_prob Memrel_settling

@@ -1,0 +1,1 @@
+test/settling/test_settle.ml: Alcotest Array Fun List Memrel_memmodel Memrel_prob Memrel_settling QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/settling/test_verified.ml: Alcotest List Memrel_interleave Memrel_prob Memrel_settling Printf

@@ -1,0 +1,1 @@
+test/settling/test_window_mc.ml: Alcotest Array Float Hashtbl List Memrel_memmodel Memrel_prob Memrel_settling Printf

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "memrel_settling"
+    [
+      ("program", Test_program.suite);
+      ("settle", Test_settle.suite);
+      ("analytic", Test_analytic.suite);
+      ("analytic_general", Test_analytic_general.suite);
+      ("joint_dp", Test_joint_dp.suite);
+      ("verified", Test_verified.suite);
+      ("exact_dp", Test_exact_dp.suite);
+      ("exact_dp_q", Test_exact_dp_q.suite);
+      ("window_mc", Test_window_mc.suite);
+    ]

@@ -1,0 +1,258 @@
+module A = Memrel_settling.Analytic
+module Q = Memrel_prob.Rational
+
+let qt = Alcotest.testable (Fmt.of_to_string Q.to_string) Q.equal
+
+let test_theorem41_sc () =
+  Alcotest.check qt "gamma=0" Q.one (A.b_sc 0);
+  Alcotest.check qt "gamma=1" Q.zero (A.b_sc 1);
+  Alcotest.check qt "gamma=7" Q.zero (A.b_sc 7)
+
+let test_theorem41_wo () =
+  Alcotest.check qt "gamma=0 is 2/3" (Q.of_ints 2 3) (A.b_wo 0);
+  Alcotest.check qt "gamma=1 is 1/6" (Q.of_ints 1 6) (A.b_wo 1);
+  Alcotest.check qt "gamma=3 is 2^-3/3" (Q.of_ints 1 24) (A.b_wo 3);
+  (* total mass: 2/3 + sum 2^-g/3 = 2/3 + 1/3 = 1 *)
+  let mass = List.fold_left (fun acc g -> Q.add acc (A.b_wo g)) Q.zero (List.init 60 Fun.id) in
+  Alcotest.(check bool) "mass approaches 1" true
+    (Q.compare mass (Q.of_ints 99999 100000) > 0 && Q.compare mass Q.one <= 0)
+
+let test_theorem41_tso_bounds () =
+  Alcotest.check qt "lower gamma=0" (Q.of_ints 2 3) (A.b_tso_lower 0);
+  Alcotest.check qt "lower gamma=1 is 6/28" (Q.of_ints 3 14) (A.b_tso_lower 1);
+  Alcotest.check qt "upper gamma=1 adds (2/21)/2" (Q.add (Q.of_ints 3 14) (Q.of_ints 1 21))
+    (A.b_tso_upper 1);
+  for g = 1 to 12 do
+    Alcotest.(check bool) "lower <= upper" true (Q.compare (A.b_tso_lower g) (A.b_tso_upper g) <= 0)
+  done
+
+let test_tso_series_within_bounds () =
+  for g = 0 to 10 do
+    let s = A.b_tso_series g in
+    let lo = Q.to_float (A.b_tso_lower g) and hi = Q.to_float (A.b_tso_upper g) in
+    if not (s >= lo -. 1e-12 && s <= hi +. 1e-12) then
+      Alcotest.fail (Printf.sprintf "series at gamma=%d (%f) outside [%f, %f]" g s lo hi)
+  done
+
+let test_tso_series_known_values () =
+  (* cross-validated against the exact finite-m DP: gamma=1 is 5/21 *)
+  Alcotest.(check (float 1e-9)) "gamma=1 = 5/21" (5.0 /. 21.0) (A.b_tso_series 1);
+  Alcotest.(check (float 1e-9)) "gamma=0 = 2/3" (2.0 /. 3.0) (A.b_tso_series 0)
+
+let test_tso_series_mass () =
+  let mass = ref 0.0 in
+  for g = 0 to 40 do
+    mass := !mass +. A.b_tso_series g
+  done;
+  Alcotest.(check (float 1e-6)) "sums to 1" 1.0 !mass
+
+let test_claim43 () =
+  Alcotest.check qt "i=1 gives 1/2" Q.half (A.st_bottom_prob 1);
+  Alcotest.check qt "i=2 gives 5/8: 1/2 + 1/2*1/2*1/2" (Q.of_ints 5 8) (A.st_bottom_prob 2);
+  (* recurrence X_i = 1/2 + X_{i-1}/4 must hold *)
+  for i = 2 to 20 do
+    Alcotest.check qt
+      (Printf.sprintf "recurrence at %d" i)
+      (Q.add Q.half (Q.div (A.st_bottom_prob (i - 1)) (Q.of_int 4)))
+      (A.st_bottom_prob i)
+  done;
+  (* convergence to 2/3 *)
+  let d = Q.to_float (Q.sub A.st_bottom_limit (A.st_bottom_prob 30)) in
+  Alcotest.(check bool) "converges to 2/3" true (Float.abs d < 1e-15)
+
+let test_lemma42_h () =
+  Alcotest.check qt "h(1) = 4/7" (Q.of_ints 4 7) (A.h 1);
+  (* h increasing in mu *)
+  for mu = 1 to 20 do
+    Alcotest.(check bool) "h increasing" true (Q.compare (A.h mu) (A.h (mu + 1)) <= 0)
+  done;
+  (* h bounded above by its limit 8/7 - 1 + 2/3 = 17/21 *)
+  Alcotest.(check bool) "h < 17/21" true (Q.compare (A.h 30) (Q.of_ints 17 21) < 0)
+
+let test_lemma42_lower_bound () =
+  Alcotest.check qt "L0 = 1/3" (Q.of_ints 1 3) A.l0;
+  Alcotest.check qt "lower bound at mu=1 is (4/7)/2" (Q.of_ints 2 7) (A.l_mu_lower 1);
+  (* paper's weaker statement Pr[L_mu] >= (4/7) 2^-mu *)
+  for mu = 1 to 15 do
+    Alcotest.(check bool) "h-bound dominates 4/7 bound" true
+      (Q.compare (A.l_mu_lower mu) (Q.mul (Q.of_ints 4 7) (Q.pow2 (-mu))) >= 0)
+  done
+
+let test_lemma42_series_dominates_bound () =
+  for mu = 1 to 10 do
+    let series = A.l_mu_series mu in
+    let bound = Q.to_float (A.l_mu_lower mu) in
+    if series < bound -. 1e-12 then
+      Alcotest.fail (Printf.sprintf "series Pr[L_%d] = %g below its lower bound %g" mu series bound)
+  done
+
+let test_lemma42_mass () =
+  (* claim B.1: the lower bounds leave exactly R = 2/21 unattributed *)
+  Alcotest.check qt "R = 2/21" (Q.of_ints 2 21) A.remainder_mass;
+  (* the paper's Pr_l[L_mu] uses the uniform h(1) = 4/7 bound (Step 5) *)
+  let bound_mass =
+    Q.add A.l0
+      (Q.sum (List.init 60 (fun i -> Q.mul (Q.of_ints 4 7) (Q.pow2 (-(i + 1))))))
+  in
+  Alcotest.(check (float 1e-9)) "1 - sum of bounds = R" (Q.to_float A.remainder_mass)
+    (1.0 -. Q.to_float bound_mass);
+  (* the exact series attributes all mass *)
+  let series_mass =
+    Q.to_float A.l0 +. List.fold_left (fun acc mu -> acc +. A.l_mu_series mu) 0.0
+                         (List.init 60 (fun i -> i + 1))
+  in
+  Alcotest.(check (float 1e-9)) "series sums to 1" 1.0 series_mass
+
+let test_psi_pmf () =
+  (* Pr[Psi_mu = q] = 2^-(mu+q) C(mu+q-1, q) sums to 1 over q *)
+  List.iter
+    (fun mu ->
+      let mass = Q.sum (List.init 200 (fun q -> A.psi_pmf ~mu ~q)) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "mass mu=%d" mu) 1.0 (Q.to_float mass))
+    [ 1; 2; 3; 5 ];
+  Alcotest.check qt "mu=1 q=0" Q.half (A.psi_pmf ~mu:1 ~q:0);
+  Alcotest.check qt "mu=2 q=1: 2^-3 * C(2,1)" (Q.of_ints 1 4) (A.psi_pmf ~mu:2 ~q:1)
+
+let test_f_mu_given_q () =
+  (* q = 0: nothing to clear *)
+  Alcotest.(check (float 0.0)) "q=0" 1.0 (A.f_mu_given_q ~mu:3 ~q:0);
+  (* mu = 1: single ST above each LD; all q LDs clear independently: 2^-q *)
+  for q = 1 to 8 do
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "mu=1 q=%d" q)
+      (Float.pow 0.5 (float_of_int q))
+      (A.f_mu_given_q ~mu:1 ~q)
+  done;
+  (* claim 4.4: exact value dominates the partition lower bound *)
+  for mu = 1 to 6 do
+    for q = 1 to 6 do
+      let exact = A.f_mu_given_q ~mu ~q in
+      let lower = Q.to_float (A.f_mu_given_q_lower ~mu ~q) in
+      if exact < lower -. 1e-12 then
+        Alcotest.fail (Printf.sprintf "claim 4.4 violated at mu=%d q=%d" mu q)
+    done
+  done
+
+let test_f_mu_brute_force () =
+  (* enumerate all arrangements of q LDs below mu STs (uniform, ST on top)
+     and average 2^-Delta directly *)
+  let brute mu q =
+    (* choose for each LD how many STs are above it: c_j in [1..mu],
+       multiset; enumerate nondecreasing vectors *)
+    let total = ref 0.0 and count = ref 0 in
+    let rec go j lo acc =
+      if j = q then begin
+        total := !total +. Float.pow 2.0 (float_of_int (-acc));
+        incr count
+      end
+      else
+        for c = lo to mu do
+          go (j + 1) c (acc + c)
+        done
+    in
+    go 0 1 0;
+    (* arrangements are uniform over C(mu+q-1, q); multisets are not
+       equiprobable arrangements — weight each multiset by its multiplicity.
+       Easier: enumerate ordered vectors instead. *)
+    ignore !count;
+    !total
+  in
+  ignore brute;
+  (* ordered enumeration: each LD independently has some number of STs above
+     it, but orderings of LDs are indistinct; enumerate arrangements as
+     bitstrings: mu STs and q LDs with a ST first. Delta = per-LD count of
+     STs above. *)
+  let brute_arrangements mu q =
+    let n = mu + q - 1 in
+    (* strings after the leading ST: choose positions of the q LDs *)
+    let total = ref 0.0 and count = ref 0 in
+    let rec go idx st_seen lds_left delta =
+      if idx = n then begin
+        if lds_left = 0 then begin
+          total := !total +. Float.pow 2.0 (float_of_int (-delta));
+          incr count
+        end
+      end
+      else begin
+        (* place a ST *)
+        if st_seen + 1 <= mu - 1 then go (idx + 1) (st_seen + 1) lds_left delta;
+        (* place a LD: it has (1 + st_seen) STs above it *)
+        if lds_left > 0 then go (idx + 1) st_seen (lds_left - 1) (delta + 1 + st_seen)
+      end
+    in
+    go 0 0 q 0;
+    !total /. float_of_int !count
+  in
+  for mu = 1 to 5 do
+    for q = 1 to 5 do
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "mu=%d q=%d" mu q)
+        (brute_arrangements mu q)
+        (A.f_mu_given_q ~mu ~q)
+    done
+  done
+
+let test_window_pmf () =
+  let pmf = A.window_pmf `WO ~gamma_max:5 in
+  Alcotest.(check int) "length" 6 (List.length pmf);
+  Alcotest.(check (float 1e-12)) "gamma=0" (2.0 /. 3.0) (List.assoc 0 pmf);
+  Alcotest.(check (float 1e-12)) "gamma=2" (1.0 /. 12.0) (List.assoc 2 pmf)
+
+let test_expect_pow2_window_closed_forms () =
+  (* k=1 values used by Theorem 6.2 *)
+  Alcotest.check qt "SC" (Q.of_ints 1 4) (A.expect_pow2_window_exact `SC ~k:1);
+  Alcotest.check qt "WO = 7/36" (Q.of_ints 7 36) (A.expect_pow2_window_exact `WO ~k:1);
+  Alcotest.check qt "TSO lower = 29/147" (Q.of_ints 29 147)
+    (A.expect_pow2_window_exact `TSO_lower ~k:1);
+  (* float series agrees with exact rational *)
+  List.iter
+    (fun w ->
+      for k = 1 to 4 do
+        let f = A.expect_pow2_window (w :> A.model_window) ~k in
+        let q = Q.to_float (A.expect_pow2_window_exact w ~k) in
+        if Float.abs (f -. q) > 1e-12 then Alcotest.fail "series vs closed form mismatch"
+      done)
+    [ `SC; `WO; `TSO_lower; `TSO_upper ]
+
+let test_expect_ordering_across_models () =
+  (* stricter models concentrate on small windows: E[2^-kGamma] largest for
+     SC, then TSO, then WO *)
+  for k = 1 to 5 do
+    let sc = A.expect_pow2_window `SC ~k in
+    let tso = A.expect_pow2_window `TSO_series ~k in
+    let wo = A.expect_pow2_window `WO ~k in
+    Alcotest.(check bool) "SC >= TSO" true (sc >= tso -. 1e-12);
+    Alcotest.(check bool) "TSO >= WO" true (tso >= wo -. 1e-12)
+  done
+
+let test_invalid_args () =
+  Alcotest.check_raises "negative gamma" (Invalid_argument "Analytic: gamma < 0") (fun () ->
+      ignore (A.b_wo (-1)));
+  Alcotest.check_raises "h(0)" (Invalid_argument "Analytic.h: mu >= 1 required") (fun () ->
+      ignore (A.h 0));
+  Alcotest.check_raises "k=0" (Invalid_argument "Analytic.expect_pow2_window: k >= 1 required")
+    (fun () -> ignore (A.expect_pow2_window `SC ~k:0))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("Theorem 4.1: SC", test_theorem41_sc);
+      ("Theorem 4.1: WO", test_theorem41_wo);
+      ("Theorem 4.1: TSO bounds", test_theorem41_tso_bounds);
+      ("TSO series within bounds", test_tso_series_within_bounds);
+      ("TSO series known values", test_tso_series_known_values);
+      ("TSO series total mass", test_tso_series_mass);
+      ("Claim 4.3 recurrence", test_claim43);
+      ("Lemma 4.2: h function", test_lemma42_h);
+      ("Lemma 4.2: lower bounds", test_lemma42_lower_bound);
+      ("Lemma 4.2: series dominates bound", test_lemma42_series_dominates_bound);
+      ("Claim B.1: remainder mass", test_lemma42_mass);
+      ("Psi pmf", test_psi_pmf);
+      ("F_mu|q exact and Claim 4.4", test_f_mu_given_q);
+      ("F_mu|q vs brute-force arrangements", test_f_mu_brute_force);
+      ("window pmf", test_window_pmf);
+      ("window transform closed forms", test_expect_pow2_window_closed_forms);
+      ("transform ordering across models", test_expect_ordering_across_models);
+      ("invalid arguments", test_invalid_args);
+    ]

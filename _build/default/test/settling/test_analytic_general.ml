@@ -1,0 +1,213 @@
+module G = Memrel_settling.Analytic_general
+module A = Memrel_settling.Analytic
+module D = Memrel_settling.Exact_dp
+module Model = Memrel_memmodel.Model
+module Q = Memrel_prob.Rational
+
+let grid = [ (0.3, 0.5); (0.7, 0.5); (0.5, 0.3); (0.5, 0.7); (0.3, 0.7); (0.7, 0.3) ]
+
+let test_reduces_to_paper_normal_form () =
+  for g = 0 to 8 do
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "WO g=%d" g)
+      (Q.to_float (A.b_wo g))
+      (G.b_wo ~s:0.5 g);
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "TSO g=%d" g)
+      (A.b_tso_series g)
+      (G.b_tso ~p:0.5 ~s:0.5 g)
+  done;
+  Alcotest.(check (float 1e-12)) "Claim 4.3 limit" (2.0 /. 3.0)
+    (G.st_bottom_limit ~p:0.5 ~s:0.5)
+
+let test_wo_matches_dp_on_grid () =
+  List.iter
+    (fun (p, s) ->
+      let dp = D.gamma_pmf ~p (Model.wo ~s ()) ~m:16 in
+      for g = 0 to 5 do
+        Alcotest.(check (float 5e-4))
+          (Printf.sprintf "p=%.1f s=%.1f g=%d" p s g)
+          (List.assoc g dp) (G.b_wo ~s g)
+      done)
+    grid
+
+let test_tso_matches_dp_on_grid () =
+  List.iter
+    (fun (p, s) ->
+      let dp = D.gamma_pmf ~p (Model.tso ~s ()) ~m:16 in
+      for g = 0 to 5 do
+        Alcotest.(check (float 5e-4))
+          (Printf.sprintf "p=%.1f s=%.1f g=%d" p s g)
+          (List.assoc g dp) (G.b_tso ~p ~s g)
+      done)
+    grid
+
+let test_st_bottom_matches_dp () =
+  List.iter
+    (fun (p, s) ->
+      Alcotest.(check (float 1e-4))
+        (Printf.sprintf "p=%.1f s=%.1f" p s)
+        (D.bottom_st_probability ~p (Model.tso ~s ()) ~m:16)
+        (G.st_bottom_limit ~p ~s))
+    grid
+
+let test_wo_mass_one () =
+  List.iter
+    (fun s ->
+      let mass = ref 0.0 in
+      for g = 0 to 200 do
+        mass := !mass +. G.b_wo ~s g
+      done;
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "s=%.2f" s) 1.0 !mass)
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+let test_tso_mass_one () =
+  List.iter
+    (fun (p, s) ->
+      let mass = ref 0.0 in
+      for g = 0 to 120 do
+        mass := !mass +. G.b_tso ~p ~s g
+      done;
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "p=%.1f s=%.1f" p s) 1.0 !mass)
+    [ (0.5, 0.5); (0.3, 0.7); (0.7, 0.3) ]
+
+let test_psi_pmf_normalizes () =
+  List.iter
+    (fun p ->
+      for mu = 1 to 4 do
+        let mass = ref 0.0 in
+        for q = 0 to 400 do
+          mass := !mass +. G.psi_pmf ~p ~mu ~q
+        done;
+        Alcotest.(check (float 1e-9)) (Printf.sprintf "p=%.2f mu=%d" p mu) 1.0 !mass
+      done)
+    [ 0.3; 0.5; 0.8 ]
+
+let test_f_reduces_to_half () =
+  for mu = 1 to 5 do
+    for q = 0 to 5 do
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "mu=%d q=%d" mu q)
+        (A.f_mu_given_q ~mu ~q)
+        (G.f_mu_given_q ~s:0.5 ~mu ~q)
+    done
+  done
+
+let test_s_monotonicity () =
+  (* larger swap probability shifts window mass upward: Pr[B_0] decreasing
+     in s for both models *)
+  let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+  let svals = [ 0.2; 0.4; 0.6; 0.8 ] in
+  List.iter
+    (fun (s1, s2) ->
+      Alcotest.(check bool) "WO B0 decreasing" true (G.b_wo ~s:s1 0 > G.b_wo ~s:s2 0);
+      Alcotest.(check bool) "TSO B0 decreasing" true
+        (G.b_tso ~p:0.5 ~s:s1 0 > G.b_tso ~p:0.5 ~s:s2 0))
+    (pairs svals)
+
+let test_ordering_flip_documented () =
+  (* the E12 finding: at p = 0.7 the TSO window is heavier-tailed than WO's
+     and the manifestation ordering flips *)
+  let e_tso = G.expect_pow2_window ~b:(G.b_tso ~p:0.7 ~s:0.5) ~k:1 in
+  let e_wo = G.expect_pow2_window ~b:(G.b_wo ~s:0.5) ~k:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "TSO %f < WO %f at p=0.7" e_tso e_wo)
+    true (e_tso < e_wo);
+  (* while at the normal form TSO is safer *)
+  let e_tso_half = G.expect_pow2_window ~b:(G.b_tso ~p:0.5 ~s:0.5) ~k:1 in
+  Alcotest.(check bool) "normal form: TSO safer" true (e_tso_half > e_wo)
+
+let test_pr_a_n2_transform () =
+  Alcotest.(check (float 1e-9)) "WO s=1/2 gives 7/54" (7.0 /. 54.0)
+    (G.pr_a_n2 ~b:(G.b_wo ~s:0.5));
+  Alcotest.(check (float 1e-9)) "TSO normal form ~ series value"
+    (Memrel_interleave.Analytic.pr_a_n2_tso_series ())
+    (G.pr_a_n2 ~b:(G.b_tso ~p:0.5 ~s:0.5))
+
+let test_fenced_wo_degenerate_cases () =
+  (* d = 0 is SC's point mass *)
+  Alcotest.(check (float 1e-12)) "d=0 gamma=0" 1.0 (G.b_wo_fenced ~s:0.5 ~d:0 0);
+  Alcotest.(check (float 1e-12)) "d=0 gamma=1" 0.0 (G.b_wo_fenced ~s:0.5 ~d:0 1);
+  (* a distant fence recovers fence-free WO *)
+  for g = 0 to 6 do
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "d=60 g=%d" g)
+      (G.b_wo ~s:0.5 g)
+      (G.b_wo_fenced ~s:0.5 ~d:60 g)
+  done;
+  (* support capped at d *)
+  Alcotest.(check (float 0.0)) "gamma > d impossible" 0.0 (G.b_wo_fenced ~s:0.5 ~d:3 4)
+
+let test_fenced_wo_mass_one () =
+  List.iter
+    (fun (s, d) ->
+      let mass = ref 0.0 in
+      for g = 0 to d do
+        mass := !mass +. G.b_wo_fenced ~s ~d g
+      done;
+      Alcotest.(check (float 1e-12)) (Printf.sprintf "s=%.2f d=%d" s d) 1.0 !mass)
+    [ (0.5, 0); (0.5, 1); (0.5, 5); (0.3, 4); (0.8, 7) ]
+
+let test_fenced_wo_vs_simulation () =
+  (* settle explicitly fenced programs and compare the empirical gamma pmf *)
+  let module Program = Memrel_settling.Program in
+  let module Settle = Memrel_settling.Settle in
+  let module Window = Memrel_settling.Window in
+  let module Op = Memrel_memmodel.Op in
+  let module Fence = Memrel_memmodel.Fence in
+  let rng = Memrel_prob.Rng.create 77 in
+  let d = 2 and m = 24 and trials = 60_000 in
+  let counts = Array.make (d + 1) 0 in
+  for _ = 1 to trials do
+    let base = Program.generate rng ~m in
+    let ops = Array.to_list (Program.ops base) in
+    let ops =
+      List.concat
+        (List.mapi
+           (fun i op -> if i = m - d then [ Op.fence Fence.Acquire; op ] else [ op ])
+           ops)
+    in
+    let prog = Program.of_ops ops in
+    let pi = Settle.run (Model.wo ()) rng prog in
+    let g = Window.gamma prog pi in
+    counts.(g) <- counts.(g) + 1
+  done;
+  for g = 0 to d do
+    let expected = G.b_wo_fenced ~s:0.5 ~d g in
+    let got = float_of_int counts.(g) /. float_of_int trials in
+    if Float.abs (got -. expected) > 0.01 then
+      Alcotest.fail (Printf.sprintf "g=%d: simulated %f vs closed form %f" g got expected)
+  done
+
+let test_fenced_wo_monotone_in_d () =
+  (* closer fences concentrate mass at gamma = 0 *)
+  let b0 d = G.b_wo_fenced ~s:0.5 ~d 0 in
+  Alcotest.(check bool) "decreasing in d" true (b0 0 > b0 1 && b0 1 > b0 2 && b0 2 > b0 5)
+
+let test_guards () =
+  Alcotest.check_raises "s=0" (Invalid_argument "Analytic_general: s must be in (0,1)")
+    (fun () -> ignore (G.b_wo ~s:0.0 1));
+  Alcotest.check_raises "p=1" (Invalid_argument "Analytic_general: p must be in (0,1)")
+    (fun () -> ignore (G.st_bottom_limit ~p:1.0 ~s:0.5))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("reduces to paper normal form", test_reduces_to_paper_normal_form);
+      ("WO matches DP on (p,s) grid", test_wo_matches_dp_on_grid);
+      ("TSO matches DP on (p,s) grid", test_tso_matches_dp_on_grid);
+      ("generalized Claim 4.3 vs DP", test_st_bottom_matches_dp);
+      ("WO mass one for any s", test_wo_mass_one);
+      ("TSO mass one on grid", test_tso_mass_one);
+      ("generalized Psi pmf normalizes", test_psi_pmf_normalizes);
+      ("F reduces to s=1/2", test_f_reduces_to_half);
+      ("monotone in s", test_s_monotonicity);
+      ("E12 ordering flip", test_ordering_flip_documented);
+      ("n=2 transform", test_pr_a_n2_transform);
+      ("fenced WO degenerate cases", test_fenced_wo_degenerate_cases);
+      ("fenced WO mass one", test_fenced_wo_mass_one);
+      ("fenced WO vs simulation", test_fenced_wo_vs_simulation);
+      ("fenced WO monotone in d", test_fenced_wo_monotone_in_d);
+      ("guards", test_guards);
+    ]

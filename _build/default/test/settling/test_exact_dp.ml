@@ -1,0 +1,166 @@
+module D = Memrel_settling.Exact_dp
+module A = Memrel_settling.Analytic
+module Model = Memrel_memmodel.Model
+module Q = Memrel_prob.Rational
+
+let pmf_mass pmf = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 pmf
+
+let test_mass_one () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun m ->
+          Alcotest.(check (float 1e-12))
+            (Printf.sprintf "%s m=%d" (Model.name model) m)
+            1.0
+            (pmf_mass (D.gamma_pmf model ~m)))
+        [ 0; 1; 5; 10 ])
+    Model.all_standard
+
+let test_sc_point_mass () =
+  let pmf = D.gamma_pmf Model.sc ~m:8 in
+  Alcotest.(check (float 0.0)) "gamma=0 mass 1" 1.0 (List.assoc 0 pmf);
+  Alcotest.(check (float 0.0)) "gamma=3 mass 0" 0.0 (List.assoc 3 pmf)
+
+let test_wo_matches_closed_form () =
+  (* WO's window law is program-independent, so even moderate m is already
+     essentially the m -> infinity closed form (truncation error ~ 2^-m) *)
+  let pmf = D.gamma_pmf (Model.wo ()) ~m:14 in
+  for g = 0 to 8 do
+    Alcotest.(check (float 1e-3))
+      (Printf.sprintf "gamma=%d" g)
+      (Q.to_float (A.b_wo g))
+      (List.assoc g pmf)
+  done
+
+let test_tso_matches_series () =
+  let pmf = D.gamma_pmf (Model.tso ()) ~m:16 in
+  for g = 0 to 6 do
+    Alcotest.(check (float 1e-4))
+      (Printf.sprintf "gamma=%d" g)
+      (A.b_tso_series g)
+      (List.assoc g pmf)
+  done
+
+let test_tso_gamma1_is_5_21 () =
+  (* independently computed exact limit value *)
+  let pmf = D.gamma_pmf (Model.tso ()) ~m:16 in
+  Alcotest.(check (float 1e-4)) "5/21" (5.0 /. 21.0) (List.assoc 1 pmf)
+
+let test_convergence_in_m () =
+  (* the finite-m distribution approaches the limit monotonically enough:
+     distance shrinks as m grows *)
+  let dist m =
+    let pmf = D.gamma_pmf (Model.tso ()) ~m in
+    List.fold_left
+      (fun acc (g, p) -> acc +. Float.abs (p -. A.b_tso_series g))
+      0.0
+      (List.filteri (fun i _ -> i <= 8) pmf)
+  in
+  let d8 = dist 8 and d12 = dist 12 and d16 = dist 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "d8=%g d12=%g d16=%g decreasing" d8 d12 d16)
+    true
+    (d8 >= d12 && d12 >= d16)
+
+let test_bottom_st_probability () =
+  (* Claim 4.3: the exact recurrence solution at each finite i *)
+  for m = 1 to 12 do
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "m=%d" m)
+      (Q.to_float (A.st_bottom_prob m))
+      (D.bottom_st_probability (Model.tso ()) ~m)
+  done
+
+let test_bottom_st_other_models () =
+  (* under SC nothing moves: bottom is ST with probability exactly p *)
+  Alcotest.(check (float 1e-12)) "SC p=1/2" 0.5 (D.bottom_st_probability Model.sc ~m:6);
+  Alcotest.(check (float 1e-12)) "SC p=0.3" 0.3 (D.bottom_st_probability ~p:0.3 Model.sc ~m:6);
+  (* under WO the settling dynamics are symmetric in LD/ST (every pair
+     relaxes with the same s), so the bottom instruction is a ST with
+     probability exactly p = 1/2 *)
+  Alcotest.(check (float 1e-12)) "WO symmetric: exactly 1/2" 0.5
+    (D.bottom_st_probability (Model.wo ()) ~m:10);
+  (* PSO shares TSO's bottom dynamics: ST/ST swaps preserve the pattern *)
+  Alcotest.(check (float 1e-12)) "PSO = TSO bottom-ST"
+    (D.bottom_st_probability (Model.tso ()) ~m:10)
+    (D.bottom_st_probability (Model.pso ()) ~m:10)
+
+let test_p_sweep () =
+  (* more stores in the program shrink TSO windows on average? no: more
+     stores give the critical load more to pass, growing windows. Check
+     direction: E[gamma] increasing in p under TSO. *)
+  let mean_gamma p =
+    List.fold_left (fun acc (g, pr) -> acc +. (float_of_int g *. pr)) 0.0
+      (D.gamma_pmf ~p (Model.tso ()) ~m:12)
+  in
+  let g03 = mean_gamma 0.3 and g05 = mean_gamma 0.5 and g07 = mean_gamma 0.7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "E[gamma] increasing in p: %.4f %.4f %.4f" g03 g05 g07)
+    true
+    (g03 < g05 && g05 < g07)
+
+let test_expect_pow2_window () =
+  let e = D.expect_pow2_window (Model.wo ()) ~m:14 ~k:1 in
+  Alcotest.(check (float 1e-3)) "WO k=1 ~ 7/36" (7.0 /. 36.0) e;
+  let e = D.expect_pow2_window Model.sc ~m:6 ~k:2 in
+  Alcotest.(check (float 1e-12)) "SC k=2 = 2^-4" 0.0625 e
+
+let test_claim_b2_all_matrices () =
+  (* Claim B.2 — the only ingredient Theorem 6.3 needs from the settling
+     side: Pr[B_0] >= 1/2 in EVERY memory model. Check it over the entire
+     16-point lattice of on/off reorder matrices at s = 1/2 (each matrix a
+     model in the footnote-3 sense). *)
+  for mask = 0 to 15 do
+    let v i = if mask land (1 lsl i) <> 0 then 0.5 else 0.0 in
+    let model =
+      Model.custom ~name:(Printf.sprintf "m%x" mask) ~st_st:(v 0) ~st_ld:(v 1) ~ld_st:(v 2)
+        ~ld_ld:(v 3)
+    in
+    let pmf = D.gamma_pmf model ~m:12 in
+    let b0 = List.assoc 0 pmf in
+    if b0 < 0.5 -. 1e-12 then
+      Alcotest.fail (Printf.sprintf "matrix %x: Pr[B_0] = %f < 1/2" mask b0)
+  done
+
+let test_random_matrix_dp_vs_mc () =
+  (* the DP and the sampler implement the same process for arbitrary
+     matrices, not just the named models *)
+  let rng = Memrel_prob.Rng.create 51 in
+  List.iter
+    (fun (st_st, st_ld, ld_st, ld_ld) ->
+      let model = Model.custom ~name:"rand" ~st_st ~st_ld ~ld_st ~ld_ld in
+      let dp = D.gamma_pmf model ~m:12 in
+      let mc = Memrel_settling.Mc.estimate ~m:12 ~trials:30_000 model rng in
+      for g = 0 to 2 do
+        let d = List.assoc g dp in
+        let m = try List.assoc g mc.gamma_pmf with Not_found -> 0.0 in
+        if Float.abs (d -. m) > 0.015 then
+          Alcotest.fail (Printf.sprintf "gamma=%d: dp %f vs mc %f" g d m)
+      done)
+    [ (0.25, 0.75, 0.1, 0.5); (0.9, 0.2, 0.4, 0.0); (0.0, 0.33, 0.0, 0.66) ]
+
+let test_guards () =
+  Alcotest.check_raises "m too big" (Invalid_argument "Exact_dp: m out of [0, max_m]") (fun () ->
+      ignore (D.gamma_pmf Model.sc ~m:(D.max_m + 1)));
+  Alcotest.check_raises "negative m" (Invalid_argument "Exact_dp: m out of [0, max_m]") (fun () ->
+      ignore (D.gamma_pmf Model.sc ~m:(-1)))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("mass one", test_mass_one);
+      ("SC point mass", test_sc_point_mass);
+      ("WO matches closed form", test_wo_matches_closed_form);
+      ("TSO matches exact series", test_tso_matches_series);
+      ("TSO gamma=1 is 5/21", test_tso_gamma1_is_5_21);
+      ("convergence in m", test_convergence_in_m);
+      ("Claim 4.3 at finite m", test_bottom_st_probability);
+      ("bottom ST under SC/WO", test_bottom_st_other_models);
+      ("p sweep direction", test_p_sweep);
+      ("window transform", test_expect_pow2_window);
+      ("Claim B.2 across all 16 matrices", test_claim_b2_all_matrices);
+      ("random matrices: DP vs MC", test_random_matrix_dp_vs_mc);
+      ("guards", test_guards);
+    ]

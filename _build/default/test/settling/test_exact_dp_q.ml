@@ -1,0 +1,99 @@
+module DQ = Memrel_settling.Exact_dp_q
+module D = Memrel_settling.Exact_dp
+module A = Memrel_settling.Analytic
+module Model = Memrel_memmodel.Model
+module Q = Memrel_prob.Rational
+
+let qt = Alcotest.testable (Fmt.of_to_string Q.to_string) Q.equal
+
+let test_mass_exactly_one () =
+  (* a rational identity, not an approximation *)
+  List.iter
+    (fun matrix ->
+      List.iter
+        (fun m ->
+          let mass = Q.sum (List.map snd (DQ.gamma_pmf matrix ~m)) in
+          Alcotest.check qt (Printf.sprintf "m=%d" m) Q.one mass)
+        [ 0; 1; 4; 8 ])
+    [ DQ.sc; DQ.tso (); DQ.pso (); DQ.wo () ]
+
+let test_tso_m1_by_hand () =
+  (* prefix is one instruction: 'S' w.p. 1/2 (the critical LD then passes it
+     w.p. 1/2) or 'L' (no movement). Pr[B_0] = 3/4, Pr[B_1] = 1/4. *)
+  let pmf = DQ.gamma_pmf (DQ.tso ()) ~m:1 in
+  Alcotest.check qt "B0" (Q.of_ints 3 4) (List.assoc 0 pmf);
+  Alcotest.check qt "B1" (Q.of_ints 1 4) (List.assoc 1 pmf)
+
+let test_wo_m1_by_hand () =
+  (* WO, m = 1: prefix X; critical LD climbs past X w.p. 1/2; if it did
+     (gamma-candidate 1), the critical ST climbs past X w.p. 1/2 too,
+     re-closing the window. Pr[B_1] = 1/2 * 1/2 = 1/4, Pr[B_0] = 3/4. *)
+  let pmf = DQ.gamma_pmf (DQ.wo ()) ~m:1 in
+  Alcotest.check qt "B0" (Q.of_ints 3 4) (List.assoc 0 pmf);
+  Alcotest.check qt "B1" (Q.of_ints 1 4) (List.assoc 1 pmf)
+
+let test_sc_point_mass () =
+  let pmf = DQ.gamma_pmf DQ.sc ~m:6 in
+  Alcotest.check qt "all mass at 0" Q.one (List.assoc 0 pmf)
+
+let test_matches_float_dp () =
+  List.iter
+    (fun (matrix, model) ->
+      let qpmf = DQ.gamma_pmf matrix ~m:10 in
+      let fpmf = D.gamma_pmf model ~m:10 in
+      List.iter2
+        (fun (g1, q) (g2, f) ->
+          Alcotest.(check int) "aligned" g1 g2;
+          Alcotest.(check (float 1e-13)) (Printf.sprintf "g=%d" g1) f (Q.to_float q))
+        qpmf fpmf)
+    [ (DQ.tso (), Model.tso ()); (DQ.pso (), Model.pso ()); (DQ.wo (), Model.wo ()) ]
+
+let test_claim43_rational_identity () =
+  (* Exact_dp_q at finite m equals the closed recurrence solution as a
+     rational identity *)
+  for m = 1 to 10 do
+    Alcotest.check qt (Printf.sprintf "m=%d" m) (A.st_bottom_prob m)
+      (DQ.bottom_st_probability (DQ.tso ()) ~m)
+  done
+
+let test_of_model_lossless () =
+  let matrix = DQ.of_model (Model.tso ~s:0.375 ()) in
+  let pmf = DQ.gamma_pmf matrix ~m:8 in
+  let fpmf = D.gamma_pmf (Model.tso ~s:0.375 ()) ~m:8 in
+  List.iter2
+    (fun (_, q) (_, f) -> Alcotest.(check (float 1e-13)) "dyadic lift" f (Q.to_float q))
+    pmf fpmf
+
+let test_general_s_exact () =
+  (* s = 1/3: non-dyadic rationals exercise the gcd paths; mass still 1 *)
+  let matrix = DQ.wo ~s:(Q.of_ints 1 3) () in
+  let pmf = DQ.gamma_pmf ~p:(Q.of_ints 1 3) matrix ~m:7 in
+  Alcotest.check qt "mass" Q.one (Q.sum (List.map snd pmf));
+  (* and matches the generalized closed form as m grows *)
+  let wo_closed g = Memrel_settling.Analytic_general.b_wo ~s:(1.0 /. 3.0) g in
+  List.iter
+    (fun g ->
+      Alcotest.(check (float 2e-3)) (Printf.sprintf "g=%d" g) (wo_closed g)
+        (Q.to_float (List.assoc g pmf)))
+    [ 0; 1; 2 ]
+
+let test_guards () =
+  Alcotest.check_raises "m cap" (Invalid_argument "Exact_dp_q: m out of [0, max_m]") (fun () ->
+      ignore (DQ.gamma_pmf DQ.sc ~m:(DQ.max_m + 1)));
+  Alcotest.check_raises "bad entry" (Invalid_argument "Exact_dp_q: st_ld out of [0,1]") (fun () ->
+      ignore (DQ.tso ~s:(Q.of_int 2) ()))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("mass exactly one", test_mass_exactly_one);
+      ("TSO m=1 by hand", test_tso_m1_by_hand);
+      ("WO m=1 by hand", test_wo_m1_by_hand);
+      ("SC point mass", test_sc_point_mass);
+      ("matches float DP", test_matches_float_dp);
+      ("Claim 4.3 as rational identity", test_claim43_rational_identity);
+      ("of_model lossless", test_of_model_lossless);
+      ("non-dyadic parameters", test_general_s_exact);
+      ("guards", test_guards);
+    ]

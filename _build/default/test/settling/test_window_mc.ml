@@ -1,0 +1,147 @@
+module Mc = Memrel_settling.Mc
+module A = Memrel_settling.Analytic
+module W = Memrel_settling.Window
+module Settle = Memrel_settling.Settle
+module Program = Memrel_settling.Program
+module Model = Memrel_memmodel.Model
+module Op = Memrel_memmodel.Op
+module Rng = Memrel_prob.Rng
+module Q = Memrel_prob.Rational
+
+let test_window_gamma_manual () =
+  (* identity permutation: adjacent critical pair, gamma = 0 *)
+  let prog = Program.of_kinds [ Op.ST; Op.ST; Op.LD ] in
+  let pi = Settle.run Model.sc (Rng.create 1) prog in
+  Alcotest.(check int) "gamma" 0 (W.gamma prog pi);
+  Alcotest.(check int) "length" 2 (W.length prog pi);
+  Alcotest.(check (pair int int)) "bounds" (3, 4) (W.bounds prog pi)
+
+let test_window_grows_under_tso () =
+  (* a block of STs directly above the critical load can host growth *)
+  let prog = Program.of_kinds [ Op.ST; Op.ST; Op.ST ] in
+  let rng = Rng.create 5 in
+  let seen = Hashtbl.create 8 in
+  for _ = 1 to 2000 do
+    let pi = Settle.run (Model.tso ()) rng prog in
+    Hashtbl.replace seen (W.gamma prog pi) true
+  done;
+  (* with three STs above, gammas 0..3 are all reachable *)
+  for g = 0 to 3 do
+    Alcotest.(check bool) (Printf.sprintf "gamma=%d reachable" g) true (Hashtbl.mem seen g)
+  done
+
+let test_estimate_sc () =
+  let rng = Rng.create 7 in
+  let e = Mc.estimate ~trials:2000 Model.sc rng in
+  Alcotest.(check (float 0.0)) "all mass at 0" 1.0 (List.assoc 0 e.gamma_pmf);
+  Alcotest.(check (float 0.0)) "mean gamma 0" 0.0 e.mean_gamma;
+  Alcotest.(check int) "trials recorded" 2000 e.trials
+
+let test_estimate_wo_matches_theorem () =
+  let rng = Rng.create 11 in
+  let e = Mc.estimate ~trials:100_000 (Model.wo ()) rng in
+  for g = 0 to 4 do
+    let expected = Q.to_float (A.b_wo g) in
+    let got = try List.assoc g e.gamma_pmf with Not_found -> 0.0 in
+    if Float.abs (got -. expected) > 0.01 then
+      Alcotest.fail (Printf.sprintf "WO gamma=%d: %f vs %f" g got expected)
+  done
+
+let test_estimate_tso_matches_series () =
+  let rng = Rng.create 13 in
+  let e = Mc.estimate ~trials:100_000 (Model.tso ()) rng in
+  for g = 0 to 4 do
+    let expected = A.b_tso_series g in
+    let got = try List.assoc g e.gamma_pmf with Not_found -> 0.0 in
+    if Float.abs (got -. expected) > 0.01 then
+      Alcotest.fail (Printf.sprintf "TSO gamma=%d: %f vs %f" g got expected)
+  done
+
+let test_probability_b_ci () =
+  let rng = Rng.create 17 in
+  let point, ci = Mc.probability_b ~trials:50_000 ~gamma:0 (Model.wo ()) rng in
+  Alcotest.(check bool) "point in ci" true (ci.lo <= point && point <= ci.hi);
+  Alcotest.(check bool) "2/3 in ci" true (ci.lo <= 2.0 /. 3.0 && 2.0 /. 3.0 <= ci.hi)
+
+let test_mean_gamma_ordering () =
+  (* stricter model, smaller expected window *)
+  let mean model seed = (Mc.estimate ~trials:30_000 model (Rng.create seed)).Mc.mean_gamma in
+  let sc = mean Model.sc 19 and tso = mean (Model.tso ()) 19 and wo = mean (Model.wo ()) 19 in
+  Alcotest.(check bool) (Printf.sprintf "%.3f <= %.3f <= %.3f" sc tso wo) true
+    (sc <= tso && tso <= wo)
+
+let test_pso_window_smaller_than_tso () =
+  (* footnote 4 omits the PSO analysis; under the settling semantics the
+     critical ST can re-absorb the STs the critical LD passed (ST/ST is
+     relaxed), so PSO windows are stochastically SMALLER than TSO windows.
+     Validate MC against the exact finite-m DP and the ordering. *)
+  let rng = Rng.create 23 in
+  let pso = Mc.estimate ~trials:60_000 (Model.pso ()) rng in
+  let dp = Memrel_settling.Exact_dp.gamma_pmf (Model.pso ()) ~m:16 in
+  for g = 0 to 3 do
+    let expected = List.assoc g dp in
+    let got = try List.assoc g pso.gamma_pmf with Not_found -> 0.0 in
+    if Float.abs (got -. expected) > 0.015 then
+      Alcotest.fail (Printf.sprintf "PSO gamma=%d: MC %f vs DP %f" g got expected)
+  done;
+  let pso0 = try List.assoc 0 pso.gamma_pmf with Not_found -> 0.0 in
+  Alcotest.(check bool) "PSO gamma=0 mass exceeds TSO's 2/3" true (pso0 > 2.0 /. 3.0)
+
+let test_small_m_truncation_bias () =
+  (* with tiny m the window cannot grow beyond m; the estimator should still
+     report a valid pmf *)
+  let rng = Rng.create 29 in
+  let e = Mc.estimate ~m:2 ~trials:5000 (Model.wo ()) rng in
+  let mass = List.fold_left (fun a (_, p) -> a +. p) 0.0 e.gamma_pmf in
+  Alcotest.(check (float 1e-9)) "mass 1" 1.0 mass;
+  List.iter (fun (g, _) -> Alcotest.(check bool) "gamma <= m" true (g <= 2)) e.gamma_pmf
+
+let test_goodness_of_fit_chi2 () =
+  (* full-distribution test, not just per-cell comparisons: bin the TSO MC
+     histogram against the exact series and run a chi-squared test at the
+     1% level *)
+  let rng = Rng.create 31 in
+  let trials = 120_000 in
+  let e = Mc.estimate ~trials (Model.tso ()) rng in
+  let cells = 6 in
+  let observed = Array.make (cells + 1) 0 in
+  List.iter
+    (fun (g, c) ->
+      let cell = if g >= cells then cells else g in
+      observed.(cell) <- observed.(cell) + c)
+    e.histogram.bins;
+  let expected =
+    Array.init (cells + 1) (fun cell ->
+        let p =
+          if cell < cells then A.b_tso_series cell
+          else 1.0 -. Memrel_prob.Series.sum_range A.b_tso_series 0 (cells - 1)
+        in
+        p *. float_of_int trials)
+  in
+  let chi2 = Memrel_prob.Stats.chi_squared ~observed ~expected in
+  let threshold = Memrel_prob.Stats.chi_squared_threshold_99 ~dof:cells in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.2f < %.2f (dof %d)" chi2 threshold cells)
+    true (chi2 < threshold)
+
+let test_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "trials 0" (Invalid_argument "Mc.estimate: trials must be positive")
+    (fun () -> ignore (Mc.estimate ~trials:0 Model.sc rng))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("window accessors", test_window_gamma_manual);
+      ("window grows under TSO", test_window_grows_under_tso);
+      ("estimate SC", test_estimate_sc);
+      ("estimate WO vs Theorem 4.1", test_estimate_wo_matches_theorem);
+      ("estimate TSO vs exact series", test_estimate_tso_matches_series);
+      ("probability_b interval", test_probability_b_ci);
+      ("mean gamma ordering", test_mean_gamma_ordering);
+      ("PSO window smaller than TSO (footnote 4)", test_pso_window_smaller_than_tso);
+      ("small-m truncation", test_small_m_truncation_bias);
+      ("chi-squared goodness of fit", test_goodness_of_fit_chi2);
+      ("invalid arguments", test_invalid);
+    ]

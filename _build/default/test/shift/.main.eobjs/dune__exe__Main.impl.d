@@ -1,0 +1,1 @@
+test/shift/main.ml: Alcotest Test_asymptotic Test_exact Test_process

@@ -1,0 +1,1 @@
+test/shift/main.mli:

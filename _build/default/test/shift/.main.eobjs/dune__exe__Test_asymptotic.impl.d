@@ -1,0 +1,1 @@
+test/shift/test_asymptotic.ml: Alcotest Float List Memrel_prob Memrel_shift Printf

@@ -1,0 +1,1 @@
+test/shift/test_exact.ml: Alcotest Array Float Fmt List Memrel_prob Memrel_shift Printf String

@@ -1,0 +1,1 @@
+test/shift/test_process.ml: Alcotest Array Float Gen List Memrel_prob Memrel_shift Printf QCheck QCheck_alcotest

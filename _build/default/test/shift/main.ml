@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "memrel_shift"
+    [
+      ("process", Test_process.suite);
+      ("exact", Test_exact.suite);
+      ("asymptotic", Test_asymptotic.suite);
+    ]

@@ -1,0 +1,237 @@
+module E = Memrel_shift.Exact
+module P = Memrel_shift.Process
+module Q = Memrel_prob.Rational
+module Rng = Memrel_prob.Rng
+
+let qt = Alcotest.testable (Fmt.of_to_string Q.to_string) Q.equal
+
+let test_c_values () =
+  Alcotest.check qt "c(1) = 2" Q.two (E.c 1);
+  Alcotest.check qt "c(2) = 8/3" (Q.of_ints 8 3) (E.c 2);
+  Alcotest.check qt "c(3) = 8/3 / (7/8) = 64/21" (Q.of_ints 64 21) (E.c 3)
+
+let test_c_range () =
+  (* Corollary 5.2: c(n) in [2, 4]; also monotone increasing *)
+  for n = 1 to 20 do
+    Alcotest.(check bool) "c >= 2" true (Q.compare (E.c n) Q.two >= 0);
+    Alcotest.(check bool) "c <= 4" true (Q.compare (E.c n) (Q.of_int 4) <= 0);
+    if n > 1 then
+      Alcotest.(check bool) "monotone" true (Q.compare (E.c (n - 1)) (E.c n) <= 0)
+  done
+
+let test_prefactor_consistency () =
+  (* prefactor n = c(n) 2^-C(n+1,2); re-derive via the Theorem 5.1 form
+     2^-(C(n+1,2)-1) / prod(1 - 2^-(n+1-i)) *)
+  for n = 1 to 8 do
+    let direct =
+      let denom = ref Q.one in
+      for i = 1 to n - 1 do
+        denom := Q.mul !denom (Q.sub Q.one (Q.pow2 (-(n + 1 - i))))
+      done;
+      Q.div (Q.pow2 (-((n * (n + 1) / 2) - 1))) !denom
+    in
+    Alcotest.check qt (Printf.sprintf "n=%d" n) direct (E.prefactor n)
+  done
+
+let test_n2_closed_form () =
+  for g1 = 0 to 5 do
+    for g2 = 0 to 5 do
+      let expected = Q.mul (Q.of_ints 1 3) (Q.add (Q.pow2 (-g1)) (Q.pow2 (-g2))) in
+      Alcotest.check qt (Printf.sprintf "(%d,%d)" g1 g2) expected
+        (E.disjoint_probability [| g1; g2 |])
+    done
+  done
+
+let test_symmetry_in_arguments () =
+  let p1 = E.disjoint_probability [| 1; 4; 2 |] in
+  let p2 = E.disjoint_probability [| 4; 2; 1 |] in
+  Alcotest.check qt "permutation invariant" p1 p2
+
+let test_monotone_in_lengths () =
+  (* longer segments are harder to separate *)
+  let p_small = E.disjoint_probability [| 1; 1; 1 |] in
+  let p_large = E.disjoint_probability [| 2; 1; 1 |] in
+  Alcotest.(check bool) "monotone" true (Q.compare p_large p_small < 0)
+
+let test_brute_force_small_n () =
+  (* exact enumeration over truncated shift space with rational tail-free
+     comparison: truncate at K where the tail is provably below the gap *)
+  let brute gammas =
+    let n = Array.length gammas in
+    let k = 40 in
+    let acc = ref Q.zero in
+    let shifts = Array.make n 0 in
+    let rec go i =
+      if i = n then begin
+        if P.disjoint ~shifts ~gammas then begin
+          let p = ref Q.one in
+          Array.iter (fun s -> p := Q.mul !p (Q.pow2 (-(s + 1)))) shifts;
+          acc := Q.add !acc !p
+        end
+      end
+      else
+        for s = 0 to k do
+          shifts.(i) <- s;
+          go (i + 1)
+        done
+    in
+    go 0;
+    !acc
+  in
+  List.iter
+    (fun gammas ->
+      let b = Q.to_float (brute gammas) in
+      let e = Q.to_float (E.disjoint_probability gammas) in
+      if Float.abs (b -. e) > 1e-9 then
+        Alcotest.fail
+          (Printf.sprintf "[%s]: brute %.12f vs exact %.12f"
+             (String.concat ";" (Array.to_list (Array.map string_of_int gammas)))
+             b e))
+    [ [| 0; 0 |]; [| 3; 2 |]; [| 3; 2; 5 |]; [| 0; 0; 0 |]; [| 1; 2; 3 |]; [| 2; 2; 2; 2 |] ]
+
+let test_mc_agreement_n4 () =
+  let g = [| 1; 0; 2; 1 |] in
+  let exact = Q.to_float (E.disjoint_probability g) in
+  let rng = Rng.create 99 in
+  let est, ci = P.estimate ~trials:300_000 rng g in
+  Alcotest.(check bool)
+    (Printf.sprintf "exact %f in ci [%f, %f] (est %f)" exact ci.lo ci.hi est)
+    true
+    (ci.lo -. 0.001 <= exact && exact <= ci.hi +. 0.001)
+
+let test_guard () =
+  Alcotest.check_raises "n=9 rejected" (Invalid_argument "Shift.Exact: n must be in [1, 8]")
+    (fun () -> ignore (E.disjoint_probability (Array.make 9 1)));
+  Alcotest.check_raises "negative length" (Invalid_argument "Shift.Exact: negative segment length")
+    (fun () -> ignore (E.disjoint_probability [| 1; -1 |]))
+
+let test_expect_pow2 () =
+  let pmf = [ (2, Q.half); (3, Q.half) ] in
+  (* E[2^-k Gamma] = (2^-2k + 2^-3k)/2 *)
+  Alcotest.check qt "k=1" (Q.of_ints 3 16) (E.expect_pow2 pmf ~k:1);
+  Alcotest.check qt "k=0 is total mass" Q.one (E.expect_pow2 pmf ~k:0)
+
+let test_symmetric_formula_vs_permutation_sum () =
+  (* for a deterministic length the two paths must agree exactly *)
+  List.iter
+    (fun len ->
+      let pmf = [ (len, Q.one) ] in
+      for n = 2 to 6 do
+        let sym = E.symmetric_disjoint_probability pmf ~n in
+        let perm = E.disjoint_probability (Array.make n len) in
+        Alcotest.check qt (Printf.sprintf "len=%d n=%d" len n) perm sym
+      done)
+    [ 0; 1; 2; 3 ]
+
+let test_symmetric_formula_mixture () =
+  (* two-point length law, n = 2: direct mixture over the four joint draws *)
+  let pmf = [ (1, Q.half); (3, Q.half) ] in
+  let direct =
+    Q.mul (Q.of_ints 1 4)
+      (Q.sum
+         [ E.disjoint_probability [| 1; 1 |]; E.disjoint_probability [| 1; 3 |];
+           E.disjoint_probability [| 3; 1 |]; E.disjoint_probability [| 3; 3 |] ])
+  in
+  Alcotest.check qt "mixture matches" direct (E.symmetric_disjoint_probability pmf ~n:2)
+
+let test_geom_reduces_to_half () =
+  List.iter
+    (fun g ->
+      Alcotest.check qt "q = 1/2 is the paper law" (E.disjoint_probability g)
+        (E.disjoint_probability_geom ~q:Q.half g))
+    [ [| 2; 2 |]; [| 3; 2; 5 |]; [| 0; 1; 2; 3 |]; [| 0; 0 |] ]
+
+let test_geom_brute_force () =
+  (* float accumulation: truncation at k = 90 leaves tails below 1e-9 even
+     at q = 2/3, well under the comparison tolerance *)
+  let brute q gammas =
+    let qf = Q.to_float q in
+    let n = Array.length gammas in
+    let acc = ref 0.0 in
+    let shifts = Array.make n 0 in
+    let pmf = Array.init 91 (fun k -> (1.0 -. qf) *. (qf ** float_of_int k)) in
+    let rec go i weight =
+      if i = n then begin
+        if P.disjoint ~shifts ~gammas then acc := !acc +. weight
+      end
+      else
+        for s = 0 to 90 do
+          shifts.(i) <- s;
+          go (i + 1) (weight *. pmf.(s))
+        done
+    in
+    go 0 1.0;
+    !acc
+  in
+  List.iter
+    (fun qv ->
+      List.iter
+        (fun g ->
+          let b = brute qv g in
+          let e = Q.to_float (E.disjoint_probability_geom ~q:qv g) in
+          if Float.abs (b -. e) > 1e-7 then
+            Alcotest.fail (Printf.sprintf "q=%s: %.9f vs %.9f" (Q.to_string qv) b e))
+        [ [| 2; 2 |]; [| 1; 2; 3 |] ])
+    [ Q.of_ints 1 4; Q.of_ints 1 3; Q.of_ints 2 3 ]
+
+let test_geom_monotone_in_q () =
+  (* more dispersion, fewer collisions: Pr[A] increasing in q *)
+  let g = [| 2; 2; 2 |] in
+  let pr q = Q.to_float (E.disjoint_probability_geom ~q g) in
+  let values = List.map pr [ Q.of_ints 1 4; Q.of_ints 1 2; Q.of_ints 3 4; Q.of_ints 9 10 ] in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "increasing in q" true (increasing values)
+
+let test_geom_mc_agreement () =
+  let rng = Rng.create 41 in
+  let g = [| 1; 3 |] in
+  let exact = Q.to_float (E.disjoint_probability_geom ~q:(Q.of_ints 7 10) g) in
+  let est, ci = P.estimate_geom ~q:0.7 ~trials:200_000 rng g in
+  Alcotest.(check bool)
+    (Printf.sprintf "exact %.5f in [%.5f, %.5f] (est %.5f)" exact ci.lo ci.hi est)
+    true
+    (ci.lo -. 0.003 <= exact && exact <= ci.hi +. 0.003)
+
+let test_geom_symmetric_consistency () =
+  let pmf = [ (1, Q.half); (3, Q.half) ] in
+  let q = Q.of_ints 2 5 in
+  let direct =
+    Q.mul (Q.of_ints 1 4)
+      (Q.sum
+         [ E.disjoint_probability_geom ~q [| 1; 1 |]; E.disjoint_probability_geom ~q [| 1; 3 |];
+           E.disjoint_probability_geom ~q [| 3; 1 |]; E.disjoint_probability_geom ~q [| 3; 3 |] ])
+  in
+  Alcotest.check qt "mixture" direct (E.symmetric_disjoint_probability_geom ~q pmf ~n:2)
+
+let test_geom_guards () =
+  Alcotest.check_raises "q = 1" (Invalid_argument "Shift.Exact: q must be strictly inside (0,1)")
+    (fun () -> ignore (E.disjoint_probability_geom ~q:Q.one [| 1; 1 |]));
+  Alcotest.check_raises "q = 0" (Invalid_argument "Shift.Exact: q must be strictly inside (0,1)")
+    (fun () -> ignore (E.prefactor_geom ~q:Q.zero 3))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("geom: reduces to q=1/2", test_geom_reduces_to_half);
+      ("geom: brute force", test_geom_brute_force);
+      ("geom: monotone in q", test_geom_monotone_in_q);
+      ("geom: MC agreement", test_geom_mc_agreement);
+      ("geom: Theorem 6.1 mixture", test_geom_symmetric_consistency);
+      ("geom: guards", test_geom_guards);
+      ("c(n) values", test_c_values);
+      ("c(n) in [2,4] (Cor 5.2)", test_c_range);
+      ("prefactor vs Theorem 5.1 form", test_prefactor_consistency);
+      ("n=2 closed form", test_n2_closed_form);
+      ("argument symmetry", test_symmetry_in_arguments);
+      ("monotone in lengths", test_monotone_in_lengths);
+      ("brute-force agreement", test_brute_force_small_n);
+      ("MC agreement n=4", test_mc_agreement_n4);
+      ("guards", test_guard);
+      ("expect_pow2", test_expect_pow2);
+      ("Theorem 6.1 degenerate case", test_symmetric_formula_vs_permutation_sum);
+      ("Theorem 6.1 mixture case", test_symmetric_formula_mixture);
+    ]

@@ -1,0 +1,118 @@
+module P = Memrel_shift.Process
+module Rng = Memrel_prob.Rng
+
+let test_disjoint_basic () =
+  Alcotest.(check bool) "separated" true
+    (P.disjoint ~shifts:[| 0; 5 |] ~gammas:[| 3; 2 |]);
+  Alcotest.(check bool) "overlapping" false
+    (P.disjoint ~shifts:[| 0; 2 |] ~gammas:[| 3; 2 |]);
+  Alcotest.(check bool) "touching endpoints overlap" false
+    (P.disjoint ~shifts:[| 0; 3 |] ~gammas:[| 3; 2 |]);
+  Alcotest.(check bool) "adjacent slots disjoint" true
+    (P.disjoint ~shifts:[| 0; 4 |] ~gammas:[| 3; 2 |])
+
+let test_disjoint_zero_length () =
+  (* zero-length segments occupy one slot; equal shifts collide *)
+  Alcotest.(check bool) "same point" false (P.disjoint ~shifts:[| 2; 2 |] ~gammas:[| 0; 0 |]);
+  Alcotest.(check bool) "neighbors ok" true (P.disjoint ~shifts:[| 2; 3 |] ~gammas:[| 0; 0 |])
+
+let test_disjoint_unsorted_input () =
+  (* order of segments must not matter *)
+  Alcotest.(check bool) "reversed" true (P.disjoint ~shifts:[| 5; 0 |] ~gammas:[| 2; 3 |]);
+  Alcotest.(check bool) "reversed collide" false (P.disjoint ~shifts:[| 2; 0 |] ~gammas:[| 2; 3 |])
+
+let test_disjoint_three () =
+  (* The paper's Figure 2 instance (gammas (3,2,5), shifts (8,0,2)) has
+     segments [0,2] and [2,7] touching at slot 2. Figure 2 calls this
+     disjoint, but Theorem 5.1's algebra — which this module implements and
+     which brute-force enumeration confirms — requires strict separation,
+     so under the theorem's convention A is violated. The half-open reading
+     the figure uses corresponds to closed segments one shorter. *)
+  Alcotest.(check bool) "figure 2 instance violates A under Theorem 5.1" false
+    (P.disjoint ~shifts:[| 8; 0; 2 |] ~gammas:[| 3; 2; 5 |]);
+  Alcotest.(check bool) "figure 2 instance disjoint under the half-open reading" true
+    (P.disjoint ~shifts:[| 8; 0; 2 |] ~gammas:[| 2; 1; 4 |]);
+  Alcotest.(check bool) "well-separated variant is disjoint" true
+    (P.disjoint ~shifts:[| 8; 0; 3 |] ~gammas:[| 3; 2; 4 |])
+
+let test_mismatch () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Process.disjoint: length mismatch")
+    (fun () -> ignore (P.disjoint ~shifts:[| 1 |] ~gammas:[| 1; 2 |]))
+
+let test_sample_fields () =
+  let rng = Rng.create 1 in
+  let s = P.sample rng [| 2; 3 |] in
+  Alcotest.(check int) "two shifts" 2 (Array.length s.shifts);
+  Array.iter (fun v -> Alcotest.(check bool) "nonnegative" true (v >= 0)) s.shifts;
+  Alcotest.(check bool) "flag consistent" (P.disjoint ~shifts:s.shifts ~gammas:[| 2; 3 |])
+    s.disjoint
+
+let test_sample_negative_length () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "negative gamma" (Invalid_argument "Process.sample: negative segment length")
+    (fun () -> ignore (P.sample rng [| -1 |]))
+
+let test_estimate_n2_closed_form () =
+  (* Pr[A(g1,g2)] = (2^-g1 + 2^-g2)/3 *)
+  let rng = Rng.create 42 in
+  List.iter
+    (fun (g1, g2) ->
+      let expected = (Float.pow 2.0 (float_of_int (-g1)) +. Float.pow 2.0 (float_of_int (-g2))) /. 3.0 in
+      let est, ci = P.estimate ~trials:200_000 rng [| g1; g2 |] in
+      if not (ci.lo -. 0.002 <= expected && expected <= ci.hi +. 0.002) then
+        Alcotest.fail (Printf.sprintf "(%d,%d): est %f vs %f" g1 g2 est expected))
+    [ (0, 0); (1, 1); (2, 2); (0, 3) ]
+
+let test_single_segment_always_disjoint () =
+  let rng = Rng.create 7 in
+  let est, _ = P.estimate ~trials:1000 rng [| 5 |] in
+  Alcotest.(check (float 0.0)) "trivially disjoint" 1.0 est
+
+let prop_disjoint_permutation_invariant =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"disjointness invariant under segment relabeling" ~count:300
+       QCheck.(pair (list_of_size (Gen.int_range 2 5) (int_range 0 6))
+                 (list_of_size (Gen.int_range 2 5) (int_range 0 10)))
+       (fun (gl, sl) ->
+         let n = min (List.length gl) (List.length sl) in
+         QCheck.assume (n >= 2);
+         let g = Array.of_list (List.filteri (fun i _ -> i < n) gl) in
+         let s = Array.of_list (List.filteri (fun i _ -> i < n) sl) in
+         let d1 = P.disjoint ~shifts:s ~gammas:g in
+         (* rotate both arrays together *)
+         let rot a = Array.init n (fun i -> a.((i + 1) mod n)) in
+         let d2 = P.disjoint ~shifts:(rot s) ~gammas:(rot g) in
+         d1 = d2))
+
+let prop_growing_segments_never_create_disjointness =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"growing a segment cannot make an overlapping family disjoint"
+       ~count:300
+       QCheck.(triple (list_of_size (Gen.int_range 2 4) (int_range 0 5))
+                 (list_of_size (Gen.int_range 2 4) (int_range 0 8))
+                 (int_range 0 3))
+       (fun (gl, sl, extra) ->
+         let n = min (List.length gl) (List.length sl) in
+         QCheck.assume (n >= 2);
+         let g = Array.of_list (List.filteri (fun i _ -> i < n) gl) in
+         let s = Array.of_list (List.filteri (fun i _ -> i < n) sl) in
+         let g_bigger = Array.map (fun x -> x + extra) g in
+         (* monotonicity: disjoint with bigger segments implies disjoint with
+            smaller ones *)
+         (not (P.disjoint ~shifts:s ~gammas:g_bigger)) || P.disjoint ~shifts:s ~gammas:g))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("disjoint basics", test_disjoint_basic);
+      ("zero-length segments", test_disjoint_zero_length);
+      ("unsorted input", test_disjoint_unsorted_input);
+      ("three segments", test_disjoint_three);
+      ("length mismatch", test_mismatch);
+      ("sample fields", test_sample_fields);
+      ("negative length rejected", test_sample_negative_length);
+      ("estimate matches n=2 closed form", test_estimate_n2_closed_form);
+      ("single segment", test_single_segment_always_disjoint);
+    ]
+  @ [ prop_disjoint_permutation_invariant; prop_growing_segments_never_create_disjointness ]

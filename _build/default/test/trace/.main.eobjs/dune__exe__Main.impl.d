@@ -1,0 +1,1 @@
+test/trace/main.ml: Alcotest Test_render

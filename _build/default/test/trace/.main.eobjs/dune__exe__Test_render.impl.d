@@ -1,0 +1,1 @@
+test/trace/test_render.ml: Alcotest Astring List Memrel_memmodel Memrel_prob Memrel_settling Memrel_trace String

@@ -1,0 +1,1 @@
+let () = Alcotest.run "memrel_trace" [ ("render", Test_render.suite) ]

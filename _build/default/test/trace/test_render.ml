@@ -1,0 +1,95 @@
+module R = Memrel_trace.Render
+module Program = Memrel_settling.Program
+module Settle = Memrel_settling.Settle
+module Model = Memrel_memmodel.Model
+module Op = Memrel_memmodel.Op
+module Rng = Memrel_prob.Rng
+
+let contains hay needle = Astring.String.is_infix ~affix:needle hay
+
+let test_figure1_structure () =
+  let prog = Program.of_kinds [ Op.ST; Op.LD; Op.ST ] in
+  let _, snaps = Settle.run_traced (Model.tso ()) (Rng.create 3) prog in
+  let fig = R.figure1 prog snaps in
+  (* one header per round plus init *)
+  Alcotest.(check bool) "has init column" true (contains fig "init");
+  Alcotest.(check bool) "has final round header" true (contains fig "r4");
+  (* 5 instruction rows after the 2 header lines *)
+  let lines = String.split_on_char '\n' fig in
+  Alcotest.(check int) "line count" (2 + 5 + 1) (List.length lines);
+  Alcotest.(check bool) "criticals highlighted" true (contains fig "*LD" && contains fig "*ST")
+
+let test_figure1_no_highlight () =
+  let prog = Program.of_kinds [ Op.ST ] in
+  let _, snaps = Settle.run_traced Model.sc (Rng.create 1) prog in
+  let fig = R.figure1 ~highlight_critical:false prog snaps in
+  Alcotest.(check bool) "no stars" false (contains fig "*")
+
+let test_figure1_random_deterministic () =
+  let a = R.figure1_random ~seed:9 (Model.tso ()) in
+  let b = R.figure1_random ~seed:9 (Model.tso ()) in
+  Alcotest.(check string) "same seed same figure" a b;
+  Alcotest.(check bool) "model named" true (contains a "TSO")
+
+let test_figure1_sc_never_moves () =
+  let fig = R.figure1_random ~m:5 ~seed:4 Model.sc in
+  (* under SC every settling stops where it starts: parenthesized cell is
+     always on the diagonal; cheap proxy: the final column equals the first.
+     Extract the first and last code columns of each instruction row. *)
+  let lines = String.split_on_char '\n' fig in
+  let rows = List.filteri (fun i _ -> i >= 3) lines in
+  List.iter
+    (fun row ->
+      if String.length row > 7 then begin
+        let first = String.trim (String.sub row 0 7) in
+        let last = String.trim (String.sub row (String.length row - 7) 7) in
+        let strip s = String.concat "" (String.split_on_char '(' (String.concat "" (String.split_on_char ')' s))) in
+        Alcotest.(check string) "row unchanged" (strip first) (strip last)
+      end)
+    rows
+
+let test_figure2_paper_instance () =
+  let fig = R.figure2_paper_instance () in
+  Alcotest.(check bool) "probability line" true (contains fig "2^-13");
+  Alcotest.(check bool) "both conventions reported" true
+    (contains fig "Theorem 5.1" && contains fig "half-open");
+  Alcotest.(check bool) "violated under closed" true (contains fig "violated");
+  Alcotest.(check bool) "holds under half-open" true (contains fig "holds");
+  Alcotest.(check bool) "segment lengths shown" true
+    (contains fig "g1=3" && contains fig "g2=2" && contains fig "g3=5")
+
+let test_figure2_occupancy () =
+  let fig = R.figure2 ~gammas:[| 1 |] ~shifts:[| 2 |] in
+  (* single segment occupying slots 2..3: two '#' marks (skip the legend
+     line, whose "#" is part of the key) *)
+  let body =
+    String.concat "\n" (List.tl (String.split_on_char '\n' fig))
+  in
+  let hashes = String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 body in
+  Alcotest.(check int) "two occupied slots" 2 hashes
+
+let test_figure2_mismatch () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Render.figure2: length mismatch")
+    (fun () -> ignore (R.figure2 ~gammas:[| 1 |] ~shifts:[| 1; 2 |]))
+
+let test_window_bar () =
+  let bar = R.window_bar [ (0, 0.5); (1, 0.25) ] ~width:8 in
+  Alcotest.(check bool) "longest bar full width" true (contains bar "########");
+  Alcotest.(check bool) "half bar" true (contains bar "####");
+  Alcotest.(check bool) "values printed" true (contains bar "0.500000");
+  Alcotest.check_raises "width guard" (Invalid_argument "Render.window_bar: width >= 1 required")
+    (fun () -> ignore (R.window_bar [] ~width:0))
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("figure1 structure", test_figure1_structure);
+      ("figure1 highlight off", test_figure1_no_highlight);
+      ("figure1 deterministic", test_figure1_random_deterministic);
+      ("figure1 SC identity", test_figure1_sc_never_moves);
+      ("figure2 paper instance", test_figure2_paper_instance);
+      ("figure2 occupancy", test_figure2_occupancy);
+      ("figure2 mismatch", test_figure2_mismatch);
+      ("window bar chart", test_window_bar);
+    ]
