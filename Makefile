@@ -1,0 +1,32 @@
+# Tier-1 verification is `make ci`: build + tests + a smoke run of the MC
+# throughput bench (which also refreshes BENCH_mc.json at reduced scale).
+
+.PHONY: all build check test bench bench-json ci clean
+
+all: build
+
+build:
+	dune build
+
+# fast type-and-rules pass, no linking or tests
+check:
+	dune build @check
+
+test:
+	dune runtest
+
+# the full paper harness (E1..E16 + Bechamel timings)
+bench:
+	dune exec bench/main.exe
+
+# full-scale MC throughput bench; writes BENCH_mc.json in the repo root
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_mc.json
+
+ci:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --json-smoke /tmp/BENCH_mc_smoke.json
+
+clean:
+	dune clean

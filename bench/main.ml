@@ -513,7 +513,84 @@ let timing () =
       | _ -> Printf.printf "  %-28s (no estimate)\n" name)
     (List.sort compare rows)
 
-let () =
+(* -- MC throughput bench (--json) ------------------------------------- *)
+
+(* Measures trials/sec for each parallelized estimator family at jobs=1 and
+   jobs=N and writes the numbers to a JSON file, so the perf trajectory of
+   the Monte Carlo hot paths is tracked across PRs. Invoked by bin/ci.sh as
+   a smoke test; results are bit-identical across jobs by the Par contract,
+   so only the timing varies. *)
+
+type mc_row = {
+  bname : string;
+  btrials : int;
+  secs_1 : float;
+  secs_n : float;
+}
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  Unix.gettimeofday () -. t0
+
+let mc_throughput_rows ~jobs_n ~scale =
+  let row bname btrials f =
+    (* one tiny warm-up per path keeps first-allocation noise out *)
+    ignore (f ~jobs:1 ~trials:(max 1 (btrials / 100)));
+    let secs_1 = wall (fun () -> f ~jobs:1 ~trials:btrials) in
+    let secs_n = wall (fun () -> f ~jobs:jobs_n ~trials:btrials) in
+    { bname; btrials; secs_1; secs_n }
+  in
+  [
+    row "settling_mc_estimate_tso" (150_000 / scale) (fun ~jobs ~trials ->
+        ignore (Window_mc.estimate ~jobs ~trials (Model.tso ()) (Rng.create seed)));
+    row "settling_mc_probability_b_wo" (150_000 / scale) (fun ~jobs ~trials ->
+        ignore (Window_mc.probability_b ~jobs ~trials ~gamma:1 (Model.wo ()) (Rng.create seed)));
+    row "joint_estimate_tso_n2" (100_000 / scale) (fun ~jobs ~trials ->
+        ignore (Joint.estimate ~jobs ~trials (Model.tso ()) ~n:2 (Rng.create seed)));
+    row "joint_semi_analytic_tso_n4" (60_000 / scale) (fun ~jobs ~trials ->
+        ignore (Joint.semi_analytic ~jobs ~trials (Model.tso ()) ~n:4 (Rng.create seed)));
+    row "shift_estimate_n4" (2_000_000 / scale) (fun ~jobs ~trials ->
+        ignore (Shift.estimate ~jobs ~trials (Rng.create seed) [| 2; 3; 2; 4 |]));
+  ]
+
+let mc_json ~file ~scale =
+  let jobs_n = max 4 (Par.default_jobs ()) in
+  let rows = mc_throughput_rows ~jobs_n ~scale in
+  let buf = Buffer.create 1024 in
+  let tps trials secs = if secs > 0.0 then float_of_int trials /. secs else 0.0 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf (Printf.sprintf "  \"jobs_n\": %d,\n" jobs_n);
+  Buffer.add_string buf "  \"estimators\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"trials\": %d, \"jobs1_seconds\": %.6f, \
+            \"jobs1_trials_per_sec\": %.1f, \"jobsN_seconds\": %.6f, \
+            \"jobsN_trials_per_sec\": %.1f, \"speedup\": %.3f}%s\n"
+           r.bname r.btrials r.secs_1
+           (tps r.btrials r.secs_1)
+           r.secs_n
+           (tps r.btrials r.secs_n)
+           (if r.secs_n > 0.0 then r.secs_1 /. r.secs_n else 0.0)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  List.iter
+    (fun r ->
+      Printf.printf "%-32s %9d trials  jobs=1 %8.0f/s  jobs=%d %8.0f/s  speedup %.2fx\n"
+        r.bname r.btrials (tps r.btrials r.secs_1) jobs_n (tps r.btrials r.secs_n)
+        (if r.secs_n > 0.0 then r.secs_1 /. r.secs_n else 0.0))
+    rows;
+  Printf.printf "wrote %s\n" file
+
+let full_run () =
   print_endline "memrel reproduction harness";
   print_endline "paper: The Impact of Memory Models on Software Reliability in Multiprocessors";
   print_endline "       (Jaffe, Moscibroda, Effinger-Dean, Ceze, Strauss — PODC 2011)";
@@ -536,3 +613,16 @@ let () =
   timing ();
   print_newline ();
   print_endline "done. See EXPERIMENTS.md for the paper-vs-measured discussion."
+
+let () =
+  (* `main.exe` runs the full paper harness; `main.exe --json [FILE]` runs
+     only the MC throughput bench and writes FILE (default BENCH_mc.json);
+     `--json-smoke` scales trials down 10x for fast CI. *)
+  match Array.to_list Sys.argv with
+  | _ :: "--json" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_mc.json" in
+    mc_json ~file ~scale:1
+  | _ :: "--json-smoke" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_mc.json" in
+    mc_json ~file ~scale:10
+  | _ -> full_run ()

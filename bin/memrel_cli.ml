@@ -28,6 +28,14 @@ let trials_arg default =
 let threads_arg =
   Arg.(value & opt int 2 & info [ "n"; "threads" ] ~docv:"N" ~doc:"Number of threads.")
 
+(* 0 = auto (Par.default_jobs: one worker per core, minus the caller) *)
+let jobs_arg =
+  let doc = "Worker domains for Monte Carlo fan-out (0 = one per core). Results are \
+             bit-identical for every value." in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let resolve_jobs j = if j <= 0 then None else Some j
+
 (* -- table1 ----------------------------------------------------------- *)
 
 let table1_cmd =
@@ -72,7 +80,7 @@ let figure2_cmd =
 (* -- window ----------------------------------------------------------- *)
 
 let window_cmd =
-  let run model seed trials gamma_max p s =
+  let run model seed trials gamma_max p s jobs =
     let model = match (Model.family model, s) with
       | _, None -> model
       | Model.Total_store_order, Some s -> Model.tso ~s ()
@@ -83,7 +91,7 @@ let window_cmd =
     let rng = Rng.create seed in
     Printf.printf "critical-window growth Pr[B_gamma] under %s (p = %.2f, s = %.2f)\n\n"
       (Model.name model) p (Model.s model);
-    let mc = Window_mc.estimate ~p ~trials model rng in
+    let mc = Window_mc.estimate ~p ?jobs:(resolve_jobs jobs) ~trials model rng in
     let dp =
       match Model.family model with
       | Model.Custom -> []
@@ -119,16 +127,17 @@ let window_cmd =
            ~doc:"Swap probability (defaults to the model's 1/2).")
   in
   Cmd.v (Cmd.info "window" ~doc:"Critical-window distribution (Theorem 4.1).")
-    Term.(const run $ model_arg $ seed_arg $ trials_arg 200_000 $ gamma_max_arg $ p_arg $ s_arg)
+    Term.(const run $ model_arg $ seed_arg $ trials_arg 200_000 $ gamma_max_arg $ p_arg $ s_arg
+          $ jobs_arg)
 
 (* -- shift ------------------------------------------------------------ *)
 
 let shift_cmd =
-  let run gammas seed trials =
+  let run gammas seed trials jobs =
     let g = Array.of_list gammas in
     let exact = Shift_exact.disjoint_probability g in
     let rng = Rng.create seed in
-    let est, ci = Shift.estimate ~trials rng g in
+    let est, ci = Shift.estimate ?jobs:(resolve_jobs jobs) ~trials rng g in
     Printf.printf "Pr[A(%s)] exact %s (%.6f); simulated %.6f [%.6f, %.6f]\n"
       (String.concat "," (List.map string_of_int gammas))
       (Rational.to_string exact) (Rational.to_float exact) est ci.lo ci.hi
@@ -138,14 +147,15 @@ let shift_cmd =
            ~doc:"Segment lengths (at most 8).")
   in
   Cmd.v (Cmd.info "shift" ~doc:"Shift-process disjointness probability (Theorem 5.1).")
-    Term.(const run $ gammas_arg $ seed_arg $ trials_arg 500_000)
+    Term.(const run $ gammas_arg $ seed_arg $ trials_arg 500_000 $ jobs_arg)
 
 (* -- joint ------------------------------------------------------------ *)
 
 let joint_cmd =
-  let run model n seed trials =
+  let run model n seed trials jobs =
+    let jobs = resolve_jobs jobs in
     let rng = Rng.create seed in
-    let e = Joint.estimate ~trials model ~n rng in
+    let e = Joint.estimate ?jobs ~trials model ~n rng in
     Printf.printf "Pr[A] (%s, n=%d): simulated %.6f [%.6f, %.6f]\n" (Model.name model) n
       e.pr_no_bug e.ci.lo e.ci.hi;
     (match Model.family model with
@@ -162,24 +172,24 @@ let joint_cmd =
          Printf.printf "joint-exact (correlated, coupled-chain DP): %.4e\n"
            (Manifestation.pr_a_joint_exact model ~n);
        Printf.printf "semi-analytic (correlated, MC): %.4e\n"
-         (Joint.semi_analytic ~trials model ~n rng)
+         (Joint.semi_analytic ?jobs ~trials model ~n rng)
      | Model.Partial_store_order ->
        if n <= Window_joint_dp.max_replicas + 1 then
          Printf.printf "joint-exact (correlated, coupled-chain DP): %.4e\n"
            (Manifestation.pr_a_joint_exact model ~n);
        Printf.printf "semi-analytic (correlated, MC): %.4e\n"
-         (Joint.semi_analytic ~trials model ~n rng)
+         (Joint.semi_analytic ?jobs ~trials model ~n rng)
      | Model.Custom ->
        Printf.printf "semi-analytic (correlated, MC): %.4e\n"
-         (Joint.semi_analytic ~trials model ~n rng))
+         (Joint.semi_analytic ?jobs ~trials model ~n rng))
   in
   Cmd.v (Cmd.info "joint" ~doc:"End-to-end bug manifestation probability (Theorem 6.2).")
-    Term.(const run $ model_arg $ threads_arg $ seed_arg $ trials_arg 200_000)
+    Term.(const run $ model_arg $ threads_arg $ seed_arg $ trials_arg 200_000 $ jobs_arg)
 
 (* -- scaling ---------------------------------------------------------- *)
 
 let scaling_cmd =
-  let run n_max =
+  let run n_max jobs =
     Printf.printf "%4s %12s %12s %12s %8s %8s %8s %10s\n" "n" "log2Pr(SC)" "log2Pr(WO)"
       "log2Pr(TSO)" "nSC" "nWO" "nTSO" "SCadv/n^2";
     List.iter
@@ -189,13 +199,13 @@ let scaling_cmd =
         Printf.printf "%4d %12.2f %12.2f %12.2f %8.4f %8.4f %8.4f %10.6f\n" r.n r.log2_sc
           r.log2_wo r.log2_tso (norm r.log2_sc) (norm r.log2_wo) (norm r.log2_tso)
           (gap /. float_of_int (r.n * r.n)))
-      (Scaling.table ~n_max)
+      (Scaling.table ?jobs:(resolve_jobs jobs) ~n_max ())
   in
   let n_max_arg =
     Arg.(value & opt int 16 & info [ "n-max" ] ~docv:"N" ~doc:"Largest thread count.")
   in
   Cmd.v (Cmd.info "scaling" ~doc:"Thread-scaling table (Theorem 6.3).")
-    Term.(const run $ n_max_arg)
+    Term.(const run $ n_max_arg $ jobs_arg)
 
 (* -- litmus ----------------------------------------------------------- *)
 
@@ -253,24 +263,26 @@ let litmus_cmd =
 (* -- fences ----------------------------------------------------------- *)
 
 let fences_cmd =
-  let run seed trials =
+  let run seed trials jobs =
     let rng = Rng.create seed in
     let pr_with every =
-      let hits = ref 0 in
-      for _ = 1 to trials do
-        let prog = Program.generate rng ~m:37 in
-        let prog =
-          match every with
-          | None -> prog
-          | Some k -> Program.with_fences ~every:k ~kind:Fence.Acquire prog
-        in
-        let gamma () =
-          let pi = Settle.run (Model.wo ()) rng prog in
-          Window.gamma prog pi + 2
-        in
-        if (Shift.sample rng [| gamma (); gamma () |]).disjoint then incr hits
-      done;
-      float_of_int !hits /. float_of_int trials
+      let hits =
+        Par.count ?jobs:(resolve_jobs jobs) ~trials
+          (fun r ->
+            let prog = Program.generate r ~m:37 in
+            let prog =
+              match every with
+              | None -> prog
+              | Some k -> Program.with_fences ~every:k ~kind:Fence.Acquire prog
+            in
+            let gamma () =
+              let pi = Settle.run (Model.wo ()) r prog in
+              Window.gamma prog pi + 2
+            in
+            (Shift.sample r [| gamma (); gamma () |]).disjoint)
+          rng
+      in
+      float_of_int hits /. float_of_int trials
     in
     Printf.printf "WO + acquire fences, n=2, m=37, %d trials per row\n" trials;
     Printf.printf "  none    %.4f (7/54 = %.4f)\n" (pr_with None) (7.0 /. 54.0);
@@ -278,7 +290,7 @@ let fences_cmd =
     Printf.printf "  SC ref  %.4f\n" (1.0 /. 6.0)
   in
   Cmd.v (Cmd.info "fences" ~doc:"Fence-density sweep (Section 7 extension).")
-    Term.(const run $ seed_arg $ trials_arg 100_000)
+    Term.(const run $ seed_arg $ trials_arg 100_000 $ jobs_arg)
 
 (* -- verify ----------------------------------------------------------- *)
 

@@ -18,6 +18,7 @@ module Combinatorics = Memrel_prob.Combinatorics
 module Series = Memrel_prob.Series
 module Logspace = Memrel_prob.Logspace
 module Interval = Memrel_prob.Interval
+module Par = Memrel_prob.Par
 
 (** {1 Memory models (Table 1)} *)
 

@@ -46,37 +46,40 @@ let sample ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) model ~
     done;
     !ok
 
-let estimate ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) ~trials model ~n rng =
+let estimate ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) ?jobs ~trials model
+    ~n rng =
   check_n n;
   if trials <= 0 then invalid_arg "Joint.estimate: trials must be positive";
-  let successes = ref 0 in
-  for _ = 1 to trials do
-    if sample ~p ~m ~gap ~convention model ~n rng then incr successes
-  done;
+  let successes =
+    Memrel_prob.Par.count ?jobs ~trials (fun r -> sample ~p ~m ~gap ~convention model ~n r) rng
+  in
   {
-    pr_no_bug = Stats.binomial_point ~successes:!successes ~trials;
-    ci = Stats.wilson_ci ~successes:!successes ~trials ~z:1.96;
+    pr_no_bug = Stats.binomial_point ~successes ~trials;
+    ci = Stats.wilson_ci ~successes ~trials ~z:1.96;
     trials;
   }
 
-let semi_analytic ?(p = 0.5) ?(m = default_m) ?(gap = 0) ~trials model ~n rng =
+let semi_analytic ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?jobs ~trials model ~n rng =
   check_n n;
   if trials <= 0 then invalid_arg "Joint.semi_analytic: trials must be positive";
   (* E[prod_{i=1}^{n-1} 2^(-i Gamma_i)] over the joint (shared-program) law
      of the window lengths; Theorem 6.1's exchangeability lets us fix the
-     assignment of threads to exponents. *)
-  let acc = ref 0.0 in
-  for _ = 1 to trials do
-    let prog = Program.generate_with_gap ~p rng ~m ~gap in
-    let exponent = ref 0 in
-    for i = 1 to n - 1 do
-      let pi = Settle.run model rng prog in
-      let gamma_len = Window.gamma prog pi + 2 in
-      exponent := !exponent + (i * gamma_len)
-    done;
-    acc := !acc +. Float.pow 2.0 (float_of_int (- !exponent))
-  done;
-  let mean = !acc /. float_of_int trials in
+     assignment of threads to exponents. Par's fixed fold order keeps the
+     float sum bit-identical at every jobs count. *)
+  let acc =
+    Memrel_prob.Par.sum_float ?jobs ~trials
+      (fun r ->
+        let prog = Program.generate_with_gap ~p r ~m ~gap in
+        let exponent = ref 0 in
+        for i = 1 to n - 1 do
+          let pi = Settle.run model r prog in
+          let gamma_len = Window.gamma prog pi + 2 in
+          exponent := !exponent + (i * gamma_len)
+        done;
+        Float.pow 2.0 (float_of_int (- !exponent)))
+      rng
+  in
+  let mean = acc /. float_of_int trials in
   let prefactor = Memrel_prob.Rational.to_float (Memrel_shift.Exact.prefactor n) in
   let fact = Memrel_prob.Bigint.to_float (Memrel_prob.Combinatorics.factorial n) in
   prefactor *. fact *. mean

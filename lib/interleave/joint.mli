@@ -38,12 +38,14 @@ val sample :
     atomicity. *)
 
 val estimate :
-  ?p:float -> ?m:int -> ?gap:int -> ?convention:convention -> trials:int ->
+  ?p:float -> ?m:int -> ?gap:int -> ?convention:convention -> ?jobs:int -> trials:int ->
   Memrel_memmodel.Model.t -> n:int -> Memrel_prob.Rng.t -> estimate
-(** Monte Carlo estimate of Pr[A]. *)
+(** Monte Carlo estimate of Pr[A]. Trials fan out over [jobs] domains via
+    {!Memrel_prob.Par} (default {!Memrel_prob.Par.default_jobs}); for a
+    fixed seed the estimate is bit-identical at every [jobs]. *)
 
 val semi_analytic :
-  ?p:float -> ?m:int -> ?gap:int -> trials:int ->
+  ?p:float -> ?m:int -> ?gap:int -> ?jobs:int -> trials:int ->
   Memrel_memmodel.Model.t -> n:int -> Memrel_prob.Rng.t -> float
 (** Variance-reduced estimator of the [`Paper]-convention Pr[A]: samples
     only the window-length vector (program + settling) and applies

@@ -35,9 +35,11 @@ let row n =
     log2_tso_hi = log2_pr_exact `TSO_upper ~n;
   }
 
-let table ~n_max =
+let table ?jobs ~n_max () =
   if n_max < 2 then invalid_arg "Scaling.table: n_max >= 2 required";
-  List.init (n_max - 1) (fun i -> row (i + 2))
+  (* rows are independent pure computations (the exact-rational WO/TSO
+     series dominate at large n) — an embarrassingly parallel map *)
+  Memrel_prob.Par.map_list ?jobs row (List.init (n_max - 1) (fun i -> i + 2))
 
 let normalized_exponent ~log2_pr ~n = Asym.normalized_exponent ~log2_pr ~n
 

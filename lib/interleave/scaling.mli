@@ -20,8 +20,10 @@ type row = {
 val row : int -> row
 (** [row n] for [n >= 2]. Stable for large [n] (log-space throughout). *)
 
-val table : n_max:int -> row list
-(** Rows for [n = 2 .. n_max]. *)
+val table : ?jobs:int -> n_max:int -> unit -> row list
+(** Rows for [n = 2 .. n_max], computed across [jobs] domains (default
+    {!Memrel_prob.Par.default_jobs}); rows are pure, so the output is
+    identical at every [jobs]. *)
 
 val normalized_exponent : log2_pr:float -> n:int -> float
 (** [-log2 Pr / n^2]; 3/2 + o(1) per Theorem 6.3. *)

@@ -1,0 +1,76 @@
+(** Deterministic multicore Monte Carlo engine (OCaml 5 [Domain] fan-out).
+
+    Every estimator in memrel is a loop of independent trials folded into an
+    accumulator. This module runs such loops across domains while keeping
+    the results {e bit-identical regardless of how many domains run} — the
+    determinism that makes the rest of the test suite (and every number in
+    EXPERIMENTS.md) reproducible from a seed is preserved on multicore.
+
+    The scheme:
+
+    - The [trials] are cut into fixed-size chunks. The schedule is keyed by
+      the chunk index only: chunk [i] always processes the same trials with
+      the same generator, no matter which domain executes it or in what
+      order.
+    - One [Rng.bits64] draw from the caller's generator yields a base
+      entropy word; chunk [i] then runs on [Rng.substream base i], a pure
+      function of [(base, i)]. No generator state is shared across domains.
+    - Chunk accumulators are merged in chunk-index order by a left fold —
+      the identical fold the sequential path performs — so even merges that
+      are only associative up to rounding (float sums) reproduce exactly.
+
+    Consequently [run ~jobs:1] and [run ~jobs:64] return equal results; the
+    contract is checked in [test/prob/test_par.ml]. Note that the chunked
+    schedule is a {e different} (equally valid) sampling order than a plain
+    single-generator loop, so estimates differ from the pre-parallel
+    sequential code by sampling noise only. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1] (the caller's domain also
+    works), at least 1. *)
+
+val default_chunk : int
+(** Trials per chunk (4096): fine enough to balance across many domains,
+    coarse enough that per-chunk setup is noise. The chunk size is part of
+    the schedule key — changing it changes which substream a trial draws
+    from, hence the sampled values (never the distribution). *)
+
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  trials:int ->
+  init:(unit -> 'acc) ->
+  accumulate:('acc -> Rng.t -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  Rng.t ->
+  'acc
+(** [run ~trials ~init ~accumulate ~merge rng] folds [trials] independent
+    trials into an accumulator, fanning out over [jobs] domains (default
+    {!default_jobs}; [jobs:1] runs on the calling domain only, spawning
+    nothing). [accumulate acc r] performs one trial drawing randomness from
+    [r] and returns the updated accumulator (in-place mutation of [acc] is
+    fine — each accumulator is owned by one domain). [merge] must combine
+    two chunk accumulators; associativity up to the fixed fold order is
+    enough. Laws: [merge (init ()) a = a] observationally, and [merge]
+    must commute with [accumulate] over disjoint trial sets.
+
+    Advances the caller's [rng] by exactly one [bits64] draw regardless of
+    [jobs], [chunk], and [trials]. Raises [Invalid_argument] if [trials] or
+    [chunk] is nonpositive. *)
+
+val count : ?jobs:int -> ?chunk:int -> trials:int -> (Rng.t -> bool) -> Rng.t -> int
+(** [count ~trials f rng] is the number of trials on which [f] returned
+    [true] — the success counter of every Bernoulli estimator. *)
+
+val sum_float : ?jobs:int -> ?chunk:int -> trials:int -> (Rng.t -> float) -> Rng.t -> float
+(** [sum_float ~trials f rng] sums one float per trial (deterministically:
+    the summation order is the fixed chunk schedule). *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f a] is [Array.map f a] with the elements evaluated across
+    domains. [f] must be pure (it runs concurrently and in arbitrary
+    order); the result order is the input order. Used for embarrassingly
+    parallel analytic sweeps (e.g. scaling tables), not for Monte Carlo. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List counterpart of {!map_array}. *)

@@ -10,8 +10,8 @@ let splitmix64_next st =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create seed =
-  let st = ref (Int64.of_int seed) in
+(* expand a splitmix state into the four xoshiro words *)
+let of_splitmix st =
   let s0 = splitmix64_next st in
   let s1 = splitmix64_next st in
   let s2 = splitmix64_next st in
@@ -20,6 +20,8 @@ let create seed =
      all-zero with negligible probability, but guard anyway. *)
   if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
   else { s0; s1; s2; s3 }
+
+let create seed = of_splitmix (ref (Int64.of_int seed))
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
@@ -38,14 +40,15 @@ let bits64 t =
   t.s3 <- rotl t.s3 45;
   result
 
-let split t =
-  let st = ref (bits64 t) in
-  let s0 = splitmix64_next st in
-  let s1 = splitmix64_next st in
-  let s2 = splitmix64_next st in
-  let s3 = splitmix64_next st in
-  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
-  else { s0; s1; s2; s3 }
+let split t = of_splitmix (ref (bits64 t))
+
+let substream base i =
+  (* hash the stream index through splitmix64 (a bijection on int64) before
+     combining with the base entropy, so that consecutive indices land on
+     unrelated splitmix states and the four seed words of stream i share
+     nothing with those of stream i+1 *)
+  let h = splitmix64_next (ref (Int64.of_int i)) in
+  of_splitmix (ref (Int64.logxor base h))
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

@@ -20,6 +20,16 @@ val split : t -> t
     subsequent streams are statistically independent. Used to hand each
     thread/replica of an experiment its own stream. *)
 
+val substream : int64 -> int -> t
+(** [substream base i] is the [i]-th substream of the entropy word [base]:
+    a pure function of [(base, i)], so any party holding [base] can
+    reconstruct stream [i] without consuming shared generator state.
+    Distinct indices yield statistically independent streams (the index is
+    diffused through splitmix64 before seeding). This is the keyed-chunk
+    scheme of {!Par}: chunk [i] of a Monte Carlo run always draws from
+    [substream base i], making results independent of how chunks are
+    scheduled across domains. *)
+
 val bits64 : t -> int64
 (** [bits64 t] is the next raw 64-bit output. *)
 

@@ -1,4 +1,5 @@
 module Stats = Memrel_prob.Stats
+module Par = Memrel_prob.Par
 
 type estimate = {
   gamma_pmf : (int * float) list;
@@ -17,15 +18,26 @@ let sample_gamma ?(p = 0.5) ?(m = default_m) model rng =
   let prog = Program.generate ~p rng ~m in
   sample_gamma_program model rng prog
 
-let estimate ?(p = 0.5) ?(m = default_m) ~trials model rng =
+let estimate ?(p = 0.5) ?(m = default_m) ?jobs ~trials model rng =
   if trials <= 0 then invalid_arg "Mc.estimate: trials must be positive";
-  let counts = Hashtbl.create 32 in
-  let sum = ref 0 in
-  for _ = 1 to trials do
-    let g = sample_gamma ~p ~m model rng in
+  (* accumulator: per-chunk gamma counts plus the running gamma sum; counts
+     merge by addition, so the merged histogram is independent of chunk
+     execution order (and Stats sorts the bins) *)
+  let init () = (Hashtbl.create 32, ref 0) in
+  let accumulate ((counts, sum) as acc) r =
+    let g = sample_gamma ~p ~m model r in
     sum := !sum + g;
-    Hashtbl.replace counts g (1 + Option.value ~default:0 (Hashtbl.find_opt counts g))
-  done;
+    Hashtbl.replace counts g (1 + Option.value ~default:0 (Hashtbl.find_opt counts g));
+    acc
+  in
+  let merge ((c1, s1) as acc) (c2, s2) =
+    Hashtbl.iter
+      (fun g c -> Hashtbl.replace c1 g (c + Option.value ~default:0 (Hashtbl.find_opt c1 g)))
+      c2;
+    s1 := !s1 + !s2;
+    acc
+  in
+  let counts, sum = Par.run ?jobs ~trials ~init ~accumulate ~merge rng in
   let histogram = Stats.histogram_of_counts counts in
   {
     gamma_pmf = Stats.empirical_pmf histogram;
@@ -34,11 +46,7 @@ let estimate ?(p = 0.5) ?(m = default_m) ~trials model rng =
     histogram;
   }
 
-let probability_b ?(p = 0.5) ?(m = default_m) ~trials ~gamma model rng =
+let probability_b ?(p = 0.5) ?(m = default_m) ?jobs ~trials ~gamma model rng =
   if trials <= 0 then invalid_arg "Mc.probability_b: trials must be positive";
-  let successes = ref 0 in
-  for _ = 1 to trials do
-    if sample_gamma ~p ~m model rng = gamma then incr successes
-  done;
-  ( Stats.binomial_point ~successes:!successes ~trials,
-    Stats.wilson_ci ~successes:!successes ~trials ~z:1.96 )
+  let successes = Par.count ?jobs ~trials (fun r -> sample_gamma ~p ~m model r = gamma) rng in
+  (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)

@@ -19,15 +19,19 @@ val sample_gamma :
     window growth gamma. *)
 
 val estimate :
-  ?p:float -> ?m:int -> trials:int -> Memrel_memmodel.Model.t -> Memrel_prob.Rng.t -> estimate
-(** [estimate ~trials model rng] aggregates [trials] samples. *)
+  ?p:float -> ?m:int -> ?jobs:int -> trials:int ->
+  Memrel_memmodel.Model.t -> Memrel_prob.Rng.t -> estimate
+(** [estimate ~trials model rng] aggregates [trials] samples, fanned out
+    over [jobs] domains by {!Memrel_prob.Par} (default
+    {!Memrel_prob.Par.default_jobs}; [jobs:1] stays on the calling domain).
+    For a fixed seed the result is bit-identical at every [jobs]. *)
 
 val probability_b :
-  ?p:float -> ?m:int -> trials:int -> gamma:int ->
+  ?p:float -> ?m:int -> ?jobs:int -> trials:int -> gamma:int ->
   Memrel_memmodel.Model.t -> Memrel_prob.Rng.t ->
   float * Memrel_prob.Stats.interval
 (** [probability_b ~trials ~gamma model rng] is the point estimate of
-    Pr[B_gamma] with its 95% Wilson interval. *)
+    Pr[B_gamma] with its 95% Wilson interval. [jobs] as in {!estimate}. *)
 
 val sample_gamma_program :
   Memrel_memmodel.Model.t -> Memrel_prob.Rng.t -> Program.t -> int

@@ -27,20 +27,16 @@ let sample_geom ~q rng gammas =
   let shifts = Array.map (fun _ -> Rng.geometric rng (1.0 -. q)) gammas in
   { shifts; disjoint = disjoint ~shifts ~gammas }
 
-let estimate_geom ~q ~trials rng gammas =
+let estimate_geom ?jobs ~q ~trials rng gammas =
   if trials <= 0 then invalid_arg "Process.estimate_geom: trials must be positive";
-  let successes = ref 0 in
-  for _ = 1 to trials do
-    if (sample_geom ~q rng gammas).disjoint then incr successes
-  done;
-  ( Stats.binomial_point ~successes:!successes ~trials,
-    Stats.wilson_ci ~successes:!successes ~trials ~z:1.96 )
+  let successes =
+    Memrel_prob.Par.count ?jobs ~trials (fun r -> (sample_geom ~q r gammas).disjoint) rng
+  in
+  (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
 
-let estimate ~trials rng gammas =
+let estimate ?jobs ~trials rng gammas =
   if trials <= 0 then invalid_arg "Process.estimate: trials must be positive";
-  let successes = ref 0 in
-  for _ = 1 to trials do
-    if (sample rng gammas).disjoint then incr successes
-  done;
-  ( Stats.binomial_point ~successes:!successes ~trials,
-    Stats.wilson_ci ~successes:!successes ~trials ~z:1.96 )
+  let successes =
+    Memrel_prob.Par.count ?jobs ~trials (fun r -> (sample r gammas).disjoint) rng
+  in
+  (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)

@@ -22,9 +22,12 @@ val disjoint : shifts:int array -> gammas:int array -> bool
     [s_next >= s_prev + gamma_prev + 1]. Equal shifts always overlap. *)
 
 val estimate :
-  trials:int -> Memrel_prob.Rng.t -> int array -> float * Memrel_prob.Stats.interval
+  ?jobs:int -> trials:int -> Memrel_prob.Rng.t -> int array ->
+  float * Memrel_prob.Stats.interval
 (** [estimate ~trials rng gammas] is the Monte Carlo estimate of
-    Pr[A(gamma-bar)] with a 95% Wilson interval. *)
+    Pr[A(gamma-bar)] with a 95% Wilson interval. Trials fan out over [jobs]
+    domains via {!Memrel_prob.Par} (default
+    {!Memrel_prob.Par.default_jobs}); bit-identical at every [jobs]. *)
 
 val sample_geom : q:float -> Memrel_prob.Rng.t -> int array -> sample
 (** Like {!sample} but with geometric(q) shifts — pmf [(1-q) q^k] — the
@@ -32,6 +35,7 @@ val sample_geom : q:float -> Memrel_prob.Rng.t -> int array -> sample
     Requires [0 < q < 1]. [q = 0.5] coincides with {!sample}'s law. *)
 
 val estimate_geom :
-  q:float -> trials:int -> Memrel_prob.Rng.t -> int array ->
+  ?jobs:int -> q:float -> trials:int -> Memrel_prob.Rng.t -> int array ->
   float * Memrel_prob.Stats.interval
-(** Monte Carlo counterpart of the generalized exact formula. *)
+(** Monte Carlo counterpart of the generalized exact formula ([jobs] as in
+    {!estimate}). *)

@@ -92,6 +92,17 @@ let test_sample_determinism () =
   in
   Alcotest.(check (list bool)) "same seed same outcomes" (run ()) (run ())
 
+let test_jobs_invariance () =
+  (* Par contract at the joined-model level: estimate and the float-summing
+     semi_analytic are bit-identical at jobs:1 and jobs:4 *)
+  let est jobs = J.estimate ~jobs ~trials:15_000 (Model.tso ()) ~n:2 (Rng.create 301) in
+  let e1 = est 1 and e4 = est 4 in
+  Alcotest.(check (float 0.0)) "pr_no_bug identical" e1.pr_no_bug e4.pr_no_bug;
+  Alcotest.(check (float 0.0)) "ci.lo identical" e1.ci.lo e4.ci.lo;
+  let semi jobs = J.semi_analytic ~jobs ~trials:15_000 (Model.wo ()) ~n:3 (Rng.create 303) in
+  Alcotest.(check bool) "semi_analytic bitwise" true
+    (Int64.equal (Int64.bits_of_float (semi 1)) (Int64.bits_of_float (semi 4)))
+
 let test_guards () =
   let rng = Rng.create 1 in
   Alcotest.check_raises "n=1" (Invalid_argument "Joint: n >= 2 threads required") (fun () ->
@@ -114,5 +125,6 @@ let suite =
       ("semi-analytic WO", test_semi_analytic_wo);
       ("semi-analytic TSO correlation positive", test_semi_analytic_tso_correlation);
       ("deterministic sampling", test_sample_determinism);
+      ("jobs:1 = jobs:4 bit-identical", test_jobs_invariance);
       ("guards", test_guards);
     ]

@@ -22,7 +22,7 @@ let test_ordering_within_row () =
     [ 2; 5; 10; 20; 40 ]
 
 let test_table_shape () =
-  let t = S.table ~n_max:10 in
+  let t = S.table ~n_max:10 () in
   Alcotest.(check int) "rows 2..10" 9 (List.length t);
   Alcotest.(check (list int)) "n sequence" (List.init 9 (fun i -> i + 2))
     (List.map (fun (r : S.row) -> r.n) t)

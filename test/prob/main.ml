@@ -4,6 +4,7 @@ let () =
       ("bigint", Test_bigint.suite);
       ("rational", Test_rational.suite);
       ("rng", Test_rng.suite);
+      ("par", Test_par.suite);
       ("combinatorics", Test_combinatorics.suite);
       ("stats", Test_stats.suite);
       ("series", Test_series.suite);

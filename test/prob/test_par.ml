@@ -1,0 +1,164 @@
+module Rng = Memrel_prob.Rng
+module Par = Memrel_prob.Par
+
+(* a deliberately order-sensitive accumulator: float sum of Rng.float draws;
+   any schedule change shows up in the low bits *)
+let float_sum ?jobs ?chunk ~trials seed =
+  Par.sum_float ?jobs ?chunk ~trials (fun r -> Rng.float r) (Rng.create seed)
+
+let test_run_jobs_invariant () =
+  (* bit-identical across jobs, including trial counts that don't divide the
+     chunk size and chunk counts below/above the worker count *)
+  List.iter
+    (fun (trials, chunk) ->
+      let reference = float_sum ~jobs:1 ~chunk ~trials 42 in
+      List.iter
+        (fun jobs ->
+          let v = float_sum ~jobs ~chunk ~trials 42 in
+          Alcotest.(check bool)
+            (Printf.sprintf "trials=%d chunk=%d jobs=%d: %h = %h" trials chunk jobs v reference)
+            true
+            (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float reference)))
+        [ 2; 3; 4; 7 ])
+    [ (10_000, 256); (1000, 999); (5, 2); (4096, 4096); (100, 4096) ]
+
+let test_run_default_jobs_matches_one () =
+  let a = float_sum ~trials:20_000 7 in
+  let b = float_sum ~jobs:1 ~trials:20_000 7 in
+  Alcotest.(check bool) "default jobs = jobs:1 bitwise" true
+    (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let test_run_advances_caller_rng_uniformly () =
+  (* the engine must consume exactly one bits64 draw from the caller's
+     generator, regardless of jobs/trials/chunk, so downstream draws stay
+     reproducible *)
+  let next_after f =
+    let rng = Rng.create 11 in
+    ignore (f rng);
+    Rng.bits64 rng
+  in
+  let reference = next_after (fun rng -> ignore (Rng.bits64 rng)) in
+  List.iter
+    (fun (jobs, trials, chunk) ->
+      let v =
+        next_after (fun rng ->
+            ignore (Par.count ~jobs ~chunk ~trials (fun r -> Rng.bool r) rng))
+      in
+      Alcotest.(check int64)
+        (Printf.sprintf "jobs=%d trials=%d chunk=%d" jobs trials chunk)
+        reference v)
+    [ (1, 100, 64); (4, 100, 64); (4, 10_000, 256); (2, 3, 1) ]
+
+let test_count_matches_manual () =
+  (* jobs:1 chunked count equals a hand-rolled loop over the same substreams *)
+  let trials = 10_000 and chunk = 512 in
+  let got = Par.count ~jobs:3 ~chunk ~trials (fun r -> Rng.bernoulli r 0.3) (Rng.create 5) in
+  let base = Rng.bits64 (Rng.create 5) in
+  let expected = ref 0 in
+  let n_chunks = (trials + chunk - 1) / chunk in
+  for id = 0 to n_chunks - 1 do
+    let r = Rng.substream base id in
+    for _ = 1 to min chunk (trials - (id * chunk)) do
+      if Rng.bernoulli r 0.3 then incr expected
+    done
+  done;
+  Alcotest.(check int) "count = manual chunk loop" !expected got;
+  (* and the rate is what it should be *)
+  Alcotest.(check bool) "rate ~ 0.3" true
+    (Float.abs ((float_of_int got /. float_of_int trials) -. 0.3) < 0.02)
+
+let test_histogram_accumulator_merge () =
+  (* the estimate-style accumulator (hashtable + merge by addition) must be
+     jobs-invariant and conserve mass *)
+  let run jobs =
+    Par.run ~jobs ~chunk:128 ~trials:30_000
+      ~init:(fun () -> Hashtbl.create 16)
+      ~accumulate:(fun h r ->
+        let k = Rng.geometric_half r in
+        Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k));
+        h)
+      ~merge:(fun a b ->
+        Hashtbl.iter
+          (fun k c -> Hashtbl.replace a k (c + Option.value ~default:0 (Hashtbl.find_opt a k)))
+          b;
+        a)
+      (Rng.create 13)
+  in
+  let sorted h =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+  in
+  let h1 = sorted (run 1) and h4 = sorted (run 4) in
+  Alcotest.(check (list (pair int int))) "histogram jobs:1 = jobs:4" h1 h4;
+  Alcotest.(check int) "mass conserved" 30_000 (List.fold_left (fun a (_, c) -> a + c) 0 h1)
+
+let test_substream_deterministic_and_distinct () =
+  let a = Rng.substream 99L 5 and b = Rng.substream 99L 5 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same (base, i), same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  (* adjacent indices (the parallel engine's hot case) share no outputs *)
+  let a = Rng.substream 99L 5 and b = Rng.substream 99L 6 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check int) "adjacent substreams unrelated" 0 !same
+
+let test_substream_uniformity () =
+  (* pooled draws across many substreams must still be uniform — the same
+     chi-squared check Rng.int passes for a single stream *)
+  let k = 6 and per_stream = 1000 and streams = 60 in
+  let counts = Array.make k 0 in
+  for i = 0 to streams - 1 do
+    let r = Rng.substream 2024L i in
+    for _ = 1 to per_stream do
+      let v = Rng.int r k in
+      counts.(v) <- counts.(v) + 1
+    done
+  done;
+  let n = per_stream * streams in
+  let expected = float_of_int n /. float_of_int k in
+  let chi2 =
+    Array.fold_left
+      (fun acc c -> acc +. (((float_of_int c -. expected) ** 2.0) /. expected))
+      0.0 counts
+  in
+  (* 5 dof, 99.9% critical value ~ 20.5 *)
+  Alcotest.(check bool) (Printf.sprintf "chi2=%.2f < 20.5" chi2) true (chi2 < 20.5)
+
+let test_map_list_order_and_jobs () =
+  let l = List.init 37 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "map_list jobs:1 = List.map" (List.map f l)
+    (Par.map_list ~jobs:1 f l);
+  Alcotest.(check (list int)) "map_list jobs:4 preserves order" (List.map f l)
+    (Par.map_list ~jobs:4 f l);
+  Alcotest.(check (list int)) "empty list" [] (Par.map_list ~jobs:4 f [])
+
+let test_map_array_exception_propagates () =
+  Alcotest.check_raises "worker exception resurfaces" Exit (fun () ->
+      ignore (Par.map_array ~jobs:2 (fun x -> if x = 3 then raise Exit else x) [| 1; 2; 3; 4 |]))
+
+let test_guards () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "trials 0" (Invalid_argument "Par.run: trials must be positive")
+    (fun () -> ignore (Par.count ~trials:0 (fun _ -> true) rng));
+  Alcotest.check_raises "chunk 0" (Invalid_argument "Par.run: chunk must be positive")
+    (fun () -> ignore (Par.count ~chunk:0 ~trials:10 (fun _ -> true) rng));
+  Alcotest.(check bool) "default_jobs >= 1" true (Par.default_jobs () >= 1)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("run is jobs-invariant (bitwise)", test_run_jobs_invariant);
+      ("default jobs = jobs:1 result", test_run_default_jobs_matches_one);
+      ("caller rng advanced by one draw", test_run_advances_caller_rng_uniformly);
+      ("count matches the keyed-chunk schedule", test_count_matches_manual);
+      ("histogram accumulator merges jobs-invariantly", test_histogram_accumulator_merge);
+      ("substreams deterministic and distinct", test_substream_deterministic_and_distinct);
+      ("substream pooled uniformity (chi2)", test_substream_uniformity);
+      ("map_list order and jobs", test_map_list_order_and_jobs);
+      ("map_array propagates exceptions", test_map_array_exception_propagates);
+      ("guards", test_guards);
+    ]

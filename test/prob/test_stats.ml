@@ -54,6 +54,28 @@ let test_histogram () =
   let pmf = S.empirical_pmf h in
   Alcotest.(check (float 1e-9)) "pmf of 3" 0.5 (List.assoc 3 pmf)
 
+let test_histogram_order_insensitive () =
+  (* regression for the parallel-merge contract: the printed histogram (and
+     pmf) must be sorted by value, independent of hashtable insertion order,
+     so the chunk-merge order of Par can never change output *)
+  let of_pairs pairs =
+    let tbl = Hashtbl.create 7 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) pairs;
+    S.histogram_of_counts tbl
+  in
+  let pairs = [ (4, 1); (0, 3); (7, 2); (2, 5); (9, 1) ] in
+  let forward = of_pairs pairs in
+  let backward = of_pairs (List.rev pairs) in
+  let shuffled = of_pairs [ (7, 2); (9, 1); (0, 3); (4, 1); (2, 5) ] in
+  let expected = [ (0, 3); (2, 5); (4, 1); (7, 2); (9, 1) ] in
+  List.iter
+    (fun (name, h) ->
+      Alcotest.(check (list (pair int int))) (name ^ " bins sorted by value") expected h.S.bins;
+      Alcotest.(check int) (name ^ " total") 12 h.S.total)
+    [ ("forward", forward); ("backward", backward); ("shuffled", shuffled) ];
+  Alcotest.(check (list int)) "pmf order follows bins" (List.map fst expected)
+    (List.map fst (S.empirical_pmf forward))
+
 let test_total_variation () =
   let p = [ (0, 0.5); (1, 0.5) ] and q = [ (0, 0.5); (1, 0.5) ] in
   Alcotest.(check (float 1e-12)) "identical" 0.0 (S.total_variation p q);
@@ -122,6 +144,7 @@ let suite =
       ("wilson extremes", test_wilson_extremes);
       ("wilson shape", test_wilson_coverage_shape);
       ("histogram", test_histogram);
+      ("histogram order-insensitive", test_histogram_order_insensitive);
       ("total variation", test_total_variation);
       ("chi squared", test_chi_squared);
       ("chi squared thresholds", test_chi_squared_thresholds);

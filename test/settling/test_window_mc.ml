@@ -124,6 +124,34 @@ let test_goodness_of_fit_chi2 () =
     (Printf.sprintf "chi2 %.2f < %.2f (dof %d)" chi2 threshold cells)
     true (chi2 < threshold)
 
+let test_jobs_invariance () =
+  (* the Par determinism contract at the estimator level: for a fixed seed,
+     jobs:1 and jobs:4 must return bit-identical estimate records, on every
+     model family *)
+  List.iter
+    (fun (name, model) ->
+      let est jobs = Mc.estimate ~jobs ~trials:20_000 model (Rng.create 101) in
+      let e1 = est 1 and e4 = est 4 in
+      Alcotest.(check (list (pair int int))) (name ^ " histogram") e1.Mc.histogram.bins
+        e4.Mc.histogram.bins;
+      Alcotest.(check int) (name ^ " total") e1.Mc.histogram.total e4.Mc.histogram.total;
+      Alcotest.(check bool) (name ^ " mean bitwise") true
+        (Int64.equal (Int64.bits_of_float e1.Mc.mean_gamma) (Int64.bits_of_float e4.Mc.mean_gamma));
+      List.iter2
+        (fun (g1, p1) (g4, p4) ->
+          Alcotest.(check int) (name ^ " pmf support") g1 g4;
+          Alcotest.(check bool) (name ^ " pmf mass bitwise") true
+            (Int64.equal (Int64.bits_of_float p1) (Int64.bits_of_float p4)))
+        e1.Mc.gamma_pmf e4.Mc.gamma_pmf)
+    [ ("SC", Model.sc); ("TSO", Model.tso ()); ("WO", Model.wo ()) ]
+
+let test_probability_b_jobs_invariance () =
+  let run jobs = Mc.probability_b ~jobs ~trials:20_000 ~gamma:1 (Model.tso ()) (Rng.create 103) in
+  let (p1, ci1) = run 1 and (p4, ci4) = run 4 in
+  Alcotest.(check (float 0.0)) "point identical" p1 p4;
+  Alcotest.(check (float 0.0)) "ci.lo identical" ci1.lo ci4.lo;
+  Alcotest.(check (float 0.0)) "ci.hi identical" ci1.hi ci4.hi
+
 let test_invalid () =
   let rng = Rng.create 1 in
   Alcotest.check_raises "trials 0" (Invalid_argument "Mc.estimate: trials must be positive")
@@ -143,5 +171,7 @@ let suite =
       ("PSO window smaller than TSO (footnote 4)", test_pso_window_smaller_than_tso);
       ("small-m truncation", test_small_m_truncation_bias);
       ("chi-squared goodness of fit", test_goodness_of_fit_chi2);
+      ("jobs:1 = jobs:4 bit-identical", test_jobs_invariance);
+      ("probability_b jobs-invariant", test_probability_b_jobs_invariance);
       ("invalid arguments", test_invalid);
     ]

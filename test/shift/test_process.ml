@@ -68,6 +68,16 @@ let test_single_segment_always_disjoint () =
   let est, _ = P.estimate ~trials:1000 rng [| 5 |] in
   Alcotest.(check (float 0.0)) "trivially disjoint" 1.0 est
 
+let test_jobs_invariance () =
+  (* Par contract: estimate and estimate_geom bit-identical at jobs:1/jobs:4 *)
+  let run jobs = P.estimate ~jobs ~trials:25_000 (Rng.create 401) [| 2; 3; 2 |] in
+  let (e1, ci1) = run 1 and (e4, ci4) = run 4 in
+  Alcotest.(check (float 0.0)) "estimate identical" e1 e4;
+  Alcotest.(check (float 0.0)) "ci identical" ci1.lo ci4.lo;
+  let rung jobs = P.estimate_geom ~jobs ~q:0.75 ~trials:25_000 (Rng.create 403) [| 2; 2 |] in
+  let (g1, _) = rung 1 and (g4, _) = rung 4 in
+  Alcotest.(check (float 0.0)) "estimate_geom identical" g1 g4
+
 let prop_disjoint_permutation_invariant =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"disjointness invariant under segment relabeling" ~count:300
@@ -114,5 +124,6 @@ let suite =
       ("negative length rejected", test_sample_negative_length);
       ("estimate matches n=2 closed form", test_estimate_n2_closed_form);
       ("single segment", test_single_segment_always_disjoint);
+      ("jobs:1 = jobs:4 bit-identical", test_jobs_invariance);
     ]
   @ [ prop_disjoint_permutation_invariant; prop_growing_segments_never_create_disjointness ]
