@@ -1,7 +1,8 @@
-# Tier-1 verification is `make ci`: build + tests + a smoke run of the MC
-# throughput bench (which also refreshes BENCH_mc.json at reduced scale).
+# Tier-1 verification is `make ci`: build + tests + smoke runs of the MC
+# throughput bench and the exhaustive-enumeration bench (the latter
+# refreshes BENCH_enum.json, including the inc4 SC/TSO exhaustive counts).
 
-.PHONY: all build check test bench bench-json ci clean
+.PHONY: all build check test bench bench-json bench-enum ci clean
 
 all: build
 
@@ -23,10 +24,15 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_mc.json
 
+# full-scale enumeration bench (legacy vs packed key, POR); writes BENCH_enum.json
+bench-enum:
+	dune exec bench/main.exe -- --json-enum BENCH_enum.json
+
 ci:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- --json-smoke /tmp/BENCH_mc_smoke.json
+	dune exec bench/main.exe -- --json-enum-smoke BENCH_enum.json
 
 clean:
 	dune clean

@@ -39,14 +39,14 @@ let resolve_jobs j = if j <= 0 then None else Some j
 (* -- table1 ----------------------------------------------------------- *)
 
 let table1_cmd =
-  let run () = print_string (Model.table1 ()) in
+  let run () = print_string (Model.table1 ()); 0 in
   Cmd.v (Cmd.info "table1" ~doc:"Print the paper's Table 1 (memory model matrix).")
     Term.(const run $ const ())
 
 (* -- figure1 ---------------------------------------------------------- *)
 
 let figure1_cmd =
-  let run model seed m = print_string (Render.figure1_random ~m ~seed model) in
+  let run model seed m = print_string (Render.figure1_random ~m ~seed model); 0 in
   let m_arg =
     Arg.(value & opt int 6 & info [ "m" ] ~docv:"M" ~doc:"Prefix length of the random program.")
   in
@@ -58,13 +58,17 @@ let figure1_cmd =
 let figure2_cmd =
   let run gammas shifts =
     match shifts with
-    | [] -> print_string (Render.figure2_paper_instance ())
+    | [] -> print_string (Render.figure2_paper_instance ()); 0
     | _ ->
-      if List.length shifts <> List.length gammas then
-        prerr_endline "error: --shifts must match --gammas in length"
-      else
+      if List.length shifts <> List.length gammas then begin
+        prerr_endline "memrel: --shifts must match --gammas in length";
+        Cmd.Exit.some_error
+      end
+      else begin
         print_string
-          (Render.figure2 ~gammas:(Array.of_list gammas) ~shifts:(Array.of_list shifts))
+          (Render.figure2 ~gammas:(Array.of_list gammas) ~shifts:(Array.of_list shifts));
+        0
+      end
   in
   let gammas_arg =
     Arg.(value & opt (list int) [ 3; 2; 5 ] & info [ "gammas" ] ~docv:"G,G,..."
@@ -114,7 +118,8 @@ let window_cmd =
       let dpv = try List.assoc g dp with Not_found -> Float.nan in
       let mcv = try List.assoc g mc.gamma_pmf with Not_found -> 0.0 in
       Printf.printf "%6d %12.6f %12.6f %12.6f\n" g analytic dpv mcv
-    done
+    done;
+    0
   in
   let gamma_max_arg =
     Arg.(value & opt int 8 & info [ "gamma-max" ] ~docv:"G" ~doc:"Largest gamma to print.")
@@ -140,7 +145,8 @@ let shift_cmd =
     let est, ci = Shift.estimate ?jobs:(resolve_jobs jobs) ~trials rng g in
     Printf.printf "Pr[A(%s)] exact %s (%.6f); simulated %.6f [%.6f, %.6f]\n"
       (String.concat "," (List.map string_of_int gammas))
-      (Rational.to_string exact) (Rational.to_float exact) est ci.lo ci.hi
+      (Rational.to_string exact) (Rational.to_float exact) est ci.lo ci.hi;
+    0
   in
   let gammas_arg =
     Arg.(value & opt (list int) [ 3; 2; 5 ] & info [ "gammas" ] ~docv:"G,G,..."
@@ -181,7 +187,8 @@ let joint_cmd =
          (Joint.semi_analytic ?jobs ~trials model ~n rng)
      | Model.Custom ->
        Printf.printf "semi-analytic (correlated, MC): %.4e\n"
-         (Joint.semi_analytic ?jobs ~trials model ~n rng))
+         (Joint.semi_analytic ?jobs ~trials model ~n rng));
+    0
   in
   Cmd.v (Cmd.info "joint" ~doc:"End-to-end bug manifestation probability (Theorem 6.2).")
     Term.(const run $ model_arg $ threads_arg $ seed_arg $ trials_arg 200_000 $ jobs_arg)
@@ -199,7 +206,8 @@ let scaling_cmd =
         Printf.printf "%4d %12.2f %12.2f %12.2f %8.4f %8.4f %8.4f %10.6f\n" r.n r.log2_sc
           r.log2_wo r.log2_tso (norm r.log2_sc) (norm r.log2_wo) (norm r.log2_tso)
           (gap /. float_of_int (r.n * r.n)))
-      (Scaling.table ?jobs:(resolve_jobs jobs) ~n_max ())
+      (Scaling.table ?jobs:(resolve_jobs jobs) ~n_max ());
+    0
   in
   let n_max_arg =
     Arg.(value & opt int 16 & info [ "n-max" ] ~docv:"N" ~doc:"Largest thread count.")
@@ -212,16 +220,32 @@ let scaling_cmd =
 let litmus_cmd =
   let run name file =
     (* parsed tests carry no per-model expectation: report reachability only *)
-    let tests, with_expectations =
+    let loaded =
       match file with
       | Some path ->
-        let ic = open_in path in
-        let len = in_channel_length ic in
-        let text = really_input_string ic len in
-        close_in ic;
-        ([ Litmus_parse.parse text ], false)
-      | None -> ((match name with None -> Litmus.all | Some n -> [ Litmus.find n ]), true)
+        (try
+           let ic = open_in path in
+           let len = in_channel_length ic in
+           let text = really_input_string ic len in
+           close_in ic;
+           Ok ([ Litmus_parse.parse text ], false)
+         with
+         | Sys_error msg -> Error msg
+         | Litmus_parse.Parse_error { line; message } ->
+           Error (Printf.sprintf "%s: line %d: %s" path line message))
+      | None ->
+        (match name with
+         | None -> Ok (Litmus.all, true)
+         | Some n ->
+           (match Litmus.find n with
+            | t -> Ok ([ t ], true)
+            | exception Not_found -> Error (Printf.sprintf "unknown litmus test %S" n)))
     in
+    match loaded with
+    | Error msg ->
+      Printf.eprintf "memrel: %s\n" msg;
+      Cmd.Exit.some_error
+    | Ok (tests, with_expectations) ->
     List.iter
       (fun (t : Litmus.t) ->
         Printf.printf "%s: %s\n" t.name t.description;
@@ -247,7 +271,8 @@ let litmus_cmd =
                 v.outcome_count)
           [ Model.Sequential_consistency; Model.Total_store_order; Model.Partial_store_order;
             Model.Weak_ordering ])
-      tests
+      tests;
+    0
   in
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"TEST"
@@ -287,7 +312,8 @@ let fences_cmd =
     Printf.printf "WO + acquire fences, n=2, m=37, %d trials per row\n" trials;
     Printf.printf "  none    %.4f (7/54 = %.4f)\n" (pr_with None) (7.0 /. 54.0);
     List.iter (fun k -> Printf.printf "  every %2d %.4f\n" k (pr_with (Some k))) [ 16; 8; 4; 2 ];
-    Printf.printf "  SC ref  %.4f\n" (1.0 /. 6.0)
+    Printf.printf "  SC ref  %.4f\n" (1.0 /. 6.0);
+    0
   in
   Cmd.v (Cmd.info "fences" ~doc:"Fence-density sweep (Section 7 extension).")
     Term.(const run $ seed_arg $ trials_arg 100_000 $ jobs_arg)
@@ -296,19 +322,14 @@ let fences_cmd =
 
 let verify_cmd =
   let run cutoff =
-    Printf.printf "computing the verified enclosure of Pr[A] under TSO, n = 2
-";
-    Printf.printf "(exact rational partial sums, provable truncation tails; cutoff %d)
-
-" cutoff;
+    Printf.printf "computing the verified enclosure of Pr[A] under TSO, n = 2\n";
+    Printf.printf "(exact rational partial sums, provable truncation tails; cutoff %d)\n\n"
+      cutoff;
     let e = Window_verified.pr_a_tso_n2 ~q_max:cutoff ~mu_max:cutoff ~gamma_max:cutoff () in
-    Printf.printf "enclosure: [%.17f,
-            %.17f]
-"
+    Printf.printf "enclosure: [%.17f,\n            %.17f]\n"
       (Rational.to_float e.Window_verified.lo)
       (Rational.to_float e.Window_verified.hi);
-    Printf.printf "width:     %.3e
-" (Rational.to_float (Window_verified.width e));
+    Printf.printf "width:     %.3e\n" (Rational.to_float (Window_verified.width e));
     let paper_lo = Rational.of_ints 58 441 in
     let paper_hi = Rational.add paper_lo (Rational.of_ints 1 189) in
     let inside =
@@ -316,24 +337,103 @@ let verify_cmd =
       && Rational.compare e.Window_verified.hi paper_hi < 0
     in
     Printf.printf
-      "Theorem 6.2's claim 58/441 < Pr[A] < 58/441 + 1/189: %s (exact rational comparison)
-"
+      "Theorem 6.2's claim 58/441 < Pr[A] < 58/441 + 1/189: %s (exact rational comparison)\n"
       (if inside then "VERIFIED" else "NOT verified at this cutoff");
-    if not inside then exit 1
+    if inside then 0
+    else begin
+      (* route the failure through Cmdliner's exit-status machinery instead
+         of calling exit mid-stream *)
+      Printf.eprintf "memrel: verification failed at cutoff %d (try a larger --cutoff)\n" cutoff;
+      1
+    end
   in
   let cutoff_arg =
     Arg.(value & opt int 40 & info [ "cutoff" ] ~docv:"K"
            ~doc:"Series truncation depth (larger = tighter, slower).")
   in
+  let exits = Cmd.Exit.info 1 ~doc:"the bracket was NOT verified at this cutoff." :: Cmd.Exit.defaults in
   Cmd.v
-    (Cmd.info "verify"
+    (Cmd.info "verify" ~exits
        ~doc:"Machine-verify Theorem 6.2's TSO bracket with exact rational enclosures.")
     Term.(const run $ cutoff_arg)
+
+(* -- enumerate --------------------------------------------------------- *)
+
+let enumerate_cmd =
+  let run name model por max_states legacy_key window =
+    match Litmus.find name with
+    | exception Not_found ->
+      Printf.eprintf
+        "memrel: unknown litmus test %S (corpus: %s; or incN for the n-thread increment)\n"
+        name
+        (String.concat ", " (List.map (fun (t : Litmus.t) -> t.name) Litmus.all));
+      Cmd.Exit.some_error
+    | t ->
+      let discipline = Semantics.of_model ~window (Model.family model) in
+      (match
+         Enumerate.outcomes ~max_states ~por ~legacy_key discipline (Litmus.initial_state t)
+           ~observe:t.observe
+       with
+       | exception Enumerate.State_limit { max_states; states_visited; terminals } ->
+         Printf.eprintf
+           "memrel: state limit exceeded on %s under %s (max-states %d; %d states and %d \
+            terminals explored before the abort)\n"
+           t.name (Model.name model) max_states states_visited terminals;
+         Cmd.Exit.some_error
+       | r ->
+         Printf.printf "%s under %s%s: %d distinct outcomes, %d terminal states\n" t.name
+           (Model.name model)
+           (if por then " (POR)" else "")
+           (List.length r.outcomes) r.terminals;
+         List.iter
+           (fun (o, k) ->
+             let o = String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) o) in
+             Printf.printf "  %-30s %8d terminal state%s\n" o k (if k = 1 then "" else "s"))
+           r.outcomes;
+         let relaxed =
+           String.concat " "
+             (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) t.relaxed_outcome)
+         in
+         Printf.printf "relaxed outcome %s: %s\n" relaxed
+           (if List.mem_assoc t.relaxed_outcome r.outcomes then "ALLOWED" else "forbidden");
+         let s = r.stats in
+         Printf.printf
+           "states %d (%.0f states/sec, %.3fs); transitions %d; dedup hits %d\n\
+            max depth %d; max frontier %d; POR: ample at %d states, %d transitions pruned\n"
+           r.states_visited s.states_per_sec s.elapsed_s s.transitions s.dedup_hits s.max_depth
+           s.max_frontier s.por_ample_states s.por_pruned;
+         0)
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TEST"
+           ~doc:"Litmus test name; incN (e.g. inc4) selects the n-thread increment.")
+  in
+  let por_arg =
+    Arg.(value & flag & info [ "por" ]
+           ~doc:"Enable the ample-set partial-order reduction (identical outcomes, fewer states).")
+  in
+  let max_states_arg =
+    Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N"
+           ~doc:"Abort after admitting N distinct states.")
+  in
+  let legacy_key_arg =
+    Arg.(value & flag & info [ "legacy-key" ]
+           ~doc:"Deduplicate with the legacy printf-built state key (for benchmarking).")
+  in
+  let window_arg =
+    Arg.(value & opt int 8 & info [ "window" ] ~docv:"W"
+           ~doc:"Out-of-order window for the wo model.")
+  in
+  Cmd.v
+    (Cmd.info "enumerate"
+       ~doc:"Exhaustively enumerate a litmus test's state space with statistics.")
+    Term.(const run $ name_arg $ model_arg $ por_arg $ max_states_arg $ legacy_key_arg
+          $ window_arg)
 
 let main_cmd =
   let doc = "reproduction of 'The Impact of Memory Models on Software Reliability'" in
   Cmd.group (Cmd.info "memrel" ~version:"1.0.0" ~doc)
     [ table1_cmd; figure1_cmd; figure2_cmd; window_cmd; shift_cmd; joint_cmd; scaling_cmd;
-      litmus_cmd; fences_cmd; verify_cmd ]
+      litmus_cmd; enumerate_cmd; fences_cmd; verify_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () = exit (Cmd.eval' main_cmd)

@@ -1,11 +1,32 @@
 (** Exhaustive state-space exploration (stateless model checking).
 
-    Depth-first search over the transition relation with state
-    deduplication. For litmus-sized programs the reachable space is tiny,
-    so every reachable final state — hence the complete set of observable
-    outcomes under a memory model — is computed exactly. This is what turns
-    the operational simulator into an oracle for "is this relaxed outcome
-    allowed under model M?". *)
+    Iterative worklist search over the transition relation with compact
+    structural state deduplication — the recursion depth is bounded only by
+    the heap, so deep state spaces (e.g. [Litmus.increment_n 4] and beyond)
+    enumerate without [Stack_overflow]. Every reachable final state — hence
+    the complete set of observable outcomes under a memory model — is
+    computed exactly. This is what turns the operational simulator into an
+    oracle for "is this relaxed outcome allowed under model M?".
+
+    With [~por:true] an ample-set partial-order reduction prunes
+    interleavings of provably independent transitions (thread-local steps,
+    and accesses to locations disjoint from every other thread's remaining
+    footprint). The reduction preserves the reachable terminal-state set
+    exactly — outcome sets and terminal counts are identical with and
+    without it (property-tested over the whole litmus corpus); only
+    [states_visited] and the exploration statistics shrink. The soundness
+    argument is spelled out in DESIGN.md §8. *)
+
+type stats = {
+  elapsed_s : float;  (** wall-clock exploration time *)
+  states_per_sec : float;  (** distinct states admitted per second *)
+  transitions : int;  (** transitions taken (successor edges followed) *)
+  dedup_hits : int;  (** successors discarded as already-visited states *)
+  max_depth : int;  (** deepest state expanded (path length from the root) *)
+  max_frontier : int;  (** peak worklist size *)
+  por_ample_states : int;  (** states where an ample subset was selected *)
+  por_pruned : int;  (** transitions pruned by the ample-set reduction *)
+}
 
 type 'a result = {
   outcomes : ('a * int) list;
@@ -13,16 +34,29 @@ type 'a result = {
           mapping to each, sorted by observation *)
   states_visited : int;
   terminals : int;
+  stats : stats;
 }
+
+exception State_limit of { max_states : int; states_visited : int; terminals : int }
+(** Raised when more than [max_states] distinct states would be admitted;
+    carries the partial statistics at the point of abort. *)
 
 val outcomes :
   ?max_states:int ->
+  ?por:bool ->
+  ?legacy_key:bool ->
   Semantics.discipline ->
   State.t ->
   observe:(State.t -> 'a) ->
   'a result
-(** [outcomes d st ~observe] explores exhaustively. Raises [Failure] when
-    more than [max_states] (default 2_000_000) distinct states are reached. *)
+(** [outcomes d st ~observe] explores exhaustively. At most [max_states]
+    (default 2_000_000) distinct states are admitted; exceeding the cap
+    raises {!State_limit}. [por] (default [false]) enables the ample-set
+    partial-order reduction. [legacy_key] (default [false]) deduplicates
+    with the original [Printf]-built {!State.key} instead of
+    {!State.packed_key} — kept so the bench can measure the two paths
+    against each other. *)
 
-val reachable_terminal_count : ?max_states:int -> Semantics.discipline -> State.t -> int
+val reachable_terminal_count :
+  ?max_states:int -> ?por:bool -> Semantics.discipline -> State.t -> int
 (** Number of distinct terminal states. *)

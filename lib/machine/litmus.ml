@@ -210,13 +210,23 @@ let all =
   [ inc; inc_atomic; sb; sb_fence; sb_one_fence; mp; mp_rel_acq; lb; corr; two_plus_two_w; wrc;
     iriw ]
 
-let find name = List.find (fun t -> String.equal t.name name) all
+let find name =
+  match List.find_opt (fun t -> String.equal t.name name) all with
+  | Some t -> t
+  | None ->
+    (* "incN" names the generalized increment family, e.g. "inc4" *)
+    if String.length name > 3 && String.sub name 0 3 = "inc" then begin
+      match int_of_string_opt (String.sub name 3 (String.length name - 3)) with
+      | Some n when n >= 2 -> increment_n n
+      | _ -> raise Not_found
+    end
+    else raise Not_found
 
 let initial_state t = State.init ~programs:t.programs ~initial_mem:t.initial_mem
 
-let run_exhaustive ?window t family =
+let run_exhaustive ?window ?max_states ?por t family =
   let discipline = Semantics.of_model ?window family in
-  Enumerate.outcomes discipline (initial_state t) ~observe:t.observe
+  Enumerate.outcomes ?max_states ?por discipline (initial_state t) ~observe:t.observe
 
 type verdict = {
   test : string;

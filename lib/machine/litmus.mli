@@ -49,13 +49,21 @@ val increment_n : int -> t
     Theorem 6.3 regime, machine-side. Requires [n >= 2]. *)
 
 val find : string -> t
-(** Lookup by name. Raises [Not_found]. *)
+(** Lookup by name. Names of the form ["incN"] (N >= 2) resolve to
+    {!increment_n}[ N] even though only the corpus tests are in {!all}.
+    Raises [Not_found]. *)
 
 val initial_state : t -> State.t
 
 val run_exhaustive :
-  ?window:int -> t -> Memrel_memmodel.Model.family -> outcome Enumerate.result
-(** All outcomes of the test under a model's discipline. *)
+  ?window:int ->
+  ?max_states:int ->
+  ?por:bool ->
+  t ->
+  Memrel_memmodel.Model.family ->
+  outcome Enumerate.result
+(** All outcomes of the test under a model's discipline. [max_states] and
+    [por] are passed to {!Enumerate.outcomes}. *)
 
 type verdict = {
   test : string;

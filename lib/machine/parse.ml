@@ -23,16 +23,35 @@ let register_of_string s =
 
 let tokens_of_line s = String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
 
-(* location environment: mutable binding list built in first-appearance
-   order *)
-type env = { mutable locations : (string * int) list }
+(* location environment: first-appearance numbering via a hashtable, with
+   the bindings accumulated in reverse so neither lookup nor extension is
+   linear in the number of distinct locations *)
+type env = {
+  tbl : (string, int) Hashtbl.t;
+  mutable rev_locations : (string * int) list;
+  mutable count : int;
+}
+
+let env_create locations =
+  let env = { tbl = Hashtbl.create 16; rev_locations = []; count = 0 } in
+  List.iter
+    (fun (name, l) ->
+      Hashtbl.replace env.tbl name l;
+      env.rev_locations <- (name, l) :: env.rev_locations;
+      env.count <- max env.count (l + 1))
+    locations;
+  env
+
+let env_locations env = List.rev env.rev_locations
 
 let lookup_loc env name =
-  match List.assoc_opt name env.locations with
+  match Hashtbl.find_opt env.tbl name with
   | Some l -> l
   | None ->
-    let l = List.length env.locations in
-    env.locations <- env.locations @ [ (name, l) ];
+    let l = env.count in
+    Hashtbl.add env.tbl name l;
+    env.rev_locations <- (name, l) :: env.rev_locations;
+    env.count <- l + 1;
     l
 
 let operand_of_token ~line env tok =
@@ -91,7 +110,7 @@ let parse_instruction_line ~line env s =
      | _ -> fail line "cannot parse instruction %S" s)
 
 let parse_instruction ~locations s =
-  let env = { locations } in
+  let env = env_create locations in
   parse_instruction_line ~line:0 env s
 
 let split_key_value ~line s =
@@ -126,7 +145,7 @@ let parse_observable ~line env tok =
        else fail line "bad observable %S" tok)
 
 let parse_with_locations text =
-  let env = { locations = [] } in
+  let env = env_create [] in
   let name = ref None and description = ref "" in
   let init = ref [] and threads = ref [] and relaxed = ref [] in
   let lines = String.split_on_char '\n' text in
@@ -197,6 +216,6 @@ let parse_with_locations text =
       allowed_under = (fun _ -> true);
     }
   in
-  (test, env.locations)
+  (test, env_locations env)
 
 let parse text = fst (parse_with_locations text)

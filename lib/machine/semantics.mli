@@ -41,6 +41,16 @@ val transitions : discipline -> State.t -> (label * State.t) list
 (** All enabled transitions from a state; the empty list exactly on
     terminal states (every thread done, buffers drained). *)
 
+val thread_transitions : discipline -> State.t -> int -> (label * State.t) list
+(** [thread_transitions d st k]: the enabled transitions of thread [k]
+    only. [transitions] is their concatenation over all threads, in thread
+    order; exposed so the enumerator's partial-order reduction can select
+    an ample thread without re-deriving the grouping from labels.
+    A thread's enabledness depends only on its own context (program
+    counter, window hazards, its buffers) — never on other threads or on
+    shared memory — a fact the reduction's soundness argument relies on
+    (DESIGN.md §8). *)
+
 val conflicts : Instr.t array -> int -> int -> bool
 (** [conflicts prog j i] (for [j < i]): must [j] execute before [i] under
     WO? Exposed for property tests. *)

@@ -45,6 +45,46 @@ let buffered_read_perloc th loc =
   | None | Some [] -> None
   | Some l -> Some (List.nth l (List.length l - 1))
 
+(* zigzag + base-128 varint: injective on the int's bit pattern, so the
+   concatenation below (with count prefixes) is a canonical encoding *)
+let add_varint buf n =
+  let u = ref ((n lsl 1) lxor (n asr (Sys.int_size - 1))) in
+  while !u land lnot 0x7f <> 0 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!u land 0x7f)));
+    u := !u lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !u)
+
+let add_packed buf st =
+  (* zero-valued mem/reg bindings read identically to absent ones: skip
+     them so the encoding is canonical; every variable-length section is
+     count-prefixed so the byte string is unambiguous *)
+  let nonzero m = IntMap.fold (fun _ v n -> if v <> 0 then n + 1 else n) m 0 in
+  add_varint buf (nonzero st.mem);
+  IntMap.iter (fun l v -> if v <> 0 then (add_varint buf l; add_varint buf v)) st.mem;
+  Array.iter
+    (fun th ->
+      add_varint buf th.executed;
+      add_varint buf (nonzero th.regs);
+      IntMap.iter (fun r v -> if v <> 0 then (add_varint buf r; add_varint buf v)) th.regs;
+      add_varint buf (List.length th.fifo);
+      List.iter (fun (l, v) -> add_varint buf l; add_varint buf v) th.fifo;
+      add_varint buf (IntMap.fold (fun _ q n -> if q <> [] then n + 1 else n) th.perloc 0);
+      IntMap.iter
+        (fun l q ->
+          if q <> [] then begin
+            add_varint buf l;
+            add_varint buf (List.length q);
+            List.iter (add_varint buf) q
+          end)
+        th.perloc)
+    st.threads
+
+let packed_key st =
+  let buf = Buffer.create 64 in
+  add_packed buf st;
+  Buffer.contents buf
+
 let key st =
   let buf = Buffer.create 128 in
   (* zero-valued bindings read identically to absent ones: skip them so the

@@ -44,6 +44,19 @@ val buffered_read_perloc : thread -> int -> int option
 (** Newest buffered value for a location in the PSO buffers, if any. *)
 
 val key : t -> string
-(** Canonical serialization (deduplication key for enumeration). *)
+(** Canonical human-readable serialization. Retained as the legacy
+    deduplication key so the enumeration bench can measure it against
+    {!packed_key}; new code should prefer the packed form. *)
+
+val packed_key : t -> string
+(** Canonical compact serialization: zigzag-varint byte string with
+    count-prefixed sections, no [Printf] on the path. Two states have equal
+    packed keys iff they are semantically equal (same executed sets,
+    registers, buffers and memory, with zero-valued bindings normalized
+    away) — the enumerator's deduplication key. *)
+
+val add_packed : Buffer.t -> t -> unit
+(** Append the {!packed_key} encoding to a caller-owned buffer (lets the
+    enumerator reuse one scratch buffer across millions of states). *)
 
 val pp : Format.formatter -> t -> unit

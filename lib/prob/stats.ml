@@ -55,6 +55,8 @@ let mean_ci s ~z =
 
 let wilson_ci ~successes ~trials ~z =
   if trials <= 0 then invalid_arg "Stats.wilson_ci: trials must be positive";
+  if successes < 0 then invalid_arg "Stats.wilson_ci: successes must be nonnegative";
+  if successes > trials then invalid_arg "Stats.wilson_ci: successes must not exceed trials";
   let n = float_of_int trials in
   let p = float_of_int successes /. n in
   let z2 = z *. z in

@@ -34,7 +34,7 @@ val wilson_ci : successes:int -> trials:int -> z:float -> interval
 (** [wilson_ci ~successes ~trials ~z] is the Wilson score interval for a
     Bernoulli proportion — well-behaved even when the proportion is near 0,
     which matters for rare-event probabilities like Pr[B_gamma] at large
-    gamma. Requires [trials > 0]. *)
+    gamma. Requires [trials > 0] and [0 <= successes <= trials]. *)
 
 val binomial_point : successes:int -> trials:int -> float
 (** Plain proportion estimate. *)

@@ -1,9 +1,13 @@
 module E = Memrel_machine.Enumerate
 module Sem = Memrel_machine.Semantics
 module State = Memrel_machine.State
+module L = Memrel_machine.Litmus
 module I = Memrel_machine.Instr
+module Model = Memrel_memmodel.Model
 
 let mk programs = State.init ~programs ~initial_mem:[]
+
+let disciplines = [ ("SC", Sem.Sc); ("TSO", Sem.Tso); ("PSO", Sem.Pso); ("WO", Sem.Wo { window = 8 }) ]
 
 let test_single_thread_single_outcome () =
   let st = mk [ [| I.store ~loc:0 ~src:(I.Imm 1); I.load ~reg:0 ~loc:0 |] ] in
@@ -31,8 +35,21 @@ let test_visited_accounting () =
 let test_max_states_cap () =
   let st = mk [ Array.init 10 (fun i -> I.load ~reg:i ~loc:i);
                 Array.init 10 (fun i -> I.load ~reg:i ~loc:i) ] in
-  Alcotest.check_raises "cap enforced" (Failure "Enumerate: state limit exceeded") (fun () ->
-      ignore (E.outcomes ~max_states:5 Sem.Sc st ~observe:(fun _ -> ())))
+  match E.outcomes ~max_states:5 Sem.Sc st ~observe:(fun _ -> ()) with
+  | _ -> Alcotest.fail "expected State_limit"
+  | exception E.State_limit { max_states; states_visited; terminals } ->
+    Alcotest.(check int) "cap echoed" 5 max_states;
+    (* off-by-one regression: the seed enumerator admitted max_states + 1
+       states before aborting; now at most max_states are ever admitted *)
+    Alcotest.(check int) "exactly max_states admitted" 5 states_visited;
+    Alcotest.(check bool) "partial terminal count is sane" true (terminals >= 0 && terminals <= 5)
+
+let test_max_states_exact_fit () =
+  (* the 2x1-load space has exactly 4 states (see visited accounting):
+     max_states = 4 must succeed — the cap is "more than", not "at least" *)
+  let st = mk [ [| I.load ~reg:0 ~loc:0 |]; [| I.load ~reg:0 ~loc:1 |] ] in
+  let r = E.outcomes ~max_states:4 Sem.Sc st ~observe:(fun _ -> ()) in
+  Alcotest.(check int) "fits exactly" 4 r.states_visited
 
 let test_reachable_terminal_count () =
   let st =
@@ -48,6 +65,108 @@ let test_dedup_effectiveness () =
   let tso = (E.outcomes Sem.Tso st ~observe:(fun _ -> ())).states_visited in
   Alcotest.(check bool) (Printf.sprintf "SC %d < TSO %d" sc tso) true (sc < tso)
 
+let test_packed_key_agrees_with_legacy () =
+  (* the packed structural key and the legacy printf key must induce the
+     same state equivalence: identical visit/terminal/outcome accounting
+     on every corpus test under every discipline *)
+  List.iter
+    (fun (t : L.t) ->
+      List.iter
+        (fun (dname, d) ->
+          let run legacy_key =
+            E.outcomes ~legacy_key d (L.initial_state t) ~observe:t.observe
+          in
+          let packed = run false and legacy = run true in
+          let label = Printf.sprintf "%s/%s" t.name dname in
+          Alcotest.(check int) (label ^ " states") legacy.states_visited packed.states_visited;
+          Alcotest.(check int) (label ^ " terminals") legacy.terminals packed.terminals;
+          Alcotest.(check bool) (label ^ " outcomes") true (legacy.outcomes = packed.outcomes))
+        disciplines)
+    L.all
+
+let test_por_equals_full_on_corpus () =
+  (* soundness validation: the ample-set reduction must preserve outcome
+     sets AND per-outcome terminal counts exactly, over the whole corpus
+     under all four disciplines, while never visiting more states *)
+  List.iter
+    (fun (t : L.t) ->
+      List.iter
+        (fun (dname, d) ->
+          let full = E.outcomes d (L.initial_state t) ~observe:t.observe in
+          let por = E.outcomes ~por:true d (L.initial_state t) ~observe:t.observe in
+          let label = Printf.sprintf "%s/%s" t.name dname in
+          Alcotest.(check bool) (label ^ " outcome sets equal") true (full.outcomes = por.outcomes);
+          Alcotest.(check int) (label ^ " terminals equal") full.terminals por.terminals;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s POR states %d <= full %d" label por.states_visited
+               full.states_visited)
+            true
+            (por.states_visited <= full.states_visited))
+        disciplines)
+    (L.all @ [ L.increment_n 3 ])
+
+let outcome_xs (r : L.outcome E.result) =
+  List.map (fun (o, _) -> List.assoc "x" o) r.outcomes
+
+let test_increment3_pinned () =
+  (* deep-state-space regression pins: exact exhaustive counts for the
+     3-thread canonical bug (E14's n = 3 row, now exact) *)
+  let t = L.increment_n 3 in
+  let sc = L.run_exhaustive t Model.Sequential_consistency in
+  Alcotest.(check (list int)) "SC outcome set" [ 1; 2; 3 ] (outcome_xs sc);
+  Alcotest.(check int) "SC terminals" 16 sc.terminals;
+  Alcotest.(check (list int)) "SC per-outcome terminal counts" [ 4; 6; 6 ]
+    (List.map snd sc.outcomes);
+  Alcotest.(check int) "SC states" 175 sc.states_visited;
+  let tso = L.run_exhaustive t Model.Total_store_order in
+  Alcotest.(check (list int)) "TSO outcome set" [ 1; 2; 3 ] (outcome_xs tso);
+  Alcotest.(check int) "TSO terminals" 16 tso.terminals;
+  Alcotest.(check int) "TSO states" 308 tso.states_visited
+
+let test_increment4_smoke () =
+  (* the workload the recursive enumerator could not reach: exhaustive
+     n = 4 under SC and TSO, with and without POR, all agreeing *)
+  let t = L.increment_n 4 in
+  List.iter
+    (fun family ->
+      let full = L.run_exhaustive t family in
+      let por = L.run_exhaustive ~por:true t family in
+      Alcotest.(check (list int)) "outcome set is {1..4}" [ 1; 2; 3; 4 ] (outcome_xs full);
+      Alcotest.(check int) "109 terminal states" 109 full.terminals;
+      Alcotest.(check bool) "POR agrees" true (full.outcomes = por.outcomes);
+      Alcotest.(check int) "POR terminals agree" full.terminals por.terminals)
+    [ Model.Sequential_consistency; Model.Total_store_order ]
+
+let test_deep_linear_space () =
+  (* worklist iteration: a 60-store TSO thread takes 120 transitions to
+     drain (60 execs + 60 flushes) — the longest path is 120 deep and must
+     enumerate without Stack_overflow *)
+  let prog = Array.init 60 (fun i -> I.store ~loc:(i mod 4) ~src:(I.Imm i)) in
+  let st = mk [ prog ] in
+  let r = E.outcomes ~max_states:500_000 Sem.Tso st ~observe:(fun _ -> ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "deep path explored (max_depth %d)" r.stats.max_depth)
+    true
+    (r.stats.max_depth >= 120);
+  Alcotest.(check int) "single terminal (deterministic final memory)" 1 r.terminals
+
+let test_stats_observability () =
+  let t = L.increment_n 3 in
+  let r = L.run_exhaustive ~por:true t Model.Total_store_order in
+  let s = r.stats in
+  Alcotest.(check bool) "pruned some transitions" true (s.por_pruned > 0);
+  Alcotest.(check bool) "ample states counted" true (s.por_ample_states > 0);
+  Alcotest.(check bool) "transitions counted" true (s.transitions > 0);
+  Alcotest.(check bool) "frontier tracked" true (s.max_frontier > 0);
+  Alcotest.(check bool) "depth tracked" true (s.max_depth > 0);
+  Alcotest.(check bool) "elapsed nonnegative" true (s.elapsed_s >= 0.0)
+
+let test_find_incn () =
+  Alcotest.(check string) "inc4 resolves" "inc4" (L.find "inc4").L.name;
+  Alcotest.(check string) "corpus inc still wins" "inc" (L.find "inc").L.name;
+  Alcotest.check_raises "inc1 rejected" Not_found (fun () -> ignore (L.find "inc1"));
+  Alcotest.check_raises "incx rejected" Not_found (fun () -> ignore (L.find "incx"))
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -55,7 +174,15 @@ let suite =
       ("single-thread single outcome", test_single_thread_single_outcome);
       ("racing stores", test_interleaving_count_sc);
       ("state accounting", test_visited_accounting);
-      ("max_states cap", test_max_states_cap);
+      ("max_states cap raises State_limit", test_max_states_cap);
+      ("max_states exact fit succeeds", test_max_states_exact_fit);
       ("terminal count", test_reachable_terminal_count);
       ("TSO explores more states than SC", test_dedup_effectiveness);
+      ("packed key agrees with legacy key", test_packed_key_agrees_with_legacy);
+      ("POR preserves outcomes on the corpus", test_por_equals_full_on_corpus);
+      ("increment_n 3 exact counts pinned", test_increment3_pinned);
+      ("increment_n 4 exhaustive smoke", test_increment4_smoke);
+      ("deep linear space iterates", test_deep_linear_space);
+      ("observability counters", test_stats_observability);
+      ("find resolves incN names", test_find_incn);
     ]

@@ -111,6 +111,26 @@ let test_rmw_parse_and_run () =
   Alcotest.(check bool) "x=1 unreachable" false (List.mem_assoc t.L.relaxed_outcome r.E.outcomes);
   check_parse_error "name: t\nthread: x = rmw y + 1\nrelaxed: x=1\n" "rmw form"
 
+let test_many_locations_first_appearance () =
+  (* regression for the quadratic location environment: numbering must be
+     first-appearance order even with many distinct locations, and lookups
+     of already-bound names (the init line re-mentions every location) must
+     reuse the original numbers *)
+  let n = 200 in
+  let loc i = Printf.sprintf "loc%03d" i in
+  let init = String.concat " " (List.init n (fun i -> loc i ^ "=0")) in
+  let body = String.concat " ; " (List.init n (fun i -> Printf.sprintf "%s = %d" (loc i) i)) in
+  let text =
+    Printf.sprintf "name: wide\ninit: %s\nthread: %s\nrelaxed: %s=0\n" init body (loc 0)
+  in
+  let _, locs = P.parse_with_locations text in
+  Alcotest.(check int) "all locations bound once" n (List.length locs);
+  List.iteri
+    (fun i (name, l) ->
+      Alcotest.(check string) "appearance order" (loc i) name;
+      Alcotest.(check int) "consecutive numbering" i l)
+    locs
+
 let test_mp_with_fences_roundtrip () =
   let text =
     {|name: mp-ra
@@ -138,6 +158,7 @@ let suite =
       ("init and memory observables", test_init_and_memory_observable);
       ("comments and blanks", test_comments_and_blank_lines);
       ("register vs location names", test_register_vs_location_names);
+      ("many locations first-appearance order", test_many_locations_first_appearance);
       ("rmw parse and run", test_rmw_parse_and_run);
       ("fenced MP roundtrip", test_mp_with_fences_roundtrip);
     ]

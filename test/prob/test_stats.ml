@@ -47,6 +47,15 @@ let test_wilson_coverage_shape () =
   Alcotest.check_raises "trials = 0" (Invalid_argument "Stats.wilson_ci: trials must be positive")
     (fun () -> ignore (S.wilson_ci ~successes:0 ~trials:0 ~z:1.96))
 
+let test_wilson_rejects_bad_successes () =
+  (* regression: these used to return a garbage interval silently *)
+  Alcotest.check_raises "negative successes"
+    (Invalid_argument "Stats.wilson_ci: successes must be nonnegative") (fun () ->
+      ignore (S.wilson_ci ~successes:(-1) ~trials:100 ~z:1.96));
+  Alcotest.check_raises "successes > trials"
+    (Invalid_argument "Stats.wilson_ci: successes must not exceed trials") (fun () ->
+      ignore (S.wilson_ci ~successes:101 ~trials:100 ~z:1.96))
+
 let test_histogram () =
   let h = S.histogram [ 3; 1; 1; 2; 3; 3 ] in
   Alcotest.(check (list (pair int int))) "bins sorted" [ (1, 2); (2, 1); (3, 3) ] h.bins;
@@ -143,6 +152,7 @@ let suite =
       ("mean ci", test_mean_ci);
       ("wilson extremes", test_wilson_extremes);
       ("wilson shape", test_wilson_coverage_shape);
+      ("wilson rejects invalid successes", test_wilson_rejects_bad_successes);
       ("histogram", test_histogram);
       ("histogram order-insensitive", test_histogram_order_insensitive);
       ("total variation", test_total_variation);
