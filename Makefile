@@ -1,17 +1,18 @@
 # Tier-1 verification is `make ci`: build + tests + smoke runs of the MC
-# throughput bench and the exhaustive-enumeration bench (the latter
-# refreshes BENCH_enum.json, including the inc4 SC/TSO exhaustive counts).
+# throughput bench, the exhaustive-enumeration bench (the latter refreshes
+# BENCH_enum.json, including the inc4 SC/TSO exhaustive counts), the
+# axiomatic-vs-operational differential, and the candidate-generation bench.
 
-.PHONY: all build check test bench bench-json bench-enum ci clean
+.PHONY: all build check test bench bench-json bench-enum bench-axiom ci clean
 
 all: build
-
-build:
-	dune build
 
 # fast type-and-rules pass, no linking or tests
 check:
 	dune build @check
+
+build:
+	dune build
 
 test:
 	dune runtest
@@ -28,11 +29,18 @@ bench-json:
 bench-enum:
 	dune exec bench/main.exe -- --json-enum BENCH_enum.json
 
+# full-scale candidate-generation bench (corpus + inc3..inc5 under all four
+# models, every row differentially validated); writes BENCH_axiom.json
+bench-axiom:
+	dune exec bench/main.exe -- --json-axiom BENCH_axiom.json
+
 ci:
 	dune build
 	dune runtest
+	dune exec bin/memrel_cli.exe -- axiom sb mp lb inc3 inc4
 	dune exec bench/main.exe -- --json-smoke /tmp/BENCH_mc_smoke.json
 	dune exec bench/main.exe -- --json-enum-smoke BENCH_enum.json
+	dune exec bench/main.exe -- --json-axiom-smoke /tmp/BENCH_axiom_smoke.json
 
 clean:
 	dune clean

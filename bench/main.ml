@@ -636,13 +636,7 @@ let enum_rows ~smoke =
       assert (packed.Enumerate.terminals = por.Enumerate.terminals);
       {
         etest = t.Litmus.name;
-        ediscipline =
-          (match family with
-           | Model.Sequential_consistency -> "sc"
-           | Model.Total_store_order -> "tso"
-           | Model.Partial_store_order -> "pso"
-           | Model.Weak_ordering -> "wo"
-           | Model.Custom -> "custom");
+        ediscipline = String.lowercase_ascii (Model.family_name family);
         estates = packed.Enumerate.states_visited;
         eterminals = packed.Enumerate.terminals;
         legacy_secs = legacy.Enumerate.stats.elapsed_s;
@@ -698,6 +692,82 @@ let enum_json ~file ~smoke =
     rows;
   Printf.printf "wrote %s\n" file
 
+(* -- axiomatic bench (--json-axiom) ------------------------------------ *)
+
+(* Measures the candidate-execution generator (lib/axiom) across the corpus
+   and the increment family under all four models: accepted candidates per
+   second and how much of the naive co x rf space the incremental cycle
+   checks prune, with the operational outcome set cross-checked on every
+   row. Writes BENCH_axiom.json; `make ci` runs the smoke form. *)
+
+type axiom_row = {
+  atest : string;
+  afamily : string;
+  aoutcomes : int;
+  aagree : bool;
+  astats : Axiom.stats;
+}
+
+let axiom_rows ~smoke =
+  let tests =
+    if smoke then
+      [ Litmus.find "sb"; Litmus.find "mp"; Litmus.find "lb"; Litmus.increment_n 3;
+        Litmus.increment_n 4 ]
+    else Litmus.all @ [ Litmus.increment_n 3; Litmus.increment_n 4; Litmus.increment_n 5 ]
+  in
+  List.concat_map
+    (fun (t : Litmus.t) ->
+      List.map
+        (fun family ->
+          let r = Axiom_differential.run t family in
+          assert r.Axiom_differential.agree;
+          {
+            atest = t.Litmus.name;
+            afamily = String.lowercase_ascii (Model.family_name family);
+            aoutcomes = List.length r.Axiom_differential.axiomatic;
+            aagree = r.Axiom_differential.agree;
+            astats = r.Axiom_differential.stats;
+          })
+        Axiom_differential.standard_families)
+    tests
+
+let axiom_json ~file ~smoke =
+  let rows = axiom_rows ~smoke in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      let s = r.astats in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"test\": %S, \"family\": %S, \"events\": %d, \"outcomes\": %d,\n\
+           \     \"candidates\": %d, \"co_branches\": %d, \"rf_branches\": %d, \
+            \"pruned\": %d,\n\
+           \     \"naive_space\": %.0f, \"pruning_ratio\": %.4f,\n\
+           \     \"seconds\": %.6f, \"candidates_per_sec\": %.1f, \"agree\": %b}%s\n"
+           r.atest r.afamily s.Axiom.events r.aoutcomes s.Axiom.accepted s.Axiom.co_branches
+           s.Axiom.rf_branches s.Axiom.pruned s.Axiom.naive_space s.Axiom.pruning_ratio
+           s.Axiom.elapsed_s s.Axiom.candidates_per_sec r.aagree
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  List.iter
+    (fun r ->
+      let s = r.astats in
+      Printf.printf
+        "%-8s %-4s %2d events  %6d candidates (%d outcomes)  pruned %6d of naive %10.0f  \
+         %9.0f cand/s  %s\n"
+        r.atest r.afamily s.Axiom.events s.Axiom.accepted r.aoutcomes s.Axiom.pruned
+        s.Axiom.naive_space s.Axiom.candidates_per_sec
+        (if r.aagree then "agree" else "DISAGREE"))
+    rows;
+  Printf.printf "wrote %s\n" file
+
 let full_run () =
   print_endline "memrel reproduction harness";
   print_endline "paper: The Impact of Memory Models on Software Reliability in Multiprocessors";
@@ -739,4 +809,10 @@ let () =
   | _ :: "--json-enum-smoke" :: rest ->
     let file = match rest with f :: _ -> f | [] -> "BENCH_enum.json" in
     enum_json ~file ~smoke:true
+  | _ :: "--json-axiom" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_axiom.json" in
+    axiom_json ~file ~smoke:false
+  | _ :: "--json-axiom-smoke" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_axiom.json" in
+    axiom_json ~file ~smoke:true
   | _ -> full_run ()

@@ -215,6 +215,17 @@ let scaling_cmd =
   Cmd.v (Cmd.info "scaling" ~doc:"Thread-scaling table (Theorem 6.3).")
     Term.(const run $ n_max_arg $ jobs_arg)
 
+(* unknown-test errors offer the corpus: every subcommand taking a test
+   name routes through this *)
+let find_litmus name =
+  match Litmus.find name with
+  | t -> Ok t
+  | exception Not_found ->
+    Error
+      (Printf.sprintf
+         "unknown litmus test %S (available: %s; or incN for the N-thread increment)"
+         name (String.concat ", " Litmus.names))
+
 (* -- litmus ----------------------------------------------------------- *)
 
 let litmus_cmd =
@@ -236,10 +247,7 @@ let litmus_cmd =
       | None ->
         (match name with
          | None -> Ok (Litmus.all, true)
-         | Some n ->
-           (match Litmus.find n with
-            | t -> Ok ([ t ], true)
-            | exception Not_found -> Error (Printf.sprintf "unknown litmus test %S" n)))
+         | Some n -> Result.map (fun t -> ([ t ], true)) (find_litmus n))
     in
     match loaded with
     | Error msg ->
@@ -252,14 +260,7 @@ let litmus_cmd =
         List.iter
           (fun family ->
             let v = Litmus.check t family in
-            let fname =
-              match family with
-              | Model.Sequential_consistency -> "SC"
-              | Model.Total_store_order -> "TSO"
-              | Model.Partial_store_order -> "PSO"
-              | Model.Weak_ordering -> "WO"
-              | Model.Custom -> "custom"
-            in
+            let fname = Model.family_name family in
             if with_expectations then
               Printf.printf "  %-4s relaxed outcome %s (expected %s) %s\n" fname
                 (if v.observed_relaxed then "ALLOWED" else "forbidden")
@@ -361,14 +362,11 @@ let verify_cmd =
 
 let enumerate_cmd =
   let run name model por max_states legacy_key window =
-    match Litmus.find name with
-    | exception Not_found ->
-      Printf.eprintf
-        "memrel: unknown litmus test %S (corpus: %s; or incN for the n-thread increment)\n"
-        name
-        (String.concat ", " (List.map (fun (t : Litmus.t) -> t.name) Litmus.all));
+    match find_litmus name with
+    | Error msg ->
+      Printf.eprintf "memrel: %s\n" msg;
       Cmd.Exit.some_error
-    | t ->
+    | Ok t ->
       let discipline = Semantics.of_model ~window (Model.family model) in
       (match
          Enumerate.outcomes ~max_states ~por ~legacy_key discipline (Litmus.initial_state t)
@@ -430,10 +428,125 @@ let enumerate_cmd =
     Term.(const run $ name_arg $ model_arg $ por_arg $ max_states_arg $ legacy_key_arg
           $ window_arg)
 
+(* -- axiom ------------------------------------------------------------- *)
+
+let axiom_cmd =
+  let run names model no_diff window =
+    let tests =
+      match names with
+      | [] -> Ok Litmus.all
+      | ns ->
+        List.fold_left
+          (fun acc n ->
+            match (acc, find_litmus n) with
+            | Error _, _ -> acc
+            | Ok _, Error msg -> Error msg
+            | Ok ts, Ok t -> Ok (ts @ [ t ]))
+          (Ok []) ns
+    in
+    match tests with
+    | Error msg ->
+      Printf.eprintf "memrel: %s\n" msg;
+      Cmd.Exit.some_error
+    | Ok tests ->
+      let families =
+        match model with
+        | None -> Axiom_differential.standard_families
+        | Some m -> [ Model.family m ]
+      in
+      let detail = List.length tests = 1 in
+      let disagreements = ref 0 in
+      List.iter
+        (fun (t : Litmus.t) ->
+          Printf.printf "%s: %s\n" t.name t.description;
+          List.iter
+            (fun family ->
+              if no_diff then begin
+                let r = Axiom.run ~window t family in
+                let s = r.Axiom.stats in
+                Printf.printf
+                  "  %-4s %d allowed outcomes (%d candidates of naive %.0f; pruned %d; %.0f cand/s)\n"
+                  (Model.family_name family) (List.length r.Axiom.entries) s.Axiom.accepted
+                  s.Axiom.naive_space s.Axiom.pruned s.Axiom.candidates_per_sec;
+                if detail then
+                  List.iter
+                    (fun (e : Axiom.entry) ->
+                      Printf.printf "       %-30s %4d candidate%s\n"
+                        (Axiom_differential.outcome_to_string e.Axiom.outcome)
+                        e.Axiom.candidates
+                        (if e.Axiom.candidates = 1 then "" else "s"))
+                    r.Axiom.entries;
+                let relaxed =
+                  List.exists (fun (e : Axiom.entry) -> e.Axiom.outcome = t.relaxed_outcome)
+                    r.Axiom.entries
+                in
+                Printf.printf "       relaxed outcome %s: %s\n"
+                  (Axiom_differential.outcome_to_string t.relaxed_outcome)
+                  (if relaxed then "ALLOWED" else "forbidden")
+              end
+              else begin
+                let r = Axiom_differential.run ~window t family in
+                let s = r.Axiom_differential.stats in
+                if r.Axiom_differential.agree then begin
+                  Printf.printf
+                    "  %-4s agree: %d outcomes axiomatic = operational (%d candidates of naive \
+                     %.0f; pruned %d; %d terminal states); relaxed %s\n"
+                    (Model.family_name family)
+                    (List.length r.Axiom_differential.axiomatic)
+                    s.Axiom.accepted s.Axiom.naive_space s.Axiom.pruned
+                    r.Axiom_differential.operational_states
+                    (if List.mem t.relaxed_outcome r.Axiom_differential.axiomatic then "ALLOWED"
+                     else "forbidden");
+                  if detail then
+                    List.iter
+                      (fun o ->
+                        Printf.printf "       %s\n" (Axiom_differential.outcome_to_string o))
+                      r.Axiom_differential.axiomatic
+                end
+                else begin
+                  incr disagreements;
+                  print_string (Axiom_differential.describe r)
+                end
+              end)
+            families)
+        tests;
+      if !disagreements = 0 then 0
+      else begin
+        Printf.eprintf "memrel: %d axiomatic/operational disagreement%s\n" !disagreements
+          (if !disagreements = 1 then "" else "s");
+        1
+      end
+  in
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"TEST"
+           ~doc:"Litmus test names (the whole corpus when omitted); incN selects the \
+                 N-thread increment.")
+  in
+  let model_opt_arg =
+    Arg.(value & opt (some model_conv) None & info [ "model" ] ~docv:"MODEL"
+           ~doc:"Restrict to one model (sc, tso, pso or wo; default: all four).")
+  in
+  let no_diff_arg =
+    Arg.(value & flag & info [ "no-diff" ]
+           ~doc:"Skip the operational cross-check; report the axiomatic side only.")
+  in
+  let window_arg =
+    Arg.(value & opt int 8 & info [ "window" ] ~docv:"W"
+           ~doc:"Out-of-order window for the wo model (both sides of the differential).")
+  in
+  let exits =
+    Cmd.Exit.info 1 ~doc:"axiomatic and operational outcome sets disagree." :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "axiom" ~exits
+       ~doc:"Enumerate axiomatically allowed executions (event graphs; acyclicity axioms \
+             per model) and cross-check against the operational enumeration.")
+    Term.(const run $ names_arg $ model_opt_arg $ no_diff_arg $ window_arg)
+
 let main_cmd =
   let doc = "reproduction of 'The Impact of Memory Models on Software Reliability'" in
   Cmd.group (Cmd.info "memrel" ~version:"1.0.0" ~doc)
     [ table1_cmd; figure1_cmd; figure2_cmd; window_cmd; shift_cmd; joint_cmd; scaling_cmd;
-      litmus_cmd; enumerate_cmd; fences_cmd; verify_cmd ]
+      litmus_cmd; enumerate_cmd; axiom_cmd; fences_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,92 @@
+module Model = Memrel_memmodel.Model
+module Litmus = Memrel_machine.Litmus
+
+type disagreement = {
+  outcome : Litmus.outcome;
+  axiomatic : bool;
+  operational : bool;
+  witness : string option;
+}
+
+type report = {
+  test : string;
+  family : Model.family;
+  window : int;
+  axiomatic : Litmus.outcome list;
+  operational : Litmus.outcome list;
+  agree : bool;
+  disagreements : disagreement list;
+  stats : Generate.stats;
+  operational_states : int;
+}
+
+let standard_families =
+  [ Model.Sequential_consistency; Model.Total_store_order; Model.Partial_store_order;
+    Model.Weak_ordering ]
+
+(* the corpus uses locations 0 = x, 1 = y; beyond that keep the raw index *)
+let loc_name l =
+  if l = Litmus.x then "x" else if l = Litmus.y then "y" else Printf.sprintf "m%d" l
+
+let run ?(window = 8) ?max_states ?por (t : Litmus.t) family =
+  let axr = Generate.run ~window t family in
+  let axiomatic = List.map (fun (e : Generate.entry) -> e.Generate.outcome) axr.Generate.entries in
+  let opr = Litmus.run_exhaustive ~window ?max_states ?por t family in
+  let operational = Memrel_machine.Enumerate.outcome_set opr in
+  let witness_of o =
+    List.find_opt (fun (e : Generate.entry) -> e.Generate.outcome = o) axr.Generate.entries
+    |> Option.map (fun (e : Generate.entry) ->
+           Candidate.describe ~loc_name e.Generate.witness)
+  in
+  let disagreements =
+    List.filter_map
+      (fun o ->
+        if List.mem o operational then None
+        else Some { outcome = o; axiomatic = true; operational = false; witness = witness_of o })
+      axiomatic
+    @ List.filter_map
+        (fun o ->
+          if List.mem o axiomatic then None
+          else Some { outcome = o; axiomatic = false; operational = true; witness = None })
+        operational
+  in
+  {
+    test = t.Litmus.name;
+    family;
+    window;
+    axiomatic;
+    operational;
+    agree = disagreements = [];
+    disagreements;
+    stats = axr.Generate.stats;
+    operational_states = opr.Memrel_machine.Enumerate.terminals;
+  }
+
+let run_corpus ?window ?max_states ?por () =
+  List.concat_map
+    (fun t -> List.map (fun family -> run ?window ?max_states ?por t family) standard_families)
+    Litmus.all
+
+let outcome_to_string o =
+  String.concat " " (List.map (fun (name, v) -> Printf.sprintf "%s=%d" name v) o)
+
+let describe r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s under %s: %s (%d axiomatic = %d operational outcomes)\n" r.test
+       (Model.family_name r.family)
+       (if r.agree then "agree" else "DISAGREE")
+       (List.length r.axiomatic) (List.length r.operational));
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s\n" (outcome_to_string d.outcome)
+           (if d.axiomatic then "axiomatically allowed, operationally unreachable"
+            else "operationally reachable, axiomatically forbidden"));
+      Option.iter
+        (fun w ->
+          String.split_on_char '\n' w
+          |> List.iter (fun line -> Buffer.add_string buf ("    " ^ line ^ "\n")))
+        d.witness)
+    r.disagreements;
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** Axiomatic-vs-operational differential validation.
+
+    For a litmus test and a model family, compares the outcome set allowed
+    by the axioms ({!Generate.run}) with the outcome set reachable by the
+    operational machine ({!Memrel_machine.Litmus.run_exhaustive}). The two
+    semantics are implemented independently — event graphs with acyclicity
+    axioms on one side, an exhaustively explored transition system on the
+    other — so set equality on every corpus test under every model is
+    strong evidence both encode the same memory model. Disagreements carry
+    a rendered counterexample event graph when the axiomatic side has a
+    witness. *)
+
+type disagreement = {
+  outcome : Memrel_machine.Litmus.outcome;
+  axiomatic : bool;  (** allowed by the axioms *)
+  operational : bool;  (** reachable by the machine *)
+  witness : string option;
+      (** rendered event graph of an axiomatic witness execution; [None]
+          for operational-only outcomes (the axioms are too strong — there
+          is no candidate to draw) *)
+}
+
+type report = {
+  test : string;
+  family : Memrel_memmodel.Model.family;
+  window : int;
+  axiomatic : Memrel_machine.Litmus.outcome list;
+  operational : Memrel_machine.Litmus.outcome list;
+  agree : bool;  (** the two outcome sets are equal *)
+  disagreements : disagreement list;
+  stats : Generate.stats;
+  operational_states : int;  (** distinct terminal states explored *)
+}
+
+val standard_families : Memrel_memmodel.Model.family list
+(** SC, TSO, PSO, WO — the four paper models. *)
+
+val run :
+  ?window:int ->
+  ?max_states:int ->
+  ?por:bool ->
+  Memrel_machine.Litmus.t ->
+  Memrel_memmodel.Model.family ->
+  report
+(** One test under one model. [window] (default 8) is used on both sides;
+    [max_states] and [por] go to the operational enumerator. *)
+
+val run_corpus :
+  ?window:int -> ?max_states:int -> ?por:bool -> unit -> report list
+(** Every corpus test under every standard family. *)
+
+val outcome_to_string : Memrel_machine.Litmus.outcome -> string
+
+val describe : report -> string
+(** Human-readable summary; includes counterexample graphs on
+    disagreement. *)

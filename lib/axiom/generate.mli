@@ -1,0 +1,62 @@
+(** Candidate-execution generation with incremental axiomatic pruning.
+
+    Enumerates the executions of a litmus program allowed by a memory
+    model's axioms (see {!Axioms}): first the coherence order per location
+    (as a permutation, committing only consecutive edges — transitive
+    closure maintenance makes that sufficient), then a reads-from source
+    per read (the initial value or any same-location write), deriving the
+    from-reads edges as each rf choice is made. Every partial choice is
+    checked against all of the model's acyclicity instances immediately, so
+    an inconsistent branch is abandoned at its first bad edge instead of
+    being completed and filtered — the [pruned] / [naive_space] statistics
+    quantify how much of the naive space is never visited. Every leaf the
+    search reaches is therefore an allowed candidate execution. *)
+
+type stats = {
+  events : int;
+  accepted : int;  (** allowed candidate executions visited *)
+  co_branches : int;  (** coherence-order extension attempts *)
+  rf_branches : int;  (** reads-from assignment attempts *)
+  pruned : int;  (** dynamic edge insertions rejected by a cycle check *)
+  naive_space : float;
+      (** |co permutations| x |rf assignments| — the space a
+          generate-then-filter enumeration would visit *)
+  pruning_ratio : float;  (** pruned / (co_branches + rf_branches) *)
+  elapsed_s : float;
+  candidates_per_sec : float;  (** accepted / elapsed *)
+}
+
+val iter :
+  ?window:int ->
+  Memrel_machine.Litmus.t ->
+  Memrel_memmodel.Model.family ->
+  (Candidate.t -> unit) ->
+  stats
+(** Visit every allowed candidate execution. [window] (default 8) sizes the
+    WO reorder window, matching {!Memrel_machine.Semantics.of_model}.
+    Raises [Invalid_argument] for [Custom] models and for programs with
+    more than {!Order.max_vertices} memory events. *)
+
+type entry = {
+  outcome : Memrel_machine.Litmus.outcome;
+  candidates : int;  (** allowed candidate executions observing it *)
+  witness : Candidate.t;  (** one of them, for rendering *)
+}
+
+type run = { stats : stats; entries : entry list }
+
+val run :
+  ?window:int ->
+  Memrel_machine.Litmus.t ->
+  Memrel_memmodel.Model.family ->
+  run
+(** Group the allowed executions by observed outcome, sorted by outcome —
+    the axiomatic side of the differential check. *)
+
+val outcome_set :
+  ?window:int ->
+  Memrel_machine.Litmus.t ->
+  Memrel_memmodel.Model.family ->
+  Memrel_machine.Litmus.outcome list
+(** Just the distinct outcomes, sorted — directly comparable with
+    {!Memrel_machine.Litmus.outcome_set}. *)

@@ -1,0 +1,49 @@
+type t = {
+  n : int;
+  mutable reach : int array;
+  mutable saved : int array list;
+  mutable additions : int;
+  mutable rejections : int;
+}
+
+let max_vertices = Sys.int_size - 1
+
+let create n =
+  if n < 0 || n > max_vertices then
+    invalid_arg
+      (Printf.sprintf "Order.create: %d vertices (at most %d supported — one bit each)" n
+         max_vertices);
+  { n; reach = Array.make n 0; saved = []; additions = 0; rejections = 0 }
+
+let reaches t u v = t.reach.(u) land (1 lsl v) <> 0
+
+let add t u v =
+  if u = v || reaches t v u then begin
+    t.rejections <- t.rejections + 1;
+    false
+  end
+  else begin
+    t.additions <- t.additions + 1;
+    (* everything v reaches — and v itself — becomes reachable from u and
+       from every vertex that already reaches u. One O(n) sweep with word-
+       parallel bitmask unions: the closure stays exact after every edge. *)
+    let closure = t.reach.(v) lor (1 lsl v) in
+    let bit_u = 1 lsl u in
+    let reach = t.reach in
+    for w = 0 to t.n - 1 do
+      if w = u || reach.(w) land bit_u <> 0 then reach.(w) <- reach.(w) lor closure
+    done;
+    true
+  end
+
+let push t = t.saved <- Array.copy t.reach :: t.saved
+
+let pop t =
+  match t.saved with
+  | [] -> invalid_arg "Order.pop: no snapshot"
+  | r :: rest ->
+    t.reach <- r;
+    t.saved <- rest
+
+let additions t = t.additions
+let rejections t = t.rejections

@@ -1,0 +1,39 @@
+(** Incremental acyclicity maintenance over a fixed vertex set.
+
+    The candidate-execution generator commits rf/co choices one edge at a
+    time; each axiom is an acyclicity requirement, so the hot operation is
+    "would adding this edge close a cycle?". This module keeps the exact
+    transitive closure as per-vertex reachability bitmasks (one native-int
+    word per vertex — event counts are tiny), making the check O(1) and an
+    accepted insertion O(n) word operations, instead of a fresh O(V+E) DFS
+    per probe. Snapshots ({!push}/{!pop}) give the generator cheap
+    backtracking. *)
+
+type t
+
+val max_vertices : int
+(** Vertices are bits of a native int: [Sys.int_size - 1]. *)
+
+val create : int -> t
+(** An edgeless order on [n] vertices. Raises [Invalid_argument] beyond
+    {!max_vertices}. *)
+
+val add : t -> int -> int -> bool
+(** [add t u v] inserts the edge [u -> v] and returns [true], or returns
+    [false] — leaving the closure unchanged — when the edge would close a
+    cycle (including [u = v]). *)
+
+val reaches : t -> int -> int -> bool
+(** [reaches t u v]: is there a nonempty path [u -> ... -> v]? *)
+
+val push : t -> unit
+(** Snapshot the current closure onto an internal stack. *)
+
+val pop : t -> unit
+(** Restore (and drop) the most recent snapshot. *)
+
+val additions : t -> int
+(** Edges accepted since creation (monotonic; not rewound by {!pop}). *)
+
+val rejections : t -> int
+(** Insertions refused by the cycle check (monotonic). *)

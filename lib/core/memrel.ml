@@ -62,6 +62,15 @@ module Enumerate = Memrel_machine.Enumerate
 module Litmus = Memrel_machine.Litmus
 module Litmus_parse = Memrel_machine.Parse
 
+(** {1 Axiomatic checker (event graphs, per-model acyclicity axioms)} *)
+
+module Axiom_event = Memrel_axiom.Event
+module Axiom_order = Memrel_axiom.Order
+module Axioms = Memrel_axiom.Axioms
+module Axiom_candidate = Memrel_axiom.Candidate
+module Axiom = Memrel_axiom.Generate
+module Axiom_differential = Memrel_axiom.Differential
+
 (** {1 Figure renderings} *)
 
 module Render = Memrel_trace.Render

@@ -202,5 +202,7 @@ let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) disc
       };
   }
 
+let outcome_set r = List.map fst r.outcomes
+
 let reachable_terminal_count ?max_states ?por discipline st =
   (outcomes ?max_states ?por discipline st ~observe:(fun s -> State.packed_key s)).terminals

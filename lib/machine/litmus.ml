@@ -210,6 +210,8 @@ let all =
   [ inc; inc_atomic; sb; sb_fence; sb_one_fence; mp; mp_rel_acq; lb; corr; two_plus_two_w; wrc;
     iriw ]
 
+let names = List.map (fun t -> t.name) all
+
 let find name =
   match List.find_opt (fun t -> String.equal t.name name) all with
   | Some t -> t
@@ -227,6 +229,9 @@ let initial_state t = State.init ~programs:t.programs ~initial_mem:t.initial_mem
 let run_exhaustive ?window ?max_states ?por t family =
   let discipline = Semantics.of_model ?window family in
   Enumerate.outcomes ?max_states ?por discipline (initial_state t) ~observe:t.observe
+
+let outcome_set ?window ?max_states ?por t family =
+  Enumerate.outcome_set (run_exhaustive ?window ?max_states ?por t family)
 
 type verdict = {
   test : string;

@@ -48,6 +48,10 @@ val increment_n : int -> t
     the relaxed outcome asked about is x = 1, the maximal loss). The paper's
     Theorem 6.3 regime, machine-side. Requires [n >= 2]. *)
 
+val names : string list
+(** The corpus test names, in {!all} order — what an "unknown test" error
+    should offer the user. *)
+
 val find : string -> t
 (** Lookup by name. Names of the form ["incN"] (N >= 2) resolve to
     {!increment_n}[ N] even though only the corpus tests are in {!all}.
@@ -64,6 +68,16 @@ val run_exhaustive :
   outcome Enumerate.result
 (** All outcomes of the test under a model's discipline. [max_states] and
     [por] are passed to {!Enumerate.outcomes}. *)
+
+val outcome_set :
+  ?window:int ->
+  ?max_states:int ->
+  ?por:bool ->
+  t ->
+  Memrel_memmodel.Model.family ->
+  outcome list
+(** The distinct reachable observations only, sorted — the operational
+    side of the axiomatic-vs-operational differential check. *)
 
 type verdict = {
   test : string;

@@ -52,6 +52,13 @@ let family t = t.family
 let name t = t.name
 let s t = t.s
 
+let family_name = function
+  | Sequential_consistency -> "SC"
+  | Total_store_order -> "TSO"
+  | Partial_store_order -> "PSO"
+  | Weak_ordering -> "WO"
+  | Custom -> "custom"
+
 let swap_probability t ~earlier ~later =
   match (earlier, later) with
   | Op.ST, Op.ST -> t.st_st

@@ -47,6 +47,10 @@ val name : t -> string
 val s : t -> float
 (** The nominal swap probability used for this model's relaxed pairs. *)
 
+val family_name : family -> string
+(** Display name of a family: ["SC"], ["TSO"], ["PSO"], ["WO"] or
+    ["custom"]. *)
+
 val swap_probability : t -> earlier:Op.kind -> later:Op.kind -> float
 (** [swap_probability t ~earlier ~later] is rho(earlier, later). *)
 

@@ -93,3 +93,31 @@ let window_bar pmf ~width =
       Buffer.add_string buf (Printf.sprintf "%4d | %-*s %.6f\n" v width (String.make len '#') p))
     pmf;
   Buffer.contents buf
+
+let event_graph ~title ~threads ~edges =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun k rows ->
+      List.iteri
+        (fun i row ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s | %s\n" (if i = 0 then Printf.sprintf "T%d" k else "  ") row))
+        (if rows = [] then [ "(no events)" ] else rows))
+    threads;
+  (* group edges by relation name, preserving first-appearance order *)
+  let rels = ref [] in
+  List.iter
+    (fun (rel, _, _) -> if not (List.mem rel !rels) then rels := rel :: !rels)
+    edges;
+  List.iter
+    (fun rel ->
+      let arrows =
+        List.filter_map
+          (fun (r, a, b) -> if String.equal r rel then Some (a ^ " -> " ^ b) else None)
+          edges
+      in
+      Buffer.add_string buf (Printf.sprintf "  %-4s %s\n" rel (String.concat ", " arrows)))
+    (List.rev !rels);
+  Buffer.contents buf

@@ -38,3 +38,16 @@ val figure2_paper_instance : unit -> string
 val window_bar : (int * float) list -> width:int -> string
 (** Tiny horizontal bar chart of a pmf — used by the CLI to visualize
     window distributions. *)
+
+val event_graph :
+  title:string ->
+  threads:string list list ->
+  edges:(string * string * string) list ->
+  string
+(** [event_graph ~title ~threads ~edges] draws a candidate-execution event
+    graph in ASCII: one block of rows per thread (each row one event, in
+    program order) followed by the relation edges grouped by name. [edges]
+    entries are [(relation, from_label, to_label)]; relations keep their
+    first-appearance order. Generic over the labels so the axiomatic
+    checker (lib/axiom) can render counterexamples without this library
+    depending on it. *)

@@ -1,0 +1,124 @@
+(* Pinned allowed-outcome sets for the classic litmus shapes under each
+   model, computed purely axiomatically (no operational run). These are the
+   textbook verdicts: sb distinguishes SC from TSO, mp distinguishes TSO
+   from PSO, lb and iriw distinguish PSO from WO. The differential suite in
+   test/machine checks axiomatic = operational corpus-wide; here the exact
+   sets are written out by hand so a simultaneous bug in both semantics
+   cannot cancel out. *)
+
+module L = Memrel_machine.Litmus
+module G = Memrel_axiom.Generate
+module Model = Memrel_memmodel.Model
+
+let sc = Model.Sequential_consistency
+let tso = Model.Total_store_order
+let pso = Model.Partial_store_order
+let wo = Model.Weak_ordering
+
+let outcome_testable = Alcotest.(list (list (pair string int)))
+
+let check_set name t family expected () =
+  Alcotest.check outcome_testable name (List.sort compare expected)
+    (G.outcome_set t family)
+
+(* -- sb: labels 0:r0, 1:r0 --------------------------------------------- *)
+
+let sb_o (a, b) = [ ("0:r0", a); ("1:r0", b) ]
+let sb_sc = List.map sb_o [ (0, 1); (1, 0); (1, 1) ]
+let sb_relaxed_all = List.map sb_o [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+
+(* -- mp: labels 1:r0, 1:r1 --------------------------------------------- *)
+
+let mp_o (a, b) = [ ("1:r0", a); ("1:r1", b) ]
+let mp_strong = List.map mp_o [ (0, 0); (0, 1); (1, 1) ]
+let mp_relaxed = List.map mp_o [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+
+(* -- lb: labels 0:r0, 1:r0 --------------------------------------------- *)
+
+let lb_o (a, b) = [ ("0:r0", a); ("1:r0", b) ]
+let lb_strong = List.map lb_o [ (0, 0); (0, 1); (1, 0) ]
+let lb_relaxed = List.map lb_o [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+
+(* -- iriw: labels 2:r0, 2:r1, 3:r0, 3:r1 ------------------------------- *)
+
+let iriw_o (a, b, c, d) = [ ("2:r0", a); ("2:r1", b); ("3:r0", c); ("3:r1", d) ]
+
+let iriw_all =
+  List.concat_map
+    (fun a ->
+      List.concat_map
+        (fun b ->
+          List.concat_map (fun c -> List.map (fun d -> iriw_o (a, b, c, d)) [ 0; 1 ])
+            [ 0; 1 ])
+        [ 0; 1 ])
+    [ 0; 1 ]
+
+(* readers disagreeing on the store order is the single excluded combination
+   when one memory order exists *)
+let iriw_strong = List.filter (fun o -> o <> iriw_o (1, 0, 1, 0)) iriw_all
+
+(* sb under TSO must admit EXACTLY the one extra outcome SC forbids: the
+   acceptance criterion of the subsystem *)
+let test_sb_tso_is_sc_plus_relaxed () =
+  let t = L.find "sb" in
+  let sc_set = G.outcome_set t sc in
+  let tso_set = G.outcome_set t tso in
+  Alcotest.check outcome_testable "TSO = SC + relaxed"
+    (List.sort compare (t.L.relaxed_outcome :: sc_set))
+    tso_set
+
+(* WO with window = 1 cannot reorder anything: axiomatically it must
+   collapse to the SC outcome set *)
+let test_wo_window1_is_sc () =
+  List.iter
+    (fun name ->
+      let t = L.find name in
+      Alcotest.check outcome_testable
+        (name ^ " WO window=1 = SC")
+        (G.outcome_set t sc)
+        (G.outcome_set ~window:1 t wo))
+    [ "sb"; "mp"; "lb"; "iriw"; "2+2w" ]
+
+(* the rmw fix: an update reading anything but its coherence predecessor is
+   an fr;co cycle, so x=1 is axiomatically impossible under every model *)
+let test_inc_rmw_atomic () =
+  let t = L.find "inc+rmw" in
+  List.iter
+    (fun family ->
+      Alcotest.check outcome_testable
+        ("inc+rmw under " ^ Model.family_name family)
+        [ [ ("x", 2) ] ]
+        (G.outcome_set t family))
+    [ sc; tso; pso; wo ]
+
+let test_pruning_stats () =
+  let t = L.find "sb" in
+  let stats = G.iter t sc (fun _ -> ()) in
+  Alcotest.(check int) "4 events" 4 stats.G.events;
+  Alcotest.(check int) "3 accepted" 3 stats.G.accepted;
+  Alcotest.(check bool) "something pruned under SC" true (stats.G.pruned > 0);
+  Alcotest.(check (float 1e-9)) "naive space = 4" 4.0 stats.G.naive_space
+
+let sets name expected_by_family =
+  List.map
+    (fun (family, expected) ->
+      let t = L.find name in
+      Alcotest.test_case
+        (Printf.sprintf "%s under %s pinned" name (Model.family_name family))
+        `Quick
+        (check_set name t family expected))
+    expected_by_family
+
+let suite =
+  sets "sb" [ (sc, sb_sc); (tso, sb_relaxed_all); (pso, sb_relaxed_all); (wo, sb_relaxed_all) ]
+  @ sets "mp" [ (sc, mp_strong); (tso, mp_strong); (pso, mp_relaxed); (wo, mp_relaxed) ]
+  @ sets "lb" [ (sc, lb_strong); (tso, lb_strong); (pso, lb_strong); (wo, lb_relaxed) ]
+  @ sets "iriw"
+      [ (sc, iriw_strong); (tso, iriw_strong); (pso, iriw_strong); (wo, iriw_all) ]
+  @ [
+      Alcotest.test_case "sb TSO = SC set + exactly the relaxed outcome" `Quick
+        test_sb_tso_is_sc_plus_relaxed;
+      Alcotest.test_case "WO window=1 collapses to SC" `Quick test_wo_window1_is_sc;
+      Alcotest.test_case "inc+rmw forces x=2 everywhere" `Quick test_inc_rmw_atomic;
+      Alcotest.test_case "generator statistics" `Quick test_pruning_stats;
+    ]

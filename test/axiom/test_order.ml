@@ -1,0 +1,53 @@
+(* The incremental transitive-closure order underpinning every acyclicity
+   axiom: accepted edges must be exactly the cycle-free ones, reachability
+   must be transitively closed after every insertion, and push/pop must
+   restore the closure bit-for-bit (the generator backtracks through it
+   thousands of times per test). *)
+
+module Order = Memrel_axiom.Order
+
+let test_chain () =
+  let o = Order.create 4 in
+  Alcotest.(check bool) "0->1" true (Order.add o 0 1);
+  Alcotest.(check bool) "1->2" true (Order.add o 1 2);
+  Alcotest.(check bool) "2->3" true (Order.add o 2 3);
+  Alcotest.(check bool) "0 reaches 3 transitively" true (Order.reaches o 0 3);
+  Alcotest.(check bool) "3 does not reach 0" false (Order.reaches o 3 0);
+  Alcotest.(check bool) "redundant 0->3 still accepted" true (Order.add o 0 3)
+
+let test_cycle_rejected () =
+  let o = Order.create 3 in
+  ignore (Order.add o 0 1);
+  ignore (Order.add o 1 2);
+  Alcotest.(check bool) "2->0 closes a cycle" false (Order.add o 2 0);
+  Alcotest.(check bool) "closure untouched by the rejection" false (Order.reaches o 2 0);
+  Alcotest.(check bool) "self-loop rejected" false (Order.add o 1 1);
+  Alcotest.(check int) "two rejections counted" 2 (Order.rejections o)
+
+let test_push_pop () =
+  let o = Order.create 3 in
+  ignore (Order.add o 0 1);
+  Order.push o;
+  ignore (Order.add o 1 2);
+  Alcotest.(check bool) "0 reaches 2 inside the snapshot" true (Order.reaches o 0 2);
+  Order.pop o;
+  Alcotest.(check bool) "0->1 survives the pop" true (Order.reaches o 0 1);
+  Alcotest.(check bool) "1->2 rolled back" false (Order.reaches o 1 2);
+  Alcotest.(check bool) "2->0 legal again after the pop" true (Order.add o 2 0)
+
+let test_bounds () =
+  Alcotest.check_raises "too many vertices" (Invalid_argument "")
+    (fun () ->
+      try ignore (Order.create (Order.max_vertices + 1))
+      with Invalid_argument _ -> raise (Invalid_argument ""));
+  Alcotest.check_raises "pop without push" (Invalid_argument "")
+    (fun () ->
+      try Order.pop (Order.create 2) with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let suite =
+  [
+    Alcotest.test_case "chain accepts and closes transitively" `Quick test_chain;
+    Alcotest.test_case "cycles and self-loops rejected" `Quick test_cycle_rejected;
+    Alcotest.test_case "push/pop restores the closure" `Quick test_push_pop;
+    Alcotest.test_case "bounds checked" `Quick test_bounds;
+  ]

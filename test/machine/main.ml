@@ -8,5 +8,6 @@ let () =
       ("litmus", Test_litmus.suite);
       ("parse", Test_parse.suite);
       ("litmus_files", Test_litmus_files.suite);
+      ("differential", Test_differential.suite);
       ("exec", Test_exec.suite);
     ]

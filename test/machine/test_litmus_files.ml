@@ -31,6 +31,24 @@ let check_file file expected_reachable () =
           (Printf.sprintf "%s: expected reachable=%b got %b" t.L.name expected got))
     families expected_reachable
 
+(* the named classics also ship as files; the parsed program must reproduce
+   the builtin corpus entry exactly — same outcome set under every model,
+   resolvable through Litmus.find under the same name *)
+let check_matches_builtin file () =
+  let t = P.parse (read file) in
+  let builtin =
+    try L.find t.L.name
+    with Not_found -> Alcotest.fail (Printf.sprintf "%s not in Litmus.find" t.L.name)
+  in
+  Alcotest.(check (list (list (pair string int))))
+    "relaxed outcome" [ t.L.relaxed_outcome ] [ builtin.L.relaxed_outcome ];
+  List.iter
+    (fun family ->
+      Alcotest.(check (list (list (pair string int))))
+        (Printf.sprintf "%s under %s" t.L.name (Model.family_name family))
+        (L.outcome_set builtin family) (L.outcome_set t family))
+    families
+
 let suite =
   [
     Alcotest.test_case "dekker entry broken from TSO up" `Quick
@@ -41,4 +59,20 @@ let suite =
       (check_file "litmus_files/seqlock_read.litmus" [ false; false; true; true ]);
     Alcotest.test_case "atomic tickets never duplicate" `Quick
       (check_file "litmus_files/ticket_counter.litmus" [ false; false; false; false ]);
+    Alcotest.test_case "sb relaxed from TSO up" `Quick
+      (check_file "litmus_files/sb.litmus" [ false; true; true; true ]);
+    Alcotest.test_case "mp relaxed from PSO up" `Quick
+      (check_file "litmus_files/mp.litmus" [ false; false; true; true ]);
+    Alcotest.test_case "lb relaxed only under WO" `Quick
+      (check_file "litmus_files/lb.litmus" [ false; false; false; true ]);
+    Alcotest.test_case "iriw relaxed only under WO" `Quick
+      (check_file "litmus_files/iriw.litmus" [ false; false; false; true ]);
+    Alcotest.test_case "sb file matches builtin corpus entry" `Quick
+      (check_matches_builtin "litmus_files/sb.litmus");
+    Alcotest.test_case "mp file matches builtin corpus entry" `Quick
+      (check_matches_builtin "litmus_files/mp.litmus");
+    Alcotest.test_case "lb file matches builtin corpus entry" `Quick
+      (check_matches_builtin "litmus_files/lb.litmus");
+    Alcotest.test_case "iriw file matches builtin corpus entry" `Quick
+      (check_matches_builtin "litmus_files/iriw.litmus");
   ]
