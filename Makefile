@@ -3,7 +3,7 @@
 # BENCH_enum.json, including the inc4 SC/TSO exhaustive counts), the
 # axiomatic-vs-operational differential, and the candidate-generation bench.
 
-.PHONY: all build check test bench bench-json bench-enum bench-axiom ci clean
+.PHONY: all build check test bench bench-json bench-enum bench-axiom bench-exact ci clean
 
 all: build
 
@@ -34,6 +34,11 @@ bench-enum:
 bench-axiom:
 	dune exec bench/main.exe -- --json-axiom BENCH_axiom.json
 
+# exact-arithmetic bench: fixnum fast path vs limb-array reference on the
+# exact DP workloads, results asserted identical; writes BENCH_exact.json
+bench-exact:
+	dune exec bench/main.exe -- --json-exact BENCH_exact.json
+
 ci:
 	dune build
 	dune runtest
@@ -41,6 +46,7 @@ ci:
 	dune exec bench/main.exe -- --json-smoke /tmp/BENCH_mc_smoke.json
 	dune exec bench/main.exe -- --json-enum-smoke BENCH_enum.json
 	dune exec bench/main.exe -- --json-axiom-smoke /tmp/BENCH_axiom_smoke.json
+	dune exec bench/main.exe -- --json-exact-smoke /tmp/BENCH_exact_smoke.json
 
 clean:
 	dune clean

@@ -768,6 +768,268 @@ let axiom_json ~file ~smoke =
     rows;
   Printf.printf "wrote %s\n" file
 
+(* -- exact-arithmetic bench (--json-exact) ----------------------------- *)
+
+(* Measures the fixnum fast path + Knuth-normalized rationals against the
+   seed implementation (Bigint.Reference / Rational.Reference), running the
+   SAME functorized DP code over both scalar types in one process: the
+   settling window DP at the Figure 1/2 parameters, the exact joint window
+   transform, the Theorem 5.1 permutation sums, the phi partition tables,
+   and raw add/mul/gcd microbenchmarks. Every row cross-checks that the two
+   implementations produce identical results before timing is reported.
+   Writes BENCH_exact.json; `make ci` runs the smoke form. *)
+
+module QRef = Rational.Reference
+module BRef = Bigint.Reference
+module DQref = Window_exact_dp_q.Make (QRef)
+module JQref = Window_joint_dp_q.Make (QRef)
+module SEref = Shift_exact.Make (QRef)
+
+type exact_row = {
+  xname : string;
+  xops : int; (* logical operations (DP runs, permutation terms, raw ops) *)
+  xfast_secs : float;
+  xref_secs : float;
+  xequal : bool;
+}
+
+(* reference bounded-partition recurrence over the seed bigint, memoized
+   like Combinatorics but locally (the bench is single-domain) *)
+let ref_phi_cache : (int * int * int, BRef.t) Hashtbl.t = Hashtbl.create 4096
+
+let rec ref_bounded_at_most n k m =
+  if n = 0 then BRef.one
+  else if n < 0 || k = 0 || m = 0 then BRef.zero
+  else
+    match Hashtbl.find_opt ref_phi_cache (n, k, m) with
+    | Some v -> v
+    | None ->
+      let v = BRef.add (ref_bounded_at_most n k (m - 1)) (ref_bounded_at_most (n - m) (k - 1) m) in
+      Hashtbl.add ref_phi_cache (n, k, m) v;
+      v
+
+let ref_partitions_bounded x y z =
+  if y = 0 then (if x = 0 then BRef.one else BRef.zero)
+  else if x < y || x > y * z then BRef.zero
+  else ref_bounded_at_most (x - y) y (z - 1)
+
+let exact_rows ~smoke =
+  let rng = Rng.create seed in
+  let row xname xops ~fast ~reference =
+    (* warm-up both sides once so first-allocation noise stays out, and
+       keep the result strings for the differential check *)
+    let fast_result = fast () in
+    let ref_result = reference () in
+    let xfast_secs = wall fast in
+    let xref_secs = wall reference in
+    { xname; xops; xfast_secs; xref_secs; xequal = String.equal fast_result ref_result }
+  in
+  let pmf_str pmf to_s = String.concat ";" (List.map (fun (g, p) -> Printf.sprintf "%d:%s" g (to_s p)) pmf) in
+  let repeat n f =
+    let last = ref "" in
+    for _ = 1 to n do last := f () done;
+    !last
+  in
+
+  (* operand pools for the raw microbenchmarks: mostly native-fitting (the
+     DP regime) with boundary and multi-limb values mixed in *)
+  let operand_strings =
+    let digits k = String.init k (fun i -> Char.chr (Char.code '1' + ((Rng.int rng 9 + i) mod 9))) in
+    List.init 3_000 (fun _ ->
+        match Rng.int rng 10 with
+        | 0 -> digits 40 (* multi-limb *)
+        | 1 -> string_of_int (max_int - Rng.int rng 3) (* boundary *)
+        | 2 -> "-" ^ string_of_int (Rng.int rng 1_000_000_000)
+        | _ -> string_of_int (Rng.int rng 1_000_000))
+  in
+  let pairs_of of_string =
+    let ops = Array.of_list (List.map of_string operand_strings) in
+    let n = Array.length ops in
+    Array.init (n - 1) (fun i -> (ops.(i), ops.(i + 1)))
+  in
+  let micro name iters pairs_fast pairs_ref op_fast op_ref to_s_fast to_s_ref =
+    let digest pairs op to_s =
+      let buf = Buffer.create 4096 in
+      Array.iter (fun (a, b) -> Buffer.add_string buf (to_s (op a b))) pairs;
+      Digest.to_hex (Digest.string (Buffer.contents buf))
+    in
+    row name (iters * Array.length pairs_fast)
+      ~fast:(fun () ->
+        for _ = 1 to iters do
+          Array.iter (fun (a, b) -> ignore (op_fast a b)) pairs_fast
+        done;
+        digest pairs_fast op_fast to_s_fast)
+      ~reference:(fun () ->
+        for _ = 1 to iters do
+          Array.iter (fun (a, b) -> ignore (op_ref a b)) pairs_ref
+        done;
+        digest pairs_ref op_ref to_s_ref)
+  in
+  let bpairs = pairs_of Bigint.of_string in
+  let bpairs_ref = pairs_of BRef.of_string in
+  (* rationals in the DP regime: dyadic denominators with occasional
+     3^k denominators so the Knuth reductions see non-trivial gcds *)
+  let rat_components =
+    List.init 2_000 (fun _ ->
+        let num = Rng.int rng 4096 - 2048 in
+        let den =
+          if Rng.int rng 5 = 0 then int_of_float (3.0 ** float_of_int (Rng.int rng 8 + 1))
+          else 1 lsl Rng.int rng 11
+        in
+        (num, den))
+  in
+  let qpairs_with of_ints =
+    let ops = Array.of_list (List.map (fun (n, d) -> of_ints n d) rat_components) in
+    let n = Array.length ops in
+    Array.init (n - 1) (fun i -> (ops.(i), ops.(i + 1)))
+  in
+  let qpairs = qpairs_with Q.of_ints in
+  let qpairs_ref = qpairs_with QRef.of_ints in
+
+  let dp_iters = if smoke then 1 else 3 in
+  let m_tso = if smoke then 7 else 10 in
+  let m_wo = if smoke then 6 else 9 in
+  let joint_m = if smoke then 8 else 16 in
+  let joint_n = if smoke then 2 else 3 in
+  let joint_b = if smoke then 5 else 8 in
+  let shift_n = if smoke then 5 else 7 in
+  let geom_n = if smoke then 4 else 5 in
+  let micro_scale = if smoke then 10 else 1 in
+
+  let rows =
+    [
+      row (Printf.sprintf "settling_dp_tso_m%d" m_tso) dp_iters
+        ~fast:(fun () ->
+          repeat dp_iters (fun () ->
+              pmf_str (Window_exact_dp_q.gamma_pmf (Window_exact_dp_q.tso ()) ~m:m_tso) Q.to_string))
+        ~reference:(fun () ->
+          repeat dp_iters (fun () ->
+              pmf_str (DQref.gamma_pmf (DQref.tso ()) ~m:m_tso) QRef.to_string));
+      row (Printf.sprintf "settling_dp_wo_m%d" m_wo) dp_iters
+        ~fast:(fun () ->
+          repeat dp_iters (fun () ->
+              pmf_str (Window_exact_dp_q.gamma_pmf (Window_exact_dp_q.wo ()) ~m:m_wo) Q.to_string))
+        ~reference:(fun () ->
+          repeat dp_iters (fun () ->
+              pmf_str (DQref.gamma_pmf (DQref.wo ()) ~m:m_wo) QRef.to_string));
+      row (Printf.sprintf "joint_dp_q_tso_n%d_m%d_b%d" joint_n joint_m joint_b) dp_iters
+        ~fast:(fun () ->
+          repeat dp_iters (fun () ->
+              Q.to_string
+                (Window_joint_dp_q.expect_product ~b_max:joint_b ~s:Q.half
+                   Model.Total_store_order ~m:joint_m ~n:joint_n)))
+        ~reference:(fun () ->
+          repeat dp_iters (fun () ->
+              QRef.to_string
+                (JQref.expect_product ~b_max:joint_b ~s:QRef.half Model.Total_store_order
+                   ~m:joint_m ~n:joint_n)));
+      (let iters = if smoke then 3 else 10 in
+       let gammas = Array.init shift_n (fun i -> 2 + (i mod 3)) in
+       row (Printf.sprintf "shift_exact_n%d" shift_n) (iters * List.fold_left ( * ) 1 (List.init shift_n (fun i -> i + 1)))
+         ~fast:(fun () ->
+           repeat iters (fun () -> Q.to_string (Shift_exact.disjoint_probability gammas)))
+         ~reference:(fun () ->
+           repeat iters (fun () -> QRef.to_string (SEref.disjoint_probability gammas))));
+      (let iters = if smoke then 3 else 10 in
+       let gammas = Array.init geom_n (fun i -> 2 + (i mod 2)) in
+       row (Printf.sprintf "shift_geom_n%d_q3/4" geom_n) (iters * List.fold_left ( * ) 1 (List.init geom_n (fun i -> i + 1)))
+         ~fast:(fun () ->
+           repeat iters (fun () ->
+               Q.to_string (Shift_exact.disjoint_probability_geom ~q:(Q.of_ints 3 4) gammas)))
+         ~reference:(fun () ->
+           repeat iters (fun () ->
+               QRef.to_string (SEref.disjoint_probability_geom ~q:(QRef.of_ints 3 4) gammas))));
+      (let grid =
+         let ys = if smoke then [ (6, 8) ] else [ (10, 12); (8, 10) ] in
+         List.concat_map
+           (fun (y, z) -> List.filteri (fun i _ -> i mod 3 = 0) (List.init (y * z - y + 1) (fun i -> (y + i, y, z))))
+           ys
+       in
+       row "phi_partition_table" (List.length grid)
+         ~fast:(fun () ->
+           Combinatorics.clear_caches ();
+           String.concat ";"
+             (List.map (fun (x, y, z) -> Bigint.to_string (Combinatorics.partitions_bounded x y z)) grid))
+         ~reference:(fun () ->
+           Hashtbl.reset ref_phi_cache;
+           String.concat ";"
+             (List.map (fun (x, y, z) -> BRef.to_string (ref_partitions_bounded x y z)) grid)));
+      micro "bigint_add" (100 / micro_scale) bpairs bpairs_ref Bigint.add BRef.add
+        Bigint.to_string BRef.to_string;
+      micro "bigint_mul" (40 / micro_scale) bpairs bpairs_ref Bigint.mul BRef.mul
+        Bigint.to_string BRef.to_string;
+      micro "bigint_gcd" (20 / micro_scale) bpairs bpairs_ref Bigint.gcd BRef.gcd
+        Bigint.to_string BRef.to_string;
+      micro "rational_add" (30 / micro_scale) qpairs qpairs_ref Q.add QRef.add
+        Q.to_string QRef.to_string;
+      micro "rational_mul" (30 / micro_scale) qpairs qpairs_ref Q.mul QRef.mul
+        Q.to_string QRef.to_string;
+    ]
+  in
+  List.iter (fun r -> assert r.xequal) rows;
+  rows
+
+let exact_json ~file ~smoke =
+  Bigint.reset_stats ();
+  Rational.reset_stats ();
+  Combinatorics.clear_caches ();
+  let rows = exact_rows ~smoke in
+  let bs = Bigint.stats () in
+  let rs = Rational.stats () in
+  let cs = Combinatorics.cache_stats () in
+  let ops_s ops secs = if secs > 0.0 then float_of_int ops /. secs else 0.0 in
+  let speedup r = if r.xfast_secs > 0.0 then r.xref_secs /. r.xfast_secs else 0.0 in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"ops\": %d, \"fast_seconds\": %.6f, \
+            \"fast_ops_per_sec\": %.1f,\n\
+           \     \"reference_seconds\": %.6f, \"reference_ops_per_sec\": %.1f, \
+            \"speedup\": %.3f, \"results_equal\": %b}%s\n"
+           r.xname r.xops r.xfast_secs (ops_s r.xops r.xfast_secs) r.xref_secs
+           (ops_s r.xops r.xref_secs) (speedup r) r.xequal
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"bigint_stats\": {\"small_ops\": %d, \"big_ops\": %d, \"promotions\": %d, \
+        \"demotions\": %d, \"small_hit_rate\": %.6f},\n"
+       bs.Bigint.small_ops bs.Bigint.big_ops bs.Bigint.promotions bs.Bigint.demotions
+       (Bigint.small_hit_rate bs));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"rational_stats\": {\"adds\": %d, \"add_coprime\": %d, \"muls\": %d, \
+        \"mul_coprime\": %d},\n"
+       rs.Rational.adds rs.Rational.add_coprime rs.Rational.muls rs.Rational.mul_coprime);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"combinatorics_cache\": {\"binomial_hits\": %d, \"binomial_misses\": %d, \
+        \"binomial_entries\": %d, \"partition_hits\": %d, \"partition_misses\": %d, \
+        \"partition_entries\": %d}\n"
+       cs.Combinatorics.binomial_hits cs.Combinatorics.binomial_misses
+       cs.Combinatorics.binomial_entries cs.Combinatorics.partition_hits
+       cs.Combinatorics.partition_misses cs.Combinatorics.partition_entries);
+  Buffer.add_string buf "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  List.iter
+    (fun r ->
+      Printf.printf "%-28s %9d ops  fast %10.0f/s  reference %10.0f/s  speedup %6.2fx  %s\n"
+        r.xname r.xops (ops_s r.xops r.xfast_secs) (ops_s r.xops r.xref_secs) (speedup r)
+        (if r.xequal then "equal" else "MISMATCH"))
+    rows;
+  Printf.printf "bigint fast-path hit rate: %.4f (%d small / %d big ops, %d promotions, %d demotions)\n"
+    (Bigint.small_hit_rate bs) bs.Bigint.small_ops bs.Bigint.big_ops bs.Bigint.promotions
+    bs.Bigint.demotions;
+  Printf.printf "wrote %s\n" file
+
 let full_run () =
   print_endline "memrel reproduction harness";
   print_endline "paper: The Impact of Memory Models on Software Reliability in Multiprocessors";
@@ -815,4 +1077,10 @@ let () =
   | _ :: "--json-axiom-smoke" :: rest ->
     let file = match rest with f :: _ -> f | [] -> "BENCH_axiom.json" in
     axiom_json ~file ~smoke:true
+  | _ :: "--json-exact" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_exact.json" in
+    exact_json ~file ~smoke:false
+  | _ :: "--json-exact-smoke" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_exact.json" in
+    exact_json ~file ~smoke:true
   | _ -> full_run ()

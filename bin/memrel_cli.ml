@@ -36,6 +36,40 @@ let jobs_arg =
 
 let resolve_jobs j = if j <= 0 then None else Some j
 
+(* -- exact-arithmetic observability (--stats) -------------------------- *)
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"After the run, print the Bigint fast-path hit rate and the \
+               Rational/Combinatorics counters for the exact-arithmetic substrate.")
+
+(* wraps an exact-capable subcommand body: zero the counters going in,
+   print them coming out *)
+let with_exact_stats enabled f =
+  if not enabled then f ()
+  else begin
+    Bigint.reset_stats ();
+    Rational.reset_stats ();
+    Combinatorics.clear_caches ();
+    let code = f () in
+    let bs = Bigint.stats () in
+    let rs = Rational.stats () in
+    let cs = Combinatorics.cache_stats () in
+    Printf.printf "\nexact-arithmetic stats:\n";
+    Printf.printf
+      "  bigint:   %d small-path / %d big-path ops (hit rate %.4f), %d promotions, %d demotions\n"
+      bs.Bigint.small_ops bs.Bigint.big_ops (Bigint.small_hit_rate bs) bs.Bigint.promotions
+      bs.Bigint.demotions;
+    Printf.printf "  rational: %d adds (%d coprime-fast), %d muls (%d coprime-fast)\n"
+      rs.Rational.adds rs.Rational.add_coprime rs.Rational.muls rs.Rational.mul_coprime;
+    Printf.printf
+      "  caches:   binomial %d hits / %d misses (%d entries), phi %d hits / %d misses (%d entries)\n"
+      cs.Combinatorics.binomial_hits cs.Combinatorics.binomial_misses
+      cs.Combinatorics.binomial_entries cs.Combinatorics.partition_hits
+      cs.Combinatorics.partition_misses cs.Combinatorics.partition_entries;
+    code
+  end
+
 (* -- table1 ----------------------------------------------------------- *)
 
 let table1_cmd =
@@ -84,7 +118,8 @@ let figure2_cmd =
 (* -- window ----------------------------------------------------------- *)
 
 let window_cmd =
-  let run model seed trials gamma_max p s jobs =
+  let run model seed trials gamma_max p s jobs stats =
+    with_exact_stats stats @@ fun () ->
     let model = match (Model.family model, s) with
       | _, None -> model
       | Model.Total_store_order, Some s -> Model.tso ~s ()
@@ -133,12 +168,13 @@ let window_cmd =
   in
   Cmd.v (Cmd.info "window" ~doc:"Critical-window distribution (Theorem 4.1).")
     Term.(const run $ model_arg $ seed_arg $ trials_arg 200_000 $ gamma_max_arg $ p_arg $ s_arg
-          $ jobs_arg)
+          $ jobs_arg $ stats_arg)
 
 (* -- shift ------------------------------------------------------------ *)
 
 let shift_cmd =
-  let run gammas seed trials jobs =
+  let run gammas seed trials jobs stats =
+    with_exact_stats stats @@ fun () ->
     let g = Array.of_list gammas in
     let exact = Shift_exact.disjoint_probability g in
     let rng = Rng.create seed in
@@ -153,12 +189,13 @@ let shift_cmd =
            ~doc:"Segment lengths (at most 8).")
   in
   Cmd.v (Cmd.info "shift" ~doc:"Shift-process disjointness probability (Theorem 5.1).")
-    Term.(const run $ gammas_arg $ seed_arg $ trials_arg 500_000 $ jobs_arg)
+    Term.(const run $ gammas_arg $ seed_arg $ trials_arg 500_000 $ jobs_arg $ stats_arg)
 
 (* -- joint ------------------------------------------------------------ *)
 
 let joint_cmd =
-  let run model n seed trials jobs =
+  let run model n seed trials jobs stats =
+    with_exact_stats stats @@ fun () ->
     let jobs = resolve_jobs jobs in
     let rng = Rng.create seed in
     let e = Joint.estimate ?jobs ~trials model ~n rng in
@@ -191,7 +228,8 @@ let joint_cmd =
     0
   in
   Cmd.v (Cmd.info "joint" ~doc:"End-to-end bug manifestation probability (Theorem 6.2).")
-    Term.(const run $ model_arg $ threads_arg $ seed_arg $ trials_arg 200_000 $ jobs_arg)
+    Term.(const run $ model_arg $ threads_arg $ seed_arg $ trials_arg 200_000 $ jobs_arg
+          $ stats_arg)
 
 (* -- scaling ---------------------------------------------------------- *)
 
@@ -322,7 +360,8 @@ let fences_cmd =
 (* -- verify ----------------------------------------------------------- *)
 
 let verify_cmd =
-  let run cutoff =
+  let run cutoff stats =
+    with_exact_stats stats @@ fun () ->
     Printf.printf "computing the verified enclosure of Pr[A] under TSO, n = 2\n";
     Printf.printf "(exact rational partial sums, provable truncation tails; cutoff %d)\n\n"
       cutoff;
@@ -356,7 +395,7 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~exits
        ~doc:"Machine-verify Theorem 6.2's TSO bracket with exact rational enclosures.")
-    Term.(const run $ cutoff_arg)
+    Term.(const run $ cutoff_arg $ stats_arg)
 
 (* -- enumerate --------------------------------------------------------- *)
 

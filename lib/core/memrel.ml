@@ -19,6 +19,7 @@ module Series = Memrel_prob.Series
 module Logspace = Memrel_prob.Logspace
 module Interval = Memrel_prob.Interval
 module Par = Memrel_prob.Par
+module Prob_sigs = Memrel_prob.Sigs
 
 (** {1 Memory models (Table 1)} *)
 
@@ -36,6 +37,7 @@ module Window_analytic_general = Memrel_settling.Analytic_general
 module Window_exact_dp = Memrel_settling.Exact_dp
 module Window_exact_dp_q = Memrel_settling.Exact_dp_q
 module Window_joint_dp = Memrel_settling.Joint_dp
+module Window_joint_dp_q = Memrel_settling.Joint_dp_q
 module Window_verified = Memrel_settling.Verified
 module Window_mc = Memrel_settling.Mc
 

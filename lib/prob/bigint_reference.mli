@@ -1,19 +1,12 @@
-(** Arbitrary-precision signed integers with a native-int fast path.
+(** The seed arbitrary-precision integer implementation, kept alive as the
+    differential-testing and benchmarking baseline.
 
-    The container is sealed (no zarith), and the paper's exact constants
-    (7/54, 58/441, c(n), truncated series with denominators like
-    [2^(mu q)] ...) overflow native integers immediately, so memrel carries
-    its own bignum. The representation is two-variant: values whose
-    magnitude fits a native [int] are carried unboxed ([Small]), and
-    overflow-checked native operations promote to the sign-magnitude limb
-    form ([Big]) only when they must; every constructor demotes back to
-    [Small] whenever the result fits, so the representation is canonical.
-    Schoolbook algorithms on the limb form: magnitudes in this project stay
-    small (at most a few thousand bits), so asymptotically fancy
-    multiplication would be wasted complexity.
-
-    The pre-fast-path seed implementation is kept alive, verbatim, as
-    {!Reference} for differential testing and benchmarking. *)
+    {!Bigint} carries the production representation (a native-int fast path
+    over these same limb algorithms); this module is the original
+    always-allocating sign-magnitude form, exposed as {!Bigint.Reference} so
+    randomized differential tests and the [--json-exact] bench can pin the
+    fast path against it operation by operation. Do not use it on hot
+    paths. *)
 
 type t
 (** An immutable arbitrary-precision integer. *)
@@ -84,8 +77,7 @@ val shift_right : t -> int -> t
 
 val gcd : t -> t -> t
 (** [gcd a b] is the nonnegative greatest common divisor (binary/Stein
-    algorithm — no division, so it is the cheap path rationals rely on;
-    native binary gcd when both operands fit an [int]). *)
+    algorithm — no division, so it is the cheap path rationals rely on). *)
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
@@ -97,28 +89,3 @@ val num_bits : t -> int
 
 val pp : Format.formatter -> t -> unit
 (** Pretty-printer (decimal). *)
-
-(** {1 Observability}
-
-    Advisory throughput telemetry for the fast path. The counters are plain
-    (non-atomic) refs: increments from concurrent domains may be lost but
-    never torn, and the numbers feed dashboards/benches only — no result
-    depends on them. *)
-
-type stats = {
-  small_ops : int;  (** operations completed entirely on the native path *)
-  big_ops : int;  (** operations that touched the limb representation *)
-  promotions : int;  (** native results that overflowed into [Big] *)
-  demotions : int;  (** limb results that collapsed back into [Small] *)
-}
-
-val stats : unit -> stats
-val reset_stats : unit -> unit
-
-val small_hit_rate : stats -> float
-(** Fraction of operations that stayed on the native path ([1.0] when no
-    operations were counted). *)
-
-(** The seed (always-allocating limb) implementation, for differential
-    tests and fast-vs-reference benchmarks. *)
-module Reference : module type of Bigint_reference

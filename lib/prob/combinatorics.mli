@@ -7,7 +7,8 @@
 
 val binomial : int -> int -> Bigint.t
 (** [binomial n k] is [C(n, k)]; zero when [k < 0] or [k > n].
-    Requires [n >= 0]. *)
+    Requires [n >= 0]. Memoized for [n <= 512] (bounded triangle table);
+    larger [n] computes directly. *)
 
 val binomial_float : int -> int -> float
 (** Float view of {!binomial} (for the float-domain series). *)
@@ -39,3 +40,24 @@ val fold_permutations : ('a -> int array -> 'a) -> 'a -> int -> 'a
 val compositions : int -> int -> (int array -> unit) -> unit
 (** [compositions total parts f] calls [f] on every array of [parts]
     nonnegative integers summing to [total] (the array is reused). *)
+
+(** {1 Cache observability}
+
+    The binomial and partition memo tables are global and mutex-guarded
+    (they are reachable from {!Par} worker domains), so these numbers are
+    exact. *)
+
+type cache_stats = {
+  binomial_hits : int;
+  binomial_misses : int;
+  binomial_entries : int;
+  partition_hits : int;
+  partition_misses : int;
+  partition_entries : int;
+}
+
+val cache_stats : unit -> cache_stats
+
+val clear_caches : unit -> unit
+(** Empties both memo tables and zeroes the hit/miss counters (used by the
+    bench harness to measure cold-cache behaviour). *)

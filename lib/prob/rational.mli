@@ -4,7 +4,13 @@
     c(n) = 2 / prod (1 - 2^-i), the Theorem 5.1 permutation sum, ...) is a
     rational, and the whole point of reproducing a theory paper is to land on
     those constants exactly rather than to within float noise. Values are
-    kept normalized: positive denominator, gcd(num, den) = 1. *)
+    kept normalized: positive denominator, gcd(num, den) = 1.
+
+    Addition and multiplication use the Knuth 4.5.1 reductions (gcd of the
+    denominators before cross-multiplying, cross-gcds before multiplying),
+    which keep intermediates at canonical size instead of gcd-ing full-width
+    products after the fact — the seed behaviour, preserved as
+    {!Reference}. *)
 
 type t
 (** A normalized rational number. *)
@@ -76,3 +82,25 @@ val sum : t list -> t
 val product : t list -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Observability}
+
+    Advisory counters (plain refs — see {!Bigint.stats} for the domain
+    semantics). [add_coprime] / [mul_coprime] count operations where the
+    Knuth reductions found nothing to cancel, i.e. where the classic
+    formulas were already optimal. *)
+
+type stats = {
+  adds : int;  (** nonzero additions performed *)
+  add_coprime : int;  (** additions with coprime denominators *)
+  muls : int;  (** nonzero multiplications performed *)
+  mul_coprime : int;  (** multiplications with both cross-gcds = 1 *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+(** The seed implementation — naive cross-multiply-then-normalize over
+    {!Bigint.Reference} — for differential tests and fast-vs-reference
+    benchmarks. Satisfies {!Sigs.RATIONAL}. *)
+module Reference : Sigs.RATIONAL

@@ -9,36 +9,51 @@
     generality is preserved exactly.
 
     Rational arithmetic over 2^m states is costly, so [m] is capped lower
-    than the float DP's. *)
+    than the float DP's.
+
+    The DP is a functor over {!Memrel_prob.Sigs.RATIONAL} so the bench
+    harness can run the identical program over the fast-path rationals and
+    over {!Memrel_prob.Rational.Reference} and compare throughput; the
+    toplevel values are the fast-path instance. *)
 
 module Q = Memrel_prob.Rational
 
-type matrix = {
-  st_st : Q.t;
-  st_ld : Q.t;
-  ld_st : Q.t;
-  ld_ld : Q.t;
-}
-(** Swap probabilities rho(earlier, later), as in Table 1 / footnote 3.
-    Entries must lie in [0, 1]. *)
+module type S = sig
+  type q
+  (** The rational scalar of this instance. *)
 
-val sc : matrix
-val tso : ?s:Q.t -> unit -> matrix
-val pso : ?s:Q.t -> unit -> matrix
-val wo : ?s:Q.t -> unit -> matrix
-(** Presets mirroring {!Memrel_memmodel.Model}; [s] defaults to 1/2. *)
+  type matrix = {
+    st_st : q;
+    st_ld : q;
+    ld_st : q;
+    ld_ld : q;
+  }
+  (** Swap probabilities rho(earlier, later), as in Table 1 / footnote 3.
+      Entries must lie in [0, 1]. *)
 
-val of_model : Memrel_memmodel.Model.t -> matrix
-(** Exact dyadic lift of a float model (every float probability is a dyadic
-    rational, so this is lossless). *)
+  val sc : matrix
+  val tso : ?s:q -> unit -> matrix
+  val pso : ?s:q -> unit -> matrix
+  val wo : ?s:q -> unit -> matrix
+  (** Presets mirroring {!Memrel_memmodel.Model}; [s] defaults to 1/2. *)
 
-val max_m : int
-(** Largest accepted prefix length (12). *)
+  val of_model : Memrel_memmodel.Model.t -> matrix
+  (** Exact dyadic lift of a float model (every float probability is a
+      dyadic rational, so this is lossless). *)
 
-val gamma_pmf : ?p:Q.t -> matrix -> m:int -> (int * Q.t) list
-(** [gamma_pmf matrix ~m] is the exact pmf of the window growth gamma.
-    The returned masses sum to exactly 1 (tested as a rational identity). *)
+  val max_m : int
+  (** Largest accepted prefix length (12). *)
 
-val bottom_st_probability : ?p:Q.t -> matrix -> m:int -> Q.t
-(** Exact finite-m Claim 4.3 quantity; under TSO with p = s = 1/2 it equals
-    {!Analytic.st_bottom_prob} as a rational identity. *)
+  val gamma_pmf : ?p:q -> matrix -> m:int -> (int * q) list
+  (** [gamma_pmf matrix ~m] is the exact pmf of the window growth gamma.
+      The returned masses sum to exactly 1 (tested as a rational
+      identity). *)
+
+  val bottom_st_probability : ?p:q -> matrix -> m:int -> q
+  (** Exact finite-m Claim 4.3 quantity; under TSO with p = s = 1/2 it
+      equals {!Analytic.st_bottom_prob} as a rational identity. *)
+end
+
+module Make (Q : Memrel_prob.Sigs.RATIONAL) : S with type q = Q.t
+
+include S with type q = Q.t

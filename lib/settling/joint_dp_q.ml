@@ -1,0 +1,175 @@
+module Q = Memrel_prob.Rational
+module Model = Memrel_memmodel.Model
+
+let max_replicas = 4
+
+module type S = sig
+  type q
+
+  val expect_product :
+    ?p:q -> ?b_max:int -> s:q -> Model.family -> m:int -> n:int -> q
+
+  val bottom_run_pmf :
+    ?p:q -> ?b_max:int -> s:q -> Model.family -> m:int -> q array
+end
+
+module Make (Q : Memrel_prob.Sigs.RATIONAL) = struct
+  type q = Q.t
+
+  let in_open_unit v = Q.compare v Q.zero > 0 && Q.compare v Q.one < 0
+
+  let check_common ~p ~s ~m =
+    if not (in_open_unit p) then invalid_arg "Joint_dp_q: p must be in (0,1)";
+    if not (in_open_unit s) then invalid_arg "Joint_dp_q: s must be in (0,1)";
+    if m < 1 then invalid_arg "Joint_dp_q: m >= 1 required"
+
+  (* Rational port of Joint_dp.run_chains: the coupled bottom-run chains,
+     one tensor coordinate per replica, all driven by the same program
+     draw. Same truncation semantics as the float version (coordinates
+     clamp at b_max). *)
+  let run_chains ~p ~s ~b_max ~m k =
+    let side = b_max + 1 in
+    let size =
+      let rec pow acc i = if i = 0 then acc else pow (acc * side) (i - 1) in
+      pow 1 k
+    in
+    let stride j =
+      let rec pow acc i = if i = 0 then acc else pow (acc * side) (i - 1) in
+      pow 1 j
+    in
+    let spow = Array.init side (fun b -> Q.pow s b) in
+    let one_minus_s = Q.sub Q.one s in
+    let one_minus_p = Q.sub Q.one p in
+    let dist = Array.make size Q.zero in
+    dist.(0) <- Q.one;
+    let tmp = Array.make size Q.zero in
+    (* fresh ST: every replica's run grows by one (clamped) *)
+    let shift_all src dst =
+      Array.fill dst 0 size Q.zero;
+      let coords = Array.make k 0 in
+      for idx = 0 to size - 1 do
+        let rem = ref idx in
+        for j = 0 to k - 1 do
+          coords.(j) <- !rem mod side;
+          rem := !rem / side
+        done;
+        let v = src.(idx) in
+        if not (Q.is_zero v) then begin
+          let nidx = ref 0 in
+          for j = k - 1 downto 0 do
+            let b = if coords.(j) >= b_max then b_max else coords.(j) + 1 in
+            nidx := (!nidx * side) + b
+          done;
+          dst.(!nidx) <- Q.add dst.(!nidx) v
+        end
+      done
+    in
+    (* fresh LD on one axis: new[b'] = s^b' ((1-s) * sum_{b > b'} old[b] + old[b']) *)
+    let ld_axis arr j =
+      let st = stride j in
+      let block = st * side in
+      let line = Array.make side Q.zero in
+      let i = ref 0 in
+      while !i < size do
+        for off = !i to !i + st - 1 do
+          for b = 0 to side - 1 do
+            line.(b) <- arr.(off + (b * st))
+          done;
+          let suffix = ref Q.zero in
+          for b = side - 1 downto 0 do
+            let above = !suffix in
+            suffix := Q.add !suffix line.(b);
+            let nb = Q.mul spow.(b) (Q.add (Q.mul one_minus_s above) line.(b)) in
+            arr.(off + (b * st)) <- nb
+          done
+        done;
+        i := !i + block
+      done
+    in
+    for _ = 1 to m do
+      shift_all dist tmp;
+      for j = 0 to k - 1 do
+        ld_axis dist j
+      done;
+      for idx = 0 to size - 1 do
+        dist.(idx) <- Q.add (Q.mul one_minus_p dist.(idx)) (Q.mul p tmp.(idx))
+      done
+    done;
+    dist
+
+  (* window-transform weight given a bottom run of mu STs, for exponent i *)
+  let weight_tso ~s ~i mu =
+    let one_minus_s = Q.sub Q.one s in
+    let acc = ref Q.zero in
+    for g = 0 to mu do
+      let pr = if g < mu then Q.mul (Q.pow s g) one_minus_s else Q.pow s mu in
+      acc := Q.add !acc (Q.mul pr (Q.pow2 (-i * (g + 2))))
+    done;
+    !acc
+
+  let weight_pso ~s ~i mu =
+    let one_minus_s = Q.sub Q.one s in
+    let acc = ref Q.zero in
+    for g = 0 to mu do
+      let pr_g = if g < mu then Q.mul (Q.pow s g) one_minus_s else Q.pow s mu in
+      for t = 0 to g do
+        let pr_t = if t < g then Q.mul (Q.pow s t) one_minus_s else Q.pow s g in
+        acc := Q.add !acc (Q.mul (Q.mul pr_g pr_t) (Q.pow2 (-i * (g - t + 2))))
+      done
+    done;
+    !acc
+
+  let default_b_max b_max m = match b_max with Some b -> b | None -> Stdlib.min m 40
+
+  let expect_product ?p ?b_max ~s family ~m ~n =
+    let p = match p with Some p -> p | None -> Q.half in
+    check_common ~p ~s ~m;
+    if n < 2 || n - 1 > max_replicas then
+      invalid_arg "Joint_dp_q.expect_product: n must be in [2, max_replicas + 1]";
+    let k = n - 1 in
+    match family with
+    | Model.Sequential_consistency ->
+      (* Gamma = 2 for every thread *)
+      Q.pow2 (-2 * (k * (k + 1) / 2))
+    | Model.Total_store_order | Model.Partial_store_order ->
+      let b_max = default_b_max b_max m in
+      if b_max < 1 then invalid_arg "Joint_dp_q: b_max >= 1 required";
+      let weight =
+        match family with Model.Partial_store_order -> weight_pso | _ -> weight_tso
+      in
+      let side = b_max + 1 in
+      let dist = run_chains ~p ~s ~b_max ~m k in
+      let w = Array.init k (fun j -> Array.init side (fun mu -> weight ~s ~i:(j + 1) mu)) in
+      let total = ref Q.zero in
+      Array.iteri
+        (fun idx v ->
+          if not (Q.is_zero v) then begin
+            let rem = ref idx and prod = ref v in
+            for j = 0 to k - 1 do
+              prod := Q.mul !prod w.(j).(!rem mod side);
+              rem := !rem / side
+            done;
+            total := Q.add !total !prod
+          end)
+        dist;
+      !total
+    | Model.Weak_ordering | Model.Custom ->
+      (* WO needs an infinite series (its closed form lives in the float
+         Joint_dp); Custom has no bottom-run reduction at all *)
+      invalid_arg "Joint_dp_q: only SC/TSO/PSO families are supported"
+
+  let bottom_run_pmf ?p ?b_max ~s family ~m =
+    let p = match p with Some p -> p | None -> Q.half in
+    check_common ~p ~s ~m;
+    (match family with
+     | Model.Total_store_order | Model.Partial_store_order -> ()
+     | _ -> invalid_arg "Joint_dp_q.bottom_run_pmf: TSO/PSO dynamics only");
+    let b_max = default_b_max b_max m in
+    run_chains ~p ~s ~b_max ~m 1
+end
+
+include Make (Memrel_prob.Rational)
+
+let expect_product_model ?(p = 0.5) ?b_max model ~m ~n =
+  expect_product ~p:(Q.of_float_dyadic p) ?b_max
+    ~s:(Q.of_float_dyadic (Model.s model)) (Model.family model) ~m ~n

@@ -1,90 +1,113 @@
 module Q = Memrel_prob.Rational
 module C = Memrel_prob.Combinatorics
 
-let check_n n = if n < 1 || n > 8 then invalid_arg "Shift.Exact: n must be in [1, 8]"
+module type S = sig
+  type q
 
-let c n =
-  if n < 1 then invalid_arg "Shift.Exact.c: n >= 1 required";
-  let denom = ref Q.one in
-  for i = 2 to n do
-    denom := Q.mul !denom (Q.sub Q.one (Q.pow2 (-i)))
-  done;
-  Q.div Q.two !denom
+  val disjoint_probability : int array -> q
+  val prefactor : int -> q
+  val c : int -> q
+  val symmetric_disjoint_probability : (int * q) list -> n:int -> q
+  val expect_pow2 : (int * q) list -> k:int -> q
+  val disjoint_probability_geom : q:q -> int array -> q
+  val prefactor_geom : q:q -> int -> q
+  val symmetric_disjoint_probability_geom : q:q -> (int * q) list -> n:int -> q
+end
 
-let binom2 n = n * (n + 1) / 2
+module Make (Q : Memrel_prob.Sigs.RATIONAL) = struct
+  type q = Q.t
 
-let prefactor n =
-  if n < 1 then invalid_arg "Shift.Exact.prefactor: n >= 1 required";
-  Q.mul (c n) (Q.pow2 (-binom2 n))
+  (* [Q] carries no bigint-typed members, so n! crosses the boundary as a
+     decimal string (n <= 9 here — the cost is irrelevant). *)
+  let factorial n = Q.of_string (Memrel_prob.Bigint.to_string (C.factorial n))
 
-let disjoint_probability gammas =
-  let n = Array.length gammas in
-  check_n n;
-  Array.iter (fun g -> if g < 0 then invalid_arg "Shift.Exact: negative segment length") gammas;
-  (* sum over the symmetric group of 2^-(sum_i (n-i) gamma_sigma(i)); the
-     exponent is a native int, so each term is an exact dyadic rational *)
-  let sum =
-    C.fold_permutations
-      (fun acc sigma ->
-        let e = ref 0 in
-        for i = 0 to n - 2 do
-          e := !e + ((n - 1 - i) * gammas.(sigma.(i)))
-        done;
-        Q.add acc (Q.pow2 (- !e)))
-      Q.zero n
-  in
-  Q.mul (prefactor n) sum
+  let check_n n = if n < 1 || n > 8 then invalid_arg "Shift.Exact: n must be in [1, 8]"
 
-let check_q q =
-  if Q.compare q Q.zero <= 0 || Q.compare q Q.one >= 0 then
-    invalid_arg "Shift.Exact: q must be strictly inside (0,1)"
+  let c n =
+    if n < 1 then invalid_arg "Shift.Exact.c: n >= 1 required";
+    let denom = ref Q.one in
+    for i = 2 to n do
+      denom := Q.mul !denom (Q.sub Q.one (Q.pow2 (-i)))
+    done;
+    Q.div Q.two !denom
 
-let prefactor_geom ~q n =
-  if n < 1 then invalid_arg "Shift.Exact.prefactor_geom: n >= 1 required";
-  check_q q;
-  let acc = ref Q.one in
-  for i = 1 to n - 1 do
-    acc := Q.mul !acc (Q.div (Q.sub Q.one q) (Q.sub Q.one (Q.pow q (n - i + 1))))
-  done;
-  !acc
+  let binom2 n = n * (n + 1) / 2
 
-let disjoint_probability_geom ~q gammas =
-  let n = Array.length gammas in
-  check_n n;
-  check_q q;
-  Array.iter (fun g -> if g < 0 then invalid_arg "Shift.Exact: negative segment length") gammas;
-  let sum =
-    C.fold_permutations
-      (fun acc sigma ->
-        let e = ref 0 in
-        for i = 0 to n - 2 do
-          e := !e + ((n - 1 - i) * (gammas.(sigma.(i)) + 1))
-        done;
-        Q.add acc (Q.pow q !e))
-      Q.zero n
-  in
-  Q.mul (prefactor_geom ~q n) sum
+  let prefactor n =
+    if n < 1 then invalid_arg "Shift.Exact.prefactor: n >= 1 required";
+    Q.mul (c n) (Q.pow2 (-binom2 n))
 
-let symmetric_disjoint_probability_geom ~q pmf ~n =
-  if n < 1 then invalid_arg "Shift.Exact: n >= 1 required";
-  check_q q;
-  let product = ref Q.one in
-  for i = 1 to n - 1 do
-    let e =
-      Q.sum (List.map (fun (v, p) -> Q.mul (Q.pow q ((n - i) * (v + 1))) p) pmf)
+  let disjoint_probability gammas =
+    let n = Array.length gammas in
+    check_n n;
+    Array.iter (fun g -> if g < 0 then invalid_arg "Shift.Exact: negative segment length") gammas;
+    (* sum over the symmetric group of 2^-(sum_i (n-i) gamma_sigma(i)); the
+       exponent is a native int, so each term is an exact dyadic rational *)
+    let sum =
+      C.fold_permutations
+        (fun acc sigma ->
+          let e = ref 0 in
+          for i = 0 to n - 2 do
+            e := !e + ((n - 1 - i) * gammas.(sigma.(i)))
+          done;
+          Q.add acc (Q.pow2 (- !e)))
+        Q.zero n
     in
-    product := Q.mul !product e
-  done;
-  Q.mul (Q.mul (prefactor_geom ~q n) (Q.of_bigint (C.factorial n))) !product
+    Q.mul (prefactor n) sum
 
-let expect_pow2 pmf ~k =
-  if k < 0 then invalid_arg "Shift.Exact.expect_pow2: k >= 0 required";
-  Q.sum (List.map (fun (v, p) -> Q.mul (Q.pow2 (-k * v)) p) pmf)
+  let check_q q =
+    if Q.compare q Q.zero <= 0 || Q.compare q Q.one >= 0 then
+      invalid_arg "Shift.Exact: q must be strictly inside (0,1)"
 
-let symmetric_disjoint_probability pmf ~n =
-  if n < 1 then invalid_arg "Shift.Exact.symmetric_disjoint_probability: n >= 1 required";
-  let product = ref Q.one in
-  for i = 1 to n - 1 do
-    product := Q.mul !product (expect_pow2 pmf ~k:i)
-  done;
-  Q.mul (Q.mul (prefactor n) (Q.of_bigint (C.factorial n))) !product
+  let prefactor_geom ~q n =
+    if n < 1 then invalid_arg "Shift.Exact.prefactor_geom: n >= 1 required";
+    check_q q;
+    let acc = ref Q.one in
+    for i = 1 to n - 1 do
+      acc := Q.mul !acc (Q.div (Q.sub Q.one q) (Q.sub Q.one (Q.pow q (n - i + 1))))
+    done;
+    !acc
+
+  let disjoint_probability_geom ~q gammas =
+    let n = Array.length gammas in
+    check_n n;
+    check_q q;
+    Array.iter (fun g -> if g < 0 then invalid_arg "Shift.Exact: negative segment length") gammas;
+    let sum =
+      C.fold_permutations
+        (fun acc sigma ->
+          let e = ref 0 in
+          for i = 0 to n - 2 do
+            e := !e + ((n - 1 - i) * (gammas.(sigma.(i)) + 1))
+          done;
+          Q.add acc (Q.pow q !e))
+        Q.zero n
+    in
+    Q.mul (prefactor_geom ~q n) sum
+
+  let symmetric_disjoint_probability_geom ~q pmf ~n =
+    if n < 1 then invalid_arg "Shift.Exact: n >= 1 required";
+    check_q q;
+    let product = ref Q.one in
+    for i = 1 to n - 1 do
+      let e =
+        Q.sum (List.map (fun (v, p) -> Q.mul (Q.pow q ((n - i) * (v + 1))) p) pmf)
+      in
+      product := Q.mul !product e
+    done;
+    Q.mul (Q.mul (prefactor_geom ~q n) (factorial n)) !product
+
+  let expect_pow2 pmf ~k =
+    if k < 0 then invalid_arg "Shift.Exact.expect_pow2: k >= 0 required";
+    Q.sum (List.map (fun (v, p) -> Q.mul (Q.pow2 (-k * v)) p) pmf)
+
+  let symmetric_disjoint_probability pmf ~n =
+    if n < 1 then invalid_arg "Shift.Exact.symmetric_disjoint_probability: n >= 1 required";
+    let product = ref Q.one in
+    for i = 1 to n - 1 do
+      product := Q.mul !product (expect_pow2 pmf ~k:i)
+    done;
+    Q.mul (Q.mul (prefactor n) (factorial n)) !product
+end
+
+include Make (Memrel_prob.Rational)

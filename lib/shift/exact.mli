@@ -3,59 +3,71 @@
 
     All values are exact rationals; the permutation sum limits [n] to at
     most 8 segments (8! = 40320 terms), which covers every table in the
-    paper — the large-n regime is handled analytically by {!Asymptotic}. *)
+    paper — the large-n regime is handled analytically by {!Asymptotic}.
+
+    Functorized over {!Memrel_prob.Sigs.RATIONAL} for the fast-vs-reference
+    bench; the toplevel values are the fast-path instance. *)
 
 module Q = Memrel_prob.Rational
 
-val disjoint_probability : int array -> Q.t
-(** [disjoint_probability gammas] is Pr[A(gamma-bar)] by Theorem 5.1:
-    the prefactor [2^-(C(n+1,2)-1) / prod_{i=1}^{n-1} (1 - 2^-(n+1-i))]
-    times [sum_sigma prod_{i=1}^{n-1} 2^-(n-i) gamma_sigma(i)].
-    Requires [1 <= n <= 8]. *)
+module type S = sig
+  type q
+  (** The rational scalar of this instance. *)
 
-val prefactor : int -> Q.t
-(** The Theorem 5.1 prefactor for [n] segments. *)
+  val disjoint_probability : int array -> q
+  (** [disjoint_probability gammas] is Pr[A(gamma-bar)] by Theorem 5.1:
+      the prefactor [2^-(C(n+1,2)-1) / prod_{i=1}^{n-1} (1 - 2^-(n+1-i))]
+      times [sum_sigma prod_{i=1}^{n-1} 2^-(n-i) gamma_sigma(i)].
+      Requires [1 <= n <= 8]. *)
 
-val c : int -> Q.t
-(** Corollary 5.2's constant: [c n = 2 / prod_{i=2}^{n} (1 - 2^-i)], so that
-    [prefactor n = c n * 2^-C(n+1,2)]. [c 2 = 8/3]; [c n] lies in [2, 4]
-    for all [n >= 1] (tested). *)
+  val prefactor : int -> q
+  (** The Theorem 5.1 prefactor for [n] segments. *)
 
-val symmetric_disjoint_probability : (int * Q.t) list -> n:int -> Q.t
-(** Theorem 6.1 for i.i.d.-marginal segment lengths:
-    [c n * 2^-C(n+1,2) * n! * prod_{i=1}^{n-1} E[2^-i Gamma]] — valid when
-    the joint length distribution is exchangeable AND the lengths are
-    independent across segments (the SC and WO cases; TSO needs the joint
-    law, see {!Memrel_interleave}). The pmf is [(length, prob)]; it is the
-    caller's job to pass a (sub)distribution — a truncated pmf yields a
-    lower bound. Requires [n >= 1] (no permutation-sum limit: the
-    symmetric form needs no enumeration). *)
+  val c : int -> q
+  (** Corollary 5.2's constant: [c n = 2 / prod_{i=2}^{n} (1 - 2^-i)], so
+      that [prefactor n = c n * 2^-C(n+1,2)]. [c 2 = 8/3]; [c n] lies in
+      [2, 4] for all [n >= 1] (tested). *)
 
-val expect_pow2 : (int * Q.t) list -> k:int -> Q.t
-(** [expect_pow2 pmf ~k] is [sum_v 2^-(k v) Pr[v]] = E[2^-k Gamma]. *)
+  val symmetric_disjoint_probability : (int * q) list -> n:int -> q
+  (** Theorem 6.1 for i.i.d.-marginal segment lengths:
+      [c n * 2^-C(n+1,2) * n! * prod_{i=1}^{n-1} E[2^-i Gamma]] — valid when
+      the joint length distribution is exchangeable AND the lengths are
+      independent across segments (the SC and WO cases; TSO needs the joint
+      law, see {!Memrel_interleave}). The pmf is [(length, prob)]; it is the
+      caller's job to pass a (sub)distribution — a truncated pmf yields a
+      lower bound. Requires [n >= 1] (no permutation-sum limit: the
+      symmetric form needs no enumeration). *)
 
-(** {1 Generalized shift distribution}
+  val expect_pow2 : (int * q) list -> k:int -> q
+  (** [expect_pow2 pmf ~k] is [sum_v 2^-(k v) Pr[v]] = E[2^-k Gamma]. *)
 
-    Definition 1 fixes the shifts to geometric with ratio 1/2; the same
-    memorylessness argument goes through for any ratio [q] in (0, 1)
-    (pmf [(1-q) q^k]), yielding
+  (** {1 Generalized shift distribution}
 
-    [Pr[A] = sum_sigma prod_{i=1}^{n-1}
-       (1-q) q^((n-i)(gamma_sigma(i)+1)) / (1 - q^(n-i+1))].
+      Definition 1 fixes the shifts to geometric with ratio 1/2; the same
+      memorylessness argument goes through for any ratio [q] in (0, 1)
+      (pmf [(1-q) q^k]), yielding
 
-    [q] controls thread dispersion: larger [q] spreads the threads further
-    apart in time, making collisions rarer. At q = 1/2 these reduce exactly
-    to the paper's formulas (tested). *)
+      [Pr[A] = sum_sigma prod_{i=1}^{n-1}
+         (1-q) q^((n-i)(gamma_sigma(i)+1)) / (1 - q^(n-i+1))].
 
-val disjoint_probability_geom : q:Q.t -> int array -> Q.t
-(** Exact Pr[A(gamma-bar)] under geometric(q) shifts. Requires [q] strictly
-    between 0 and 1 and [1 <= n <= 8]. *)
+      [q] controls thread dispersion: larger [q] spreads the threads further
+      apart in time, making collisions rarer. At q = 1/2 these reduce
+      exactly to the paper's formulas (tested). *)
 
-val prefactor_geom : q:Q.t -> int -> Q.t
-(** [prod_{i=1}^{n-1} (1-q) / (1 - q^(n-i+1))]: the gamma-independent part
-    of each permutation term. *)
+  val disjoint_probability_geom : q:q -> int array -> q
+  (** Exact Pr[A(gamma-bar)] under geometric(q) shifts. Requires [q]
+      strictly between 0 and 1 and [1 <= n <= 8]. *)
 
-val symmetric_disjoint_probability_geom : q:Q.t -> (int * Q.t) list -> n:int -> Q.t
-(** Theorem 6.1 under geometric(q) shifts, for independent
-    identically-distributed segment lengths:
-    [prefactor_geom q n * n! * prod_{i=1}^{n-1} E[q^(n-i)(Gamma+1)]]. *)
+  val prefactor_geom : q:q -> int -> q
+  (** [prod_{i=1}^{n-1} (1-q) / (1 - q^(n-i+1))]: the gamma-independent part
+      of each permutation term. *)
+
+  val symmetric_disjoint_probability_geom : q:q -> (int * q) list -> n:int -> q
+  (** Theorem 6.1 under geometric(q) shifts, for independent
+      identically-distributed segment lengths:
+      [prefactor_geom q n * n! * prod_{i=1}^{n-1} E[q^(n-i)(Gamma+1)]]. *)
+end
+
+module Make (Q : Memrel_prob.Sigs.RATIONAL) : S with type q = Q.t
+
+include S with type q = Q.t

@@ -6,6 +6,7 @@ let () =
       ("rng", Test_rng.suite);
       ("par", Test_par.suite);
       ("combinatorics", Test_combinatorics.suite);
+      ("fastpath", Test_fastpath.suite);
       ("stats", Test_stats.suite);
       ("series", Test_series.suite);
       ("logspace", Test_logspace.suite);

@@ -125,6 +125,53 @@ let test_compositions () =
   C.compositions 7 4 (fun _ -> incr count);
   Alcotest.(check int) "count" (B.to_int (C.binomial 10 3)) !count
 
+let test_cache_hammer () =
+  (* the memo tables are shared across Par domains; hammer them from
+     several domains at once on overlapping keys and check every domain
+     sees the same answers a cold sequential run produces. Before the
+     caches were mutex-guarded this could corrupt the Hashtbl buckets
+     (lost bindings, or a crash on a torn resize). *)
+  let workload () =
+    let acc = ref B.zero in
+    for _rep = 1 to 25 do
+      for x = 0 to 30 do
+        acc := B.add !acc (C.partitions_bounded (20 + x) 6 9);
+        acc := B.add !acc (C.binomial (40 + (x mod 7)) (9 + (x mod 5)))
+      done
+    done;
+    B.to_string !acc
+  in
+  C.clear_caches ();
+  let expected = workload () in
+  C.clear_caches ();
+  let domains = Array.init 4 (fun _ -> Domain.spawn workload) in
+  Array.iteri
+    (fun i d ->
+      let got = Domain.join d in
+      if not (String.equal got expected) then
+        Alcotest.fail (Printf.sprintf "domain %d: expected %s got %s" i expected got))
+    domains;
+  let s = C.cache_stats () in
+  Alcotest.(check bool) "partition cache populated" true (s.C.partition_entries > 0);
+  Alcotest.(check bool) "binomial cache populated" true (s.C.binomial_entries > 0);
+  Alcotest.(check bool) "hits recorded under contention" true
+    (s.C.partition_hits > 0 && s.C.binomial_hits > 0)
+
+let test_cache_stats_accounting () =
+  C.clear_caches ();
+  let s0 = C.cache_stats () in
+  Alcotest.(check int) "cleared entries" 0 (s0.C.binomial_entries + s0.C.partition_entries);
+  ignore (C.binomial 40 17);
+  ignore (C.binomial 40 17);
+  ignore (C.binomial 40 23) (* = C(40,17) after symmetry normalization *);
+  let s1 = C.cache_stats () in
+  Alcotest.(check int) "one miss" 1 s1.C.binomial_misses;
+  Alcotest.(check int) "two hits" 2 s1.C.binomial_hits;
+  (* above the cap nothing is memoized *)
+  ignore (C.binomial 600 3);
+  let s2 = C.cache_stats () in
+  Alcotest.(check int) "capped n bypasses cache" s1.C.binomial_misses s2.C.binomial_misses
+
 let prop name ?(count = 200) gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen f)
 
 let properties =
@@ -162,5 +209,7 @@ let suite =
       ("permutations guard", test_permutations_guard);
       ("fold_permutations", test_fold_permutations_sum);
       ("compositions", test_compositions);
+      ("cache hammer across domains", test_cache_hammer);
+      ("cache stats accounting", test_cache_stats_accounting);
     ]
   @ properties

@@ -6,6 +6,7 @@ let () =
       ("analytic", Test_analytic.suite);
       ("analytic_general", Test_analytic_general.suite);
       ("joint_dp", Test_joint_dp.suite);
+      ("joint_dp_q", Test_joint_dp_q.suite);
       ("verified", Test_verified.suite);
       ("exact_dp", Test_exact_dp.suite);
       ("exact_dp_q", Test_exact_dp_q.suite);
