@@ -1,9 +1,11 @@
 # Tier-1 verification is `make ci`: build + tests + smoke runs of the MC
 # throughput bench, the exhaustive-enumeration bench (the latter refreshes
 # BENCH_enum.json, including the inc4 SC/TSO exhaustive counts), the
-# axiomatic-vs-operational differential, and the candidate-generation bench.
+# axiomatic-vs-operational differential, the candidate-generation bench, and
+# the robustness smoke (checkpoint/resume + fault-retry bit-identity, plus
+# the CLI's exit-3 partial-result contract).
 
-.PHONY: all build check test bench bench-json bench-enum bench-axiom bench-exact ci clean
+.PHONY: all build check test bench bench-json bench-enum bench-axiom bench-exact bench-robust ci clean
 
 all: build
 
@@ -39,6 +41,12 @@ bench-axiom:
 bench-exact:
 	dune exec bench/main.exe -- --json-exact BENCH_exact.json
 
+# robustness bench: governance/checkpoint overhead vs the baseline engine,
+# snapshot size, restore cost; resume and fault-retry runs asserted
+# bit-identical to the baseline; writes BENCH_robust.json
+bench-robust:
+	dune exec bench/main.exe -- --json-robust BENCH_robust.json
+
 ci:
 	dune build
 	dune runtest
@@ -47,6 +55,10 @@ ci:
 	dune exec bench/main.exe -- --json-enum-smoke BENCH_enum.json
 	dune exec bench/main.exe -- --json-axiom-smoke /tmp/BENCH_axiom_smoke.json
 	dune exec bench/main.exe -- --json-exact-smoke /tmp/BENCH_exact_smoke.json
+	dune exec bench/main.exe -- --json-robust-smoke /tmp/BENCH_robust_smoke.json
+	# partial-result contract: an expired deadline must exit 3, not 0/crash
+	dune exec bin/memrel_cli.exe -- window --trials 100000 --deadline 0 > /dev/null; test $$? -eq 3
+	dune exec bin/memrel_cli.exe -- enumerate inc3 --max-states 50 > /dev/null; test $$? -eq 3
 
 clean:
 	dune clean

@@ -1030,6 +1030,163 @@ let exact_json ~file ~smoke =
     bs.Bigint.demotions;
   Printf.printf "wrote %s\n" file
 
+(* -- robustness bench (--json-robust) ---------------------------------- *)
+
+(* Measures what governance costs the governed MC engine: baseline Par.count
+   vs count_governed bare, vs governed with periodic checkpointing; snapshot
+   size on disk and the wall cost of a resume; and a fault-injected run with
+   retries. Every configuration is asserted bit-identical to the baseline
+   before any timing is reported — the numbers are only meaningful if the
+   determinism contract holds. Writes BENCH_robust.json; `make ci` runs the
+   smoke form. *)
+
+type robust_numbers = {
+  r_jobs : int;
+  r_trials : int;
+  r_chunks : int;
+  r_baseline_secs : float;
+  r_governed_secs : float;
+  r_checkpointed_secs : float;
+  r_checkpoints_written : int;
+  r_snapshot_bytes : int;
+  r_partial_chunks : int;
+  r_restore_secs : float;
+  r_resume_equal : bool;
+  r_fault_secs : float;
+  r_fault_retries : int;
+  r_fault_equal : bool;
+}
+
+let robust_numbers ~smoke =
+  let trials = if smoke then 60_000 else 600_000 in
+  let chunk = 2048 in
+  let chunks = (trials + chunk - 1) / chunk in
+  let jobs = max 4 (Par.default_jobs ()) in
+  let model = Model.tso () in
+  let trial r =
+    let prog = Program.generate r ~m:48 in
+    let pi = Settle.run model r prog in
+    Window.gamma prog pi >= 1
+  in
+  let fresh () = Rng.create seed in
+  ignore (Par.count ~jobs ~chunk ~trials:(max 1 (trials / 20)) trial (fresh ()));
+  let baseline = ref 0 in
+  let r_baseline_secs =
+    wall (fun () -> baseline := Par.count ~jobs ~chunk ~trials trial (fresh ()))
+  in
+  let governed = ref 0 in
+  let r_governed_secs =
+    wall (fun () ->
+        let g = Par.count_governed ~jobs ~chunk ~trials trial (fresh ()) in
+        assert (g.Par.exhausted = None);
+        governed := g.Par.value)
+  in
+  assert (!governed = !baseline);
+  let snap = Filename.temp_file "memrel_robust" ".snap" in
+  let checkpointed = ref 0 and r_checkpoints_written = ref 0 in
+  let r_checkpointed_secs =
+    wall (fun () ->
+        let g =
+          Par.count_governed ~jobs ~chunk ~checkpoint:snap ~checkpoint_every:4 ~trials trial
+            (fresh ())
+        in
+        r_checkpoints_written := g.Par.run_stats.Par.checkpoints_written;
+        checkpointed := g.Par.value)
+  in
+  assert (!checkpointed = !baseline);
+  (* interrupt half-way with a deterministic work cap, snapshot, resume *)
+  let partial =
+    Par.count_governed ~jobs ~chunk
+      ~budget:(Budget.create ~max_work:(chunks / 2) ())
+      ~checkpoint:snap ~checkpoint_every:4 ~trials trial (fresh ())
+  in
+  assert (partial.Par.exhausted <> None);
+  let r_partial_chunks = partial.Par.run_stats.Par.chunks_done in
+  let r_snapshot_bytes = (Unix.stat snap).Unix.st_size in
+  let resumed = ref 0 in
+  let r_restore_secs =
+    wall (fun () ->
+        let g = Par.count_governed ~jobs ~chunk ~resume:snap ~trials trial (fresh ()) in
+        assert (g.Par.run_stats.Par.chunks_resumed = r_partial_chunks);
+        resumed := g.Par.value)
+  in
+  Sys.remove snap;
+  let r_resume_equal = !resumed = !baseline in
+  assert r_resume_equal;
+  let fault ~chunk:c ~attempt = if (c = 0 || c = 7) && attempt = 1 then Some Par.Crash else None in
+  let faulted = ref 0 and r_fault_retries = ref 0 in
+  let r_fault_secs =
+    wall (fun () ->
+        let g = Par.count_governed ~jobs ~chunk ~fault ~trials trial (fresh ()) in
+        r_fault_retries := g.Par.run_stats.Par.retries;
+        faulted := g.Par.value)
+  in
+  let r_fault_equal = !faulted = !baseline in
+  assert r_fault_equal;
+  {
+    r_jobs = jobs;
+    r_trials = trials;
+    r_chunks = chunks;
+    r_baseline_secs;
+    r_governed_secs;
+    r_checkpointed_secs;
+    r_checkpoints_written = !r_checkpoints_written;
+    r_snapshot_bytes;
+    r_partial_chunks;
+    r_restore_secs;
+    r_resume_equal;
+    r_fault_secs;
+    r_fault_retries = !r_fault_retries;
+    r_fault_equal;
+  }
+
+let robust_json ~file ~smoke =
+  let n = robust_numbers ~smoke in
+  let overhead a b = if a > 0.0 then b /. a else 0.0 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" n.r_jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"trials\": %d,\n" n.r_trials);
+  Buffer.add_string buf (Printf.sprintf "  \"chunks\": %d,\n" n.r_chunks);
+  Buffer.add_string buf (Printf.sprintf "  \"baseline_seconds\": %.6f,\n" n.r_baseline_secs);
+  Buffer.add_string buf (Printf.sprintf "  \"governed_seconds\": %.6f,\n" n.r_governed_secs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"governance_overhead\": %.4f,\n"
+       (overhead n.r_baseline_secs n.r_governed_secs));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"checkpointed_seconds\": %.6f,\n" n.r_checkpointed_secs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"checkpoint_overhead\": %.4f,\n"
+       (overhead n.r_baseline_secs n.r_checkpointed_secs));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"checkpoints_written\": %d,\n" n.r_checkpoints_written);
+  Buffer.add_string buf (Printf.sprintf "  \"snapshot_bytes\": %d,\n" n.r_snapshot_bytes);
+  Buffer.add_string buf (Printf.sprintf "  \"partial_chunks\": %d,\n" n.r_partial_chunks);
+  Buffer.add_string buf (Printf.sprintf "  \"restore_seconds\": %.6f,\n" n.r_restore_secs);
+  Buffer.add_string buf (Printf.sprintf "  \"resume_equal\": %b,\n" n.r_resume_equal);
+  Buffer.add_string buf (Printf.sprintf "  \"fault_seconds\": %.6f,\n" n.r_fault_secs);
+  Buffer.add_string buf (Printf.sprintf "  \"fault_retries\": %d,\n" n.r_fault_retries);
+  Buffer.add_string buf (Printf.sprintf "  \"fault_equal\": %b\n" n.r_fault_equal);
+  Buffer.add_string buf "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf
+    "governed MC (%d trials, %d chunks, jobs=%d):\n\
+    \  baseline      %8.3fs\n\
+    \  governed      %8.3fs (%.2fx baseline)\n\
+    \  checkpointed  %8.3fs (%.2fx baseline, %d snapshots, %d bytes each)\n\
+    \  resume        %8.3fs from %d/%d chunks  bit-identical: %b\n\
+    \  fault-retried %8.3fs (%d retries)       bit-identical: %b\n"
+    n.r_trials n.r_chunks n.r_jobs n.r_baseline_secs n.r_governed_secs
+    (overhead n.r_baseline_secs n.r_governed_secs)
+    n.r_checkpointed_secs
+    (overhead n.r_baseline_secs n.r_checkpointed_secs)
+    n.r_checkpoints_written n.r_snapshot_bytes n.r_restore_secs n.r_partial_chunks n.r_chunks
+    n.r_resume_equal n.r_fault_secs n.r_fault_retries n.r_fault_equal;
+  Printf.printf "wrote %s\n" file
+
 let full_run () =
   print_endline "memrel reproduction harness";
   print_endline "paper: The Impact of Memory Models on Software Reliability in Multiprocessors";
@@ -1077,6 +1234,12 @@ let () =
   | _ :: "--json-axiom-smoke" :: rest ->
     let file = match rest with f :: _ -> f | [] -> "BENCH_axiom.json" in
     axiom_json ~file ~smoke:true
+  | _ :: "--json-robust" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_robust.json" in
+    robust_json ~file ~smoke:false
+  | _ :: "--json-robust-smoke" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_robust.json" in
+    robust_json ~file ~smoke:true
   | _ :: "--json-exact" :: rest ->
     let file = match rest with f :: _ -> f | [] -> "BENCH_exact.json" in
     exact_json ~file ~smoke:false

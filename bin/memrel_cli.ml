@@ -36,6 +36,74 @@ let jobs_arg =
 
 let resolve_jobs j = if j <= 0 then None else Some j
 
+(* -- resource governance (budgets, checkpoints, resume) ----------------- *)
+
+let deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS"
+         ~doc:"Wall-clock budget in seconds. On expiry the engine stops cooperatively, the \
+               partial result computed so far is printed, and the exit code is 3. \
+               $(b,--deadline 0) stops before any work — useful to test the partial path \
+               deterministically.")
+
+let max_mem_arg =
+  Arg.(value & opt (some int) None & info [ "max-mem" ] ~docv:"MB"
+         ~doc:"Major-heap watermark in megabytes (sampled with Gc.quick_stat). Crossing it \
+               ends the run with a partial result and exit code 3.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Periodically write a crash-safe snapshot of the Monte Carlo run to FILE \
+               (atomic tmp+rename, CRC-guarded, versioned). A final snapshot is written on \
+               completion.")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int Par.default_checkpoint_every & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Snapshot after every N completed chunks (with --checkpoint).")
+
+let resume_arg =
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE"
+         ~doc:"Resume from a snapshot written by --checkpoint. Requires the same seed, \
+               --trials and chunking; completed chunks are not re-run and the final result \
+               is bit-identical to an uninterrupted run. Corrupted, truncated or mismatched \
+               snapshots are rejected.")
+
+let budget_of ?max_work deadline max_mem =
+  match (deadline, max_mem, max_work) with
+  | None, None, None -> None
+  | _ ->
+    Some
+      (Budget.create ?deadline_s:deadline
+         ?max_mem_bytes:(Option.map (fun mb -> mb * 1024 * 1024) max_mem)
+         ?max_work ())
+
+(* budget-exhausted partial runs share one exit code and a one-line stderr
+   summary *)
+let partial_exit ~engine = function
+  | None -> 0
+  | Some e ->
+    Printf.eprintf "memrel: %s stopped early — %s; the printed result is partial\n" engine
+      (Budget.describe e);
+    3
+
+(* typed robustness errors (bad snapshots, exhausted retries) exit cleanly
+   instead of escaping as a backtrace *)
+let with_robust f =
+  try f () with
+  | Par.Invalid_snapshot msg ->
+    Printf.eprintf "memrel: %s\n" msg;
+    Cmd.Exit.some_error
+  | Par.Retries_exhausted { chunk; attempts; last_error } ->
+    Printf.eprintf "memrel: chunk %d failed after %d attempts (last error: %s)\n" chunk
+      attempts last_error;
+    Cmd.Exit.some_error
+
+let budget_exit_info =
+  Cmd.Exit.info 3
+    ~doc:"the resource budget (--deadline, --max-mem or a work cap) was exhausted; the \
+          printed result is partial."
+
+let budget_exits = budget_exit_info :: Cmd.Exit.defaults
+
 (* -- exact-arithmetic observability (--stats) -------------------------- *)
 
 let stats_arg =
@@ -118,7 +186,9 @@ let figure2_cmd =
 (* -- window ----------------------------------------------------------- *)
 
 let window_cmd =
-  let run model seed trials gamma_max p s jobs stats =
+  let run model seed trials gamma_max p s jobs stats deadline max_mem checkpoint
+      checkpoint_every resume =
+    with_robust @@ fun () ->
     with_exact_stats stats @@ fun () ->
     let model = match (Model.family model, s) with
       | _, None -> model
@@ -130,7 +200,12 @@ let window_cmd =
     let rng = Rng.create seed in
     Printf.printf "critical-window growth Pr[B_gamma] under %s (p = %.2f, s = %.2f)\n\n"
       (Model.name model) p (Model.s model);
-    let mc = Window_mc.estimate ~p ?jobs:(resolve_jobs jobs) ~trials model rng in
+    let g =
+      Window_mc.estimate_governed ~p ?jobs:(resolve_jobs jobs)
+        ?budget:(budget_of deadline max_mem) ?checkpoint ~checkpoint_every ?resume ~trials
+        model rng
+    in
+    let mc = g.Par.value in
     let dp =
       match Model.family model with
       | Model.Custom -> []
@@ -154,7 +229,10 @@ let window_cmd =
       let mcv = try List.assoc g mc.gamma_pmf with Not_found -> 0.0 in
       Printf.printf "%6d %12.6f %12.6f %12.6f\n" g analytic dpv mcv
     done;
-    0
+    partial_exit
+      ~engine:
+        (Printf.sprintf "window (mc column covers %d of %d trials)" mc.Window_mc.trials trials)
+      g.Par.exhausted
   in
   let gamma_max_arg =
     Arg.(value & opt int 8 & info [ "gamma-max" ] ~docv:"G" ~doc:"Largest gamma to print.")
@@ -166,41 +244,67 @@ let window_cmd =
     Arg.(value & opt (some float) None & info [ "s" ] ~docv:"S"
            ~doc:"Swap probability (defaults to the model's 1/2).")
   in
-  Cmd.v (Cmd.info "window" ~doc:"Critical-window distribution (Theorem 4.1).")
+  Cmd.v (Cmd.info "window" ~exits:budget_exits ~doc:"Critical-window distribution (Theorem 4.1).")
     Term.(const run $ model_arg $ seed_arg $ trials_arg 200_000 $ gamma_max_arg $ p_arg $ s_arg
-          $ jobs_arg $ stats_arg)
+          $ jobs_arg $ stats_arg $ deadline_arg $ max_mem_arg $ checkpoint_arg
+          $ checkpoint_every_arg $ resume_arg)
 
 (* -- shift ------------------------------------------------------------ *)
 
 let shift_cmd =
-  let run gammas seed trials jobs stats =
+  let run gammas seed trials jobs stats deadline max_mem checkpoint checkpoint_every resume =
+    with_robust @@ fun () ->
     with_exact_stats stats @@ fun () ->
     let g = Array.of_list gammas in
     let exact = Shift_exact.disjoint_probability g in
     let rng = Rng.create seed in
-    let est, ci = Shift.estimate ?jobs:(resolve_jobs jobs) ~trials rng g in
+    let gov =
+      Shift.estimate_governed ?jobs:(resolve_jobs jobs) ?budget:(budget_of deadline max_mem)
+        ?checkpoint ~checkpoint_every ?resume ~trials rng g
+    in
+    let est, ci = gov.Par.value in
     Printf.printf "Pr[A(%s)] exact %s (%.6f); simulated %.6f [%.6f, %.6f]\n"
       (String.concat "," (List.map string_of_int gammas))
       (Rational.to_string exact) (Rational.to_float exact) est ci.lo ci.hi;
-    0
+    partial_exit
+      ~engine:
+        (Printf.sprintf "shift (simulated over %d of %d trials)"
+           gov.Par.run_stats.Par.trials_done trials)
+      gov.Par.exhausted
   in
   let gammas_arg =
     Arg.(value & opt (list int) [ 3; 2; 5 ] & info [ "gammas" ] ~docv:"G,G,..."
            ~doc:"Segment lengths (at most 8).")
   in
-  Cmd.v (Cmd.info "shift" ~doc:"Shift-process disjointness probability (Theorem 5.1).")
-    Term.(const run $ gammas_arg $ seed_arg $ trials_arg 500_000 $ jobs_arg $ stats_arg)
+  Cmd.v
+    (Cmd.info "shift" ~exits:budget_exits
+       ~doc:"Shift-process disjointness probability (Theorem 5.1).")
+    Term.(const run $ gammas_arg $ seed_arg $ trials_arg 500_000 $ jobs_arg $ stats_arg
+          $ deadline_arg $ max_mem_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 (* -- joint ------------------------------------------------------------ *)
 
 let joint_cmd =
-  let run model n seed trials jobs stats =
+  let run model n seed trials jobs stats deadline max_mem checkpoint checkpoint_every resume =
+    with_robust @@ fun () ->
     with_exact_stats stats @@ fun () ->
     let jobs = resolve_jobs jobs in
     let rng = Rng.create seed in
-    let e = Joint.estimate ?jobs ~trials model ~n rng in
+    let g =
+      Joint.estimate_governed ?jobs ?budget:(budget_of deadline max_mem) ?checkpoint
+        ~checkpoint_every ?resume ~trials model ~n rng
+    in
+    let e = g.Par.value in
     Printf.printf "Pr[A] (%s, n=%d): simulated %.6f [%.6f, %.6f]\n" (Model.name model) n
       e.pr_no_bug e.ci.lo e.ci.hi;
+    if g.Par.exhausted <> None then
+      (* the budget is spent: skip the exact/semi-analytic companions and
+         report the partial estimate honestly *)
+      partial_exit
+        ~engine:
+          (Printf.sprintf "joint (simulated over %d of %d trials)" e.Joint.trials trials)
+        g.Par.exhausted
+    else begin
     (match Model.family model with
      | Model.Sequential_consistency ->
        Printf.printf "exact: %s\n" (Rational.to_string (Manifestation.pr_a_sc ~n))
@@ -226,10 +330,14 @@ let joint_cmd =
        Printf.printf "semi-analytic (correlated, MC): %.4e\n"
          (Joint.semi_analytic ?jobs ~trials model ~n rng));
     0
+    end
   in
-  Cmd.v (Cmd.info "joint" ~doc:"End-to-end bug manifestation probability (Theorem 6.2).")
+  Cmd.v
+    (Cmd.info "joint" ~exits:budget_exits
+       ~doc:"End-to-end bug manifestation probability (Theorem 6.2).")
     Term.(const run $ model_arg $ threads_arg $ seed_arg $ trials_arg 200_000 $ jobs_arg
-          $ stats_arg)
+          $ stats_arg $ deadline_arg $ max_mem_arg $ checkpoint_arg $ checkpoint_every_arg
+          $ resume_arg)
 
 (* -- scaling ---------------------------------------------------------- *)
 
@@ -400,46 +508,46 @@ let verify_cmd =
 (* -- enumerate --------------------------------------------------------- *)
 
 let enumerate_cmd =
-  let run name model por max_states legacy_key window =
+  let run name model por max_states legacy_key window deadline max_mem =
     match find_litmus name with
     | Error msg ->
       Printf.eprintf "memrel: %s\n" msg;
       Cmd.Exit.some_error
     | Ok t ->
       let discipline = Semantics.of_model ~window (Model.family model) in
-      (match
-         Enumerate.outcomes ~max_states ~por ~legacy_key discipline (Litmus.initial_state t)
-           ~observe:t.observe
-       with
-       | exception Enumerate.State_limit { max_states; states_visited; terminals } ->
-         Printf.eprintf
-           "memrel: state limit exceeded on %s under %s (max-states %d; %d states and %d \
-            terminals explored before the abort)\n"
-           t.name (Model.name model) max_states states_visited terminals;
-         Cmd.Exit.some_error
-       | r ->
-         Printf.printf "%s under %s%s: %d distinct outcomes, %d terminal states\n" t.name
-           (Model.name model)
-           (if por then " (POR)" else "")
-           (List.length r.outcomes) r.terminals;
-         List.iter
-           (fun (o, k) ->
-             let o = String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) o) in
-             Printf.printf "  %-30s %8d terminal state%s\n" o k (if k = 1 then "" else "s"))
-           r.outcomes;
-         let relaxed =
-           String.concat " "
-             (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) t.relaxed_outcome)
-         in
-         Printf.printf "relaxed outcome %s: %s\n" relaxed
-           (if List.mem_assoc t.relaxed_outcome r.outcomes then "ALLOWED" else "forbidden");
-         let s = r.stats in
-         Printf.printf
-           "states %d (%.0f states/sec, %.3fs); transitions %d; dedup hits %d\n\
-            max depth %d; max frontier %d; POR: ample at %d states, %d transitions pruned\n"
-           r.states_visited s.states_per_sec s.elapsed_s s.transitions s.dedup_hits s.max_depth
-           s.max_frontier s.por_ample_states s.por_pruned;
-         0)
+      let r =
+        Enumerate.outcomes ~max_states ~por ~legacy_key ?budget:(budget_of deadline max_mem)
+          discipline (Litmus.initial_state t) ~observe:t.observe
+      in
+      let partial = r.Enumerate.exhausted <> None in
+      Printf.printf "%s under %s%s: %d distinct outcomes, %d terminal states%s\n" t.name
+        (Model.name model)
+        (if por then " (POR)" else "")
+        (List.length r.outcomes) r.terminals
+        (if partial then " (PARTIAL exploration)" else "");
+      List.iter
+        (fun (o, k) ->
+          let o = String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) o) in
+          Printf.printf "  %-30s %8d terminal state%s\n" o k (if k = 1 then "" else "s"))
+        r.outcomes;
+      let relaxed =
+        String.concat " "
+          (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) t.relaxed_outcome)
+      in
+      (* a partial exploration can witness reachability but never refute it *)
+      Printf.printf "relaxed outcome %s: %s\n" relaxed
+        (if List.mem_assoc t.relaxed_outcome r.outcomes then "ALLOWED"
+         else if partial then "not seen (exploration incomplete)"
+         else "forbidden");
+      let s = r.stats in
+      Printf.printf
+        "states %d (%.0f states/sec, %.3fs); transitions %d; dedup hits %d\n\
+         max depth %d; max frontier %d; POR: ample at %d states, %d transitions pruned\n"
+        r.states_visited s.states_per_sec s.elapsed_s s.transitions s.dedup_hits s.max_depth
+        s.max_frontier s.por_ample_states s.por_pruned;
+      partial_exit
+        ~engine:(Printf.sprintf "enumerate (%d states admitted)" r.states_visited)
+        r.Enumerate.exhausted
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"TEST"
@@ -451,7 +559,8 @@ let enumerate_cmd =
   in
   let max_states_arg =
     Arg.(value & opt int 2_000_000 & info [ "max-states" ] ~docv:"N"
-           ~doc:"Abort after admitting N distinct states.")
+           ~doc:"Stop after admitting N distinct states and report the partial exploration \
+                 (exit code 3).")
   in
   let legacy_key_arg =
     Arg.(value & flag & info [ "legacy-key" ]
@@ -462,15 +571,15 @@ let enumerate_cmd =
            ~doc:"Out-of-order window for the wo model.")
   in
   Cmd.v
-    (Cmd.info "enumerate"
+    (Cmd.info "enumerate" ~exits:budget_exits
        ~doc:"Exhaustively enumerate a litmus test's state space with statistics.")
     Term.(const run $ name_arg $ model_arg $ por_arg $ max_states_arg $ legacy_key_arg
-          $ window_arg)
+          $ window_arg $ deadline_arg $ max_mem_arg)
 
 (* -- axiom ------------------------------------------------------------- *)
 
 let axiom_cmd =
-  let run names model no_diff window =
+  let run names model no_diff window deadline max_mem max_candidates =
     let tests =
       match names with
       | [] -> Ok Litmus.all
@@ -495,18 +604,40 @@ let axiom_cmd =
       in
       let detail = List.length tests = 1 in
       let disagreements = ref 0 in
+      (* any budget flag implies the no-diff path: comparing a partial
+         axiomatic outcome set against the full operational one would
+         report spurious disagreements *)
+      let budget_requested =
+        deadline <> None || max_mem <> None || max_candidates <> None
+      in
+      let partials = ref 0 in
       List.iter
         (fun (t : Litmus.t) ->
           Printf.printf "%s: %s\n" t.name t.description;
           List.iter
             (fun family ->
-              if no_diff then begin
-                let r = Axiom.run ~window t family in
+              if no_diff || budget_requested then begin
+                (* budgets are single-use (the deadline anchors at creation):
+                   one per test x family run *)
+                let budget =
+                  if budget_requested then budget_of ?max_work:max_candidates deadline max_mem
+                  else None
+                in
+                let r = Axiom.run ~window ?budget t family in
                 let s = r.Axiom.stats in
+                let partial = s.Axiom.exhausted <> None in
                 Printf.printf
-                  "  %-4s %d allowed outcomes (%d candidates of naive %.0f; pruned %d; %.0f cand/s)\n"
+                  "  %-4s %d allowed outcomes (%d candidates of naive %.0f; pruned %d; %.0f cand/s)%s\n"
                   (Model.family_name family) (List.length r.Axiom.entries) s.Axiom.accepted
-                  s.Axiom.naive_space s.Axiom.pruned s.Axiom.candidates_per_sec;
+                  s.Axiom.naive_space s.Axiom.pruned s.Axiom.candidates_per_sec
+                  (if partial then " (PARTIAL coverage)" else "");
+                (match s.Axiom.exhausted with
+                 | Some e ->
+                   incr partials;
+                   Printf.printf
+                     "       enumeration stopped early (%s); allowed outcomes are a lower bound\n"
+                     (Budget.describe e)
+                 | None -> ());
                 if detail then
                   List.iter
                     (fun (e : Axiom.entry) ->
@@ -521,7 +652,9 @@ let axiom_cmd =
                 in
                 Printf.printf "       relaxed outcome %s: %s\n"
                   (Axiom_differential.outcome_to_string t.relaxed_outcome)
-                  (if relaxed then "ALLOWED" else "forbidden")
+                  (if relaxed then "ALLOWED"
+                   else if partial then "not seen (coverage incomplete)"
+                   else "forbidden")
               end
               else begin
                 let r = Axiom_differential.run ~window t family in
@@ -549,12 +682,20 @@ let axiom_cmd =
               end)
             families)
         tests;
-      if !disagreements = 0 then 0
-      else begin
+      if !disagreements > 0 then begin
         Printf.eprintf "memrel: %d axiomatic/operational disagreement%s\n" !disagreements
           (if !disagreements = 1 then "" else "s");
         1
       end
+      else if !partials > 0 then begin
+        Printf.eprintf
+          "memrel: axiom enumeration stopped early on %d run%s; the reported coverage is \
+           partial\n"
+          !partials
+          (if !partials = 1 then "" else "s");
+        3
+      end
+      else 0
   in
   let names_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"TEST"
@@ -573,14 +714,23 @@ let axiom_cmd =
     Arg.(value & opt int 8 & info [ "window" ] ~docv:"W"
            ~doc:"Out-of-order window for the wo model (both sides of the differential).")
   in
+  let max_candidates_arg =
+    Arg.(value & opt (some int) None & info [ "max-candidates" ] ~docv:"N"
+           ~doc:"Stop each enumeration after N accepted candidate executions and report the \
+                 partial coverage (exit code 3). Implies --no-diff.")
+  in
   let exits =
-    Cmd.Exit.info 1 ~doc:"axiomatic and operational outcome sets disagree." :: Cmd.Exit.defaults
+    Cmd.Exit.info 1 ~doc:"axiomatic and operational outcome sets disagree."
+    :: budget_exit_info :: Cmd.Exit.defaults
   in
   Cmd.v
     (Cmd.info "axiom" ~exits
        ~doc:"Enumerate axiomatically allowed executions (event graphs; acyclicity axioms \
-             per model) and cross-check against the operational enumeration.")
-    Term.(const run $ names_arg $ model_opt_arg $ no_diff_arg $ window_arg)
+             per model) and cross-check against the operational enumeration. Budget flags \
+             (--deadline, --max-mem, --max-candidates) apply per test and model, imply \
+             --no-diff, and report partial coverage honestly.")
+    Term.(const run $ names_arg $ model_opt_arg $ no_diff_arg $ window_arg $ deadline_arg
+          $ max_mem_arg $ max_candidates_arg)
 
 let main_cmd =
   let doc = "reproduction of 'The Impact of Memory Models on Software Reliability'" in

@@ -12,11 +12,12 @@ type stats = {
   pruning_ratio : float;
   elapsed_s : float;
   candidates_per_sec : float;
+  exhausted : Memrel_prob.Budget.exhaustion option;
 }
 
 let rec factorial n = if n <= 1 then 1.0 else float_of_int n *. factorial (n - 1)
 
-let iter ?(window = 8) (t : Litmus.t) family f =
+let iter ?(window = 8) ?budget (t : Litmus.t) family f =
   let t0 = Unix.gettimeofday () in
   let events = Event.of_programs t.Litmus.programs in
   let n = Array.length events in
@@ -71,7 +72,16 @@ let iter ?(window = 8) (t : Litmus.t) family f =
           orders)
       edges
   in
+  (* budget exhaustion abandons the whole search tree in one unwind; the
+     skipped [pop_all]s leave the orders partially updated, which is fine —
+     they are discarded with the search *)
+  let exception Stop of Memrel_prob.Budget.cause in
+  let exhausted = ref None in
   let attempt edges k =
+    (match budget with
+     | None -> ()
+     | Some b -> (
+       match Memrel_prob.Budget.check b with Some cause -> raise (Stop cause) | None -> ()));
     push_all ();
     if add_edges edges then k ();
     pop_all ()
@@ -82,6 +92,7 @@ let iter ?(window = 8) (t : Litmus.t) family f =
   let programs = Array.of_list t.Litmus.programs in
   let leaf () =
     incr accepted;
+    (match budget with Some b -> Memrel_prob.Budget.spend b 1 | None -> ());
     f
       { Candidate.events;
         programs;
@@ -139,7 +150,15 @@ let iter ?(window = 8) (t : Litmus.t) family f =
       in
       perm [] (writes_at loc)
   in
-  choose_co locs;
+  (try
+     (match budget with
+      | None -> ()
+      | Some b -> (
+        match Memrel_prob.Budget.check b with Some cause -> raise (Stop cause) | None -> ()));
+     choose_co locs
+   with Stop cause ->
+     exhausted :=
+       Some (match budget with Some b -> Memrel_prob.Budget.exhaustion b cause | None -> assert false));
   let pruned =
     List.fold_left (fun acc (_, ord) -> acc + Order.rejections ord) 0 orders
     - static_rejections
@@ -158,16 +177,17 @@ let iter ?(window = 8) (t : Litmus.t) family f =
     elapsed_s;
     candidates_per_sec =
       (if elapsed_s > 0.0 then float_of_int !accepted /. elapsed_s else 0.0);
+    exhausted = !exhausted;
   }
 
 type entry = { outcome : Litmus.outcome; candidates : int; witness : Candidate.t }
 
 type run = { stats : stats; entries : entry list }
 
-let run ?window t family =
+let run ?window ?budget t family =
   let tbl : (Litmus.outcome, int * Candidate.t) Hashtbl.t = Hashtbl.create 64 in
   let stats =
-    iter ?window t family (fun c ->
+    iter ?window ?budget t family (fun c ->
         let o = Candidate.outcome c ~observe:t.Litmus.observe in
         match Hashtbl.find_opt tbl o with
         | Some (count, w) -> Hashtbl.replace tbl o (count + 1, w)
@@ -179,5 +199,5 @@ let run ?window t family =
   in
   { stats; entries }
 
-let outcome_set ?window t family =
-  List.map (fun e -> e.outcome) (run ?window t family).entries
+let outcome_set ?window ?budget t family =
+  List.map (fun e -> e.outcome) (run ?window ?budget t family).entries

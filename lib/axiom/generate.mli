@@ -24,18 +24,30 @@ type stats = {
   pruning_ratio : float;  (** pruned / (co_branches + rf_branches) *)
   elapsed_s : float;
   candidates_per_sec : float;  (** accepted / elapsed *)
+  exhausted : Memrel_prob.Budget.exhaustion option;
+      (** [None] iff the enumeration ran to completion. [Some _] marks a
+          {e partial} enumeration: the candidates visited before a
+          {!Memrel_prob.Budget} limit tripped (work units are accepted
+          candidates, so a [max_work] cap bounds the candidate count; the
+          deadline and memory watermark cap the search itself). Partial
+          coverage is a subset of the allowed executions — sound for
+          "allowed", never for "forbidden". *)
 }
 
 val iter :
   ?window:int ->
+  ?budget:Memrel_prob.Budget.t ->
   Memrel_machine.Litmus.t ->
   Memrel_memmodel.Model.family ->
   (Candidate.t -> unit) ->
   stats
 (** Visit every allowed candidate execution. [window] (default 8) sizes the
     WO reorder window, matching {!Memrel_machine.Semantics.of_model}.
-    Raises [Invalid_argument] for [Custom] models and for programs with
-    more than {!Order.max_vertices} memory events. *)
+    [budget] is checked at every branch attempt and one work unit is spent
+    per accepted candidate; on exhaustion the search stops and the returned
+    stats carry [exhausted = Some _]. Raises [Invalid_argument] for
+    [Custom] models and for programs with more than {!Order.max_vertices}
+    memory events. *)
 
 type entry = {
   outcome : Memrel_machine.Litmus.outcome;
@@ -47,16 +59,22 @@ type run = { stats : stats; entries : entry list }
 
 val run :
   ?window:int ->
+  ?budget:Memrel_prob.Budget.t ->
   Memrel_machine.Litmus.t ->
   Memrel_memmodel.Model.family ->
   run
 (** Group the allowed executions by observed outcome, sorted by outcome —
-    the axiomatic side of the differential check. *)
+    the axiomatic side of the differential check. With a [budget], a
+    partial run groups only the candidates visited before exhaustion
+    ([stats.exhausted] says so) — callers must not treat a partial outcome
+    set as complete (the CLI skips the differential comparison then). *)
 
 val outcome_set :
   ?window:int ->
+  ?budget:Memrel_prob.Budget.t ->
   Memrel_machine.Litmus.t ->
   Memrel_memmodel.Model.family ->
   Memrel_machine.Litmus.outcome list
 (** Just the distinct outcomes, sorted — directly comparable with
-    {!Memrel_machine.Litmus.outcome_set}. *)
+    {!Memrel_machine.Litmus.outcome_set} (only when complete; see
+    {!run}). *)

@@ -19,6 +19,8 @@ module Series = Memrel_prob.Series
 module Logspace = Memrel_prob.Logspace
 module Interval = Memrel_prob.Interval
 module Par = Memrel_prob.Par
+module Budget = Memrel_prob.Budget
+module Snapshot = Memrel_prob.Snapshot
 module Prob_sigs = Memrel_prob.Sigs
 
 (** {1 Memory models (Table 1)} *)

@@ -59,6 +59,30 @@ let estimate ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) ?jobs
     trials;
   }
 
+let estimate_governed ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) ?jobs
+    ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries ?fault ~trials model ~n rng =
+  check_n n;
+  if trials <= 0 then invalid_arg "Joint.estimate: trials must be positive";
+  let g =
+    Memrel_prob.Par.count_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume
+      ?max_retries ?fault ~trials
+      (fun r -> sample ~p ~m ~gap ~convention model ~n r)
+      rng
+  in
+  let successes = g.Memrel_prob.Par.value in
+  let trials = g.Memrel_prob.Par.run_stats.Memrel_prob.Par.trials_done in
+  let value =
+    if trials = 0 then
+      { pr_no_bug = Float.nan; ci = { Stats.lo = 0.0; hi = 1.0 }; trials = 0 }
+    else
+      {
+        pr_no_bug = Stats.binomial_point ~successes ~trials;
+        ci = Stats.wilson_ci ~successes ~trials ~z:1.96;
+        trials;
+      }
+  in
+  { g with Memrel_prob.Par.value }
+
 let semi_analytic ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?jobs ~trials model ~n rng =
   check_n n;
   if trials <= 0 then invalid_arg "Joint.semi_analytic: trials must be positive";

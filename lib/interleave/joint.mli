@@ -44,6 +44,21 @@ val estimate :
     {!Memrel_prob.Par} (default {!Memrel_prob.Par.default_jobs}); for a
     fixed seed the estimate is bit-identical at every [jobs]. *)
 
+val estimate_governed :
+  ?p:float -> ?m:int -> ?gap:int -> ?convention:convention -> ?jobs:int ->
+  ?budget:Memrel_prob.Budget.t ->
+  ?checkpoint:string -> ?checkpoint_every:int -> ?resume:string ->
+  ?max_retries:int ->
+  ?fault:(chunk:int -> attempt:int -> Memrel_prob.Par.fault option) ->
+  trials:int ->
+  Memrel_memmodel.Model.t -> n:int -> Memrel_prob.Rng.t ->
+  estimate Memrel_prob.Par.governed
+(** {!estimate} under resource governance (budgets, checkpoint/resume,
+    fault-injection retry — see {!Memrel_prob.Par.run_governed}). A partial
+    run reports the estimate over [run_stats.trials_done] with an honestly
+    widened Wilson interval; a complete run is bit-identical to
+    {!estimate}. *)
+
 val semi_analytic :
   ?p:float -> ?m:int -> ?gap:int -> ?jobs:int -> trials:int ->
   Memrel_memmodel.Model.t -> n:int -> Memrel_prob.Rng.t -> float

@@ -16,6 +16,7 @@ type 'a result = {
   states_visited : int;
   terminals : int;
   stats : stats;
+  exhausted : Memrel_prob.Budget.exhaustion option;
 }
 
 exception State_limit of { max_states : int; states_visited : int; terminals : int }
@@ -104,8 +105,8 @@ let select_ample ~buffered st per_thread =
 
 (* -- iterative exploration --------------------------------------------- *)
 
-let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) discipline st
-    ~observe =
+let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) ?budget
+    ?(legacy_raise = false) discipline st ~observe =
   let buffered =
     match discipline with
     | Semantics.Tso | Semantics.Pso -> true
@@ -131,14 +132,27 @@ let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) disc
      stack. States are marked visited when pushed (admitting at most
      [max_states] distinct states) and expanded when popped. *)
   let stack = Stack.create () in
+  (* every stop — state cap, deadline, work cap, memory watermark — unwinds
+     through one path and yields a partial result (the legacy exception is
+     kept behind [legacy_raise] only) *)
+  let exception Stop of Memrel_prob.Budget.cause in
   let visit st depth =
     let k = key st in
     if Hashtbl.mem visited k then incr dedup_hits
     else begin
-      if Hashtbl.length visited >= max_states then
-        raise
-          (State_limit
-             { max_states; states_visited = Hashtbl.length visited; terminals = !terminals });
+      if Hashtbl.length visited >= max_states then begin
+        if legacy_raise then
+          raise
+            (State_limit
+               { max_states; states_visited = Hashtbl.length visited; terminals = !terminals });
+        raise (Stop Memrel_prob.Budget.Work)
+      end;
+      (match budget with
+       | None -> ()
+       | Some b -> (
+         match Memrel_prob.Budget.check b with
+         | Some cause -> raise (Stop cause)
+         | None -> Memrel_prob.Budget.spend b 1));
       Hashtbl.add visited k ();
       Stack.push (st, depth) stack
     end
@@ -162,25 +176,40 @@ let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) disc
       | None -> Array.fold_right (fun l acc -> l @ acc) per_thread []
     end
   in
-  visit st 0;
-  while not (Stack.is_empty stack) do
-    let st, depth = Stack.pop stack in
-    if depth > !max_depth then max_depth := depth;
-    match successors st with
-    | [] ->
-      incr terminals;
-      let o = observe st in
-      Hashtbl.replace outcome_counts o
-        (1 + Option.value ~default:0 (Hashtbl.find_opt outcome_counts o))
-    | ts ->
-      List.iter
-        (fun (_, st') ->
-          incr transitions;
-          visit st' (depth + 1))
-        ts;
-      let frontier = Stack.length stack in
-      if frontier > !max_frontier then max_frontier := frontier
-  done;
+  let exhausted = ref None in
+  (try
+     visit st 0;
+     while not (Stack.is_empty stack) do
+       let st, depth = Stack.pop stack in
+       if depth > !max_depth then max_depth := depth;
+       match successors st with
+       | [] ->
+         incr terminals;
+         let o = observe st in
+         Hashtbl.replace outcome_counts o
+           (1 + Option.value ~default:0 (Hashtbl.find_opt outcome_counts o))
+       | ts ->
+         List.iter
+           (fun (_, st') ->
+             incr transitions;
+             visit st' (depth + 1))
+           ts;
+         let frontier = Stack.length stack in
+         if frontier > !max_frontier then max_frontier := frontier
+     done
+   with Stop cause ->
+     exhausted :=
+       Some
+         (match budget with
+          | Some b -> Memrel_prob.Budget.exhaustion b cause
+          | None ->
+            (* the state cap tripped without a budget: synthesize the same
+               record, counting admitted states as work *)
+            {
+              Memrel_prob.Budget.cause;
+              work_done = Hashtbl.length visited;
+              elapsed_s = Unix.gettimeofday () -. t0;
+            }));
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let states_visited = Hashtbl.length visited in
   let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcome_counts [] in
@@ -200,6 +229,7 @@ let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) disc
         por_ample_states = !por_ample_states;
         por_pruned = !por_pruned;
       };
+    exhausted = !exhausted;
   }
 
 let outcome_set r = List.map fst r.outcomes

@@ -35,23 +35,40 @@ type 'a result = {
   states_visited : int;
   terminals : int;
   stats : stats;
+  exhausted : Memrel_prob.Budget.exhaustion option;
+      (** [None] iff the exploration ran to completion. [Some _] marks a
+          {e partial} exploration — outcomes/terminals cover only the states
+          expanded before the state cap or a {!Memrel_prob.Budget} limit
+          tripped (cause [Work] for the [max_states] cap, where admitted
+          states are the work units). A partial outcome set is a {e subset}
+          of the true one: sound for "outcome X is reachable", never for
+          "outcome X is impossible". *)
 }
 
 exception State_limit of { max_states : int; states_visited : int; terminals : int }
-(** Raised when more than [max_states] distinct states would be admitted;
-    carries the partial statistics at the point of abort. *)
+(** @deprecated Exceeding [max_states] now returns a partial result (see
+    the [exhausted] field). This pre-governance exception is kept for
+    callers that preferred the abort and is raised only when {!outcomes} is
+    called with [~legacy_raise:true]. *)
 
 val outcomes :
   ?max_states:int ->
   ?por:bool ->
   ?legacy_key:bool ->
+  ?budget:Memrel_prob.Budget.t ->
+  ?legacy_raise:bool ->
   Semantics.discipline ->
   State.t ->
   observe:(State.t -> 'a) ->
   'a result
 (** [outcomes d st ~observe] explores exhaustively. At most [max_states]
-    (default 2_000_000) distinct states are admitted; exceeding the cap
-    raises {!State_limit}. [por] (default [false]) enables the ample-set
+    (default 2_000_000) distinct states are admitted; at the cap the
+    exploration stops and returns a partial result with
+    [exhausted = Some { cause = Work; _ }] (or raises {!State_limit} when
+    [legacy_raise] is [true]). [budget] is checked at every candidate state
+    admission, spending one work unit per admitted state; tripping any of
+    its limits (deadline, work cap, memory watermark) likewise yields a
+    partial result. [por] (default [false]) enables the ample-set
     partial-order reduction. [legacy_key] (default [false]) deduplicates
     with the original [Printf]-built {!State.key} instead of
     {!State.packed_key} — kept so the bench can measure the two paths

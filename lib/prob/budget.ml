@@ -1,0 +1,58 @@
+type cause = Deadline | Work | Memory
+
+type exhaustion = { cause : cause; work_done : int; elapsed_s : float }
+
+type t = {
+  started : float;
+  deadline_s : float option;
+  max_work : int option;
+  max_mem_bytes : int option;
+  work : int Atomic.t;
+}
+
+let create ?deadline_s ?max_work ?max_mem_bytes () =
+  let nonneg name = function
+    | Some v when v < 0 -> invalid_arg (Printf.sprintf "Budget.create: %s must be nonnegative" name)
+    | _ -> ()
+  in
+  (match deadline_s with
+   | Some d when d < 0.0 -> invalid_arg "Budget.create: deadline_s must be nonnegative"
+   | _ -> ());
+  nonneg "max_work" max_work;
+  nonneg "max_mem_bytes" max_mem_bytes;
+  { started = Unix.gettimeofday (); deadline_s; max_work; max_mem_bytes; work = Atomic.make 0 }
+
+let spend t n = ignore (Atomic.fetch_and_add t.work n)
+
+let work_done t = Atomic.get t.work
+
+let elapsed_s t = Unix.gettimeofday () -. t.started
+
+let word_bytes = Sys.word_size / 8
+
+(* major-heap size in bytes; quick_stat walks nothing, so polling it per
+   work unit is cheap *)
+let heap_bytes () = (Gc.quick_stat ()).Gc.heap_words * word_bytes
+
+let check t =
+  match t.max_work with
+  | Some w when Atomic.get t.work >= w -> Some Work
+  | _ -> (
+    match t.deadline_s with
+    | Some d when Unix.gettimeofday () -. t.started >= d -> Some Deadline
+    | _ -> (
+      match t.max_mem_bytes with
+      | Some m when heap_bytes () >= m -> Some Memory
+      | _ -> None))
+
+let exhaustion t cause = { cause; work_done = work_done t; elapsed_s = elapsed_s t }
+
+let cause_to_string = function
+  | Deadline -> "deadline"
+  | Work -> "work cap"
+  | Memory -> "memory watermark"
+
+let describe e =
+  Printf.sprintf "%s after %.2fs (%d work unit%s done)" (cause_to_string e.cause) e.elapsed_s
+    e.work_done
+    (if e.work_done = 1 then "" else "s")

@@ -2,7 +2,11 @@ let default_chunk = 4096
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
-let resolve_jobs = function None -> default_jobs () | Some j -> max 1 j
+(* explicit jobs values must be positive; only the absent default is
+   resolved automatically *)
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some j -> if j <= 0 then invalid_arg "Par: jobs must be positive" else j
 
 (* Run [f w] on [workers] domains with [w = 0 .. workers - 1], worker 0 on
    the calling domain. Joins every spawned domain before re-raising any
@@ -16,12 +20,317 @@ let fan_out ~workers f =
     List.iter (function Error e -> raise e | Ok () -> ()) (here :: joined)
   end
 
+(* -- resource governance ----------------------------------------------- *)
+
+type fault = Crash | Wedge
+
+exception Injected_crash of { chunk : int; attempt : int }
+
+exception Retries_exhausted of { chunk : int; attempts : int; last_error : string }
+
+exception Invalid_snapshot of string
+
+type run_stats = {
+  chunks_total : int;
+  chunks_done : int;
+  chunks_resumed : int;
+  trials_done : int;
+  retries : int;
+  worker_failures : int;
+  checkpoints_written : int;
+}
+
+type 'a governed = {
+  value : 'a;
+  run_stats : run_stats;
+  exhausted : Budget.exhaustion option;
+}
+
+let default_max_retries = 2
+
+let default_checkpoint_every = 16
+
+(* checkpoint payload: the schedule key plus every completed chunk's
+   accumulator. Chunk accumulators are pure functions of (base, id), so
+   this is the entire state of a run — no RNG positions beyond [base] need
+   saving (a chunk is either absent or complete, never half-drawn). *)
+type 'acc checkpoint_payload = {
+  cp_base : int64;
+  cp_trials : int;
+  cp_chunk : int;
+  cp_done : (int * 'acc) array; (* sorted by chunk id, ids distinct *)
+}
+
+let snapshot_tag = "par/chunks"
+
+let save_checkpoint ~file ~base ~trials ~chunk done_list =
+  let cp_done = Array.of_list done_list in
+  Array.sort (fun (a, _) (b, _) -> compare a b) cp_done;
+  let payload =
+    Marshal.to_string { cp_base = base; cp_trials = trials; cp_chunk = chunk; cp_done } []
+  in
+  match Snapshot.write ~file ~tag:snapshot_tag payload with
+  | Ok () -> ()
+  | Error e ->
+    raise (Invalid_snapshot ("checkpoint write failed: " ^ Snapshot.error_to_string e))
+
+let load_checkpoint ~file ~base ~trials ~chunk ~n_chunks =
+  match Snapshot.read ~file ~tag:snapshot_tag with
+  | Error e -> raise (Invalid_snapshot (Snapshot.error_to_string e))
+  | Ok payload ->
+    let cp =
+      try (Marshal.from_string payload 0 : _ checkpoint_payload)
+      with _ -> raise (Invalid_snapshot "undecodable checkpoint payload")
+    in
+    if not (Int64.equal cp.cp_base base) then
+      raise
+        (Invalid_snapshot
+           "checkpoint was taken from a different RNG stream (same seed required to resume)");
+    if cp.cp_trials <> trials then
+      raise
+        (Invalid_snapshot
+           (Printf.sprintf "checkpoint is for trials=%d, this run asks for trials=%d"
+              cp.cp_trials trials));
+    if cp.cp_chunk <> chunk then
+      raise
+        (Invalid_snapshot
+           (Printf.sprintf "checkpoint is for chunk=%d, this run asks for chunk=%d" cp.cp_chunk
+              chunk));
+    let seen = Hashtbl.create (Array.length cp.cp_done) in
+    Array.iter
+      (fun (id, _) ->
+        if id < 0 || id >= n_chunks || Hashtbl.mem seen id then
+          raise (Invalid_snapshot "checkpoint chunk ids out of range or duplicated");
+        Hashtbl.add seen id ())
+      cp.cp_done;
+    Array.to_list cp.cp_done
+
+let run_governed ?jobs ?(chunk = default_chunk) ?budget ?checkpoint
+    ?(checkpoint_every = default_checkpoint_every) ?resume ?(max_retries = default_max_retries)
+    ?fault ~trials ~init ~accumulate ~merge rng =
+  if trials <= 0 then invalid_arg "Par.run: trials must be positive";
+  if chunk <= 0 then invalid_arg "Par.run: chunk must be positive";
+  if checkpoint_every <= 0 then
+    invalid_arg "Par.run_governed: checkpoint_every must be positive";
+  if max_retries < 0 then invalid_arg "Par.run_governed: max_retries must be nonnegative";
+  let jobs = resolve_jobs jobs in
+  (* one draw from the caller's generator, independent of [jobs], keys the
+     whole schedule: chunk [id] always runs on [Rng.substream base id].
+     A resumed run re-derives the same [base] from the same seed; the
+     checkpoint records it so a mismatched resume is rejected, and the
+     caller's generator advances identically either way. *)
+  let base = Rng.bits64 rng in
+  let n_chunks = (trials + chunk - 1) / chunk in
+  let chunk_trials id = min chunk (trials - (id * chunk)) in
+  let run_chunk id =
+    let r = Rng.substream base id in
+    let count = chunk_trials id in
+    let acc = ref (init ()) in
+    for _ = 1 to count do
+      acc := accumulate !acc r
+    done;
+    !acc
+  in
+  let resumed =
+    match resume with
+    | None -> []
+    | Some file -> load_checkpoint ~file ~base ~trials ~chunk ~n_chunks
+  in
+  let chunks_resumed = List.length resumed in
+  let pending =
+    let done_ids = Hashtbl.create (max 16 chunks_resumed) in
+    List.iter (fun (id, _) -> Hashtbl.replace done_ids id ()) resumed;
+    Array.of_list
+      (List.filter (fun id -> not (Hashtbl.mem done_ids id)) (List.init n_chunks Fun.id))
+  in
+  (* shared scheduler state. [completed]/[abandoned]/[checkpoint] live under
+     [mutex]: the lock's happens-before is what lets the checkpointing (or
+     merging) domain safely read accumulators mutated by other domains. *)
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let retries = Atomic.make 0 in
+  let failures = Atomic.make 0 in
+  let mutex = Mutex.create () in
+  let completed = ref resumed in
+  let completed_n = ref chunks_resumed in
+  let since_ckpt = ref 0 in
+  let ckpts = ref 0 in
+  let exhausted_cause = ref None in
+  let fatal = ref None in
+  (* wedged chunks: claimed by a worker that then stopped responding;
+     (chunk id, attempts already burned) *)
+  let abandoned = ref [] in
+  let write_checkpoint_locked () =
+    match checkpoint with
+    | None -> ()
+    | Some file ->
+      save_checkpoint ~file ~base ~trials ~chunk !completed;
+      incr ckpts;
+      since_ckpt := 0
+  in
+  let record_done id acc =
+    Mutex.lock mutex;
+    completed := (id, acc) :: !completed;
+    incr completed_n;
+    incr since_ckpt;
+    (match budget with Some b -> Budget.spend b 1 | None -> ());
+    if !since_ckpt >= checkpoint_every then write_checkpoint_locked ();
+    Mutex.unlock mutex
+  in
+  (* one chunk with in-worker crash retries; [`Wedge] simulates the worker
+     dying mid-chunk (it stops taking work; the chunk is re-run later on a
+     surviving domain). Determinism: every attempt replays the same
+     substream, so a retried chunk's accumulator is bit-identical to an
+     untroubled one. *)
+  let rec attempt_chunk id attempt =
+    let injected = match fault with None -> None | Some f -> f ~chunk:id ~attempt in
+    match
+      match injected with
+      | Some Crash -> raise (Injected_crash { chunk = id; attempt })
+      | Some Wedge -> `Wedge
+      | None -> `Acc (run_chunk id)
+    with
+    | `Wedge ->
+      ignore (Atomic.fetch_and_add failures 1);
+      `Wedge attempt
+    | `Acc acc -> `Done acc
+    | exception e ->
+      ignore (Atomic.fetch_and_add failures 1);
+      if attempt > max_retries then `Failed (e, attempt)
+      else begin
+        ignore (Atomic.fetch_and_add retries 1);
+        attempt_chunk id (attempt + 1)
+      end
+  in
+  let worker _w =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get stop then continue := false
+      else begin
+        match match budget with None -> None | Some b -> Budget.check b with
+        | Some cause ->
+          Mutex.lock mutex;
+          if !exhausted_cause = None then exhausted_cause := Some cause;
+          Mutex.unlock mutex;
+          Atomic.set stop true;
+          continue := false
+        | None ->
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= Array.length pending then continue := false
+          else begin
+            let id = pending.(i) in
+            match attempt_chunk id 1 with
+            | `Done acc -> record_done id acc
+            | `Wedge attempt ->
+              Mutex.lock mutex;
+              abandoned := (id, attempt) :: !abandoned;
+              Mutex.unlock mutex;
+              continue := false
+            | `Failed (e, attempts) ->
+              Mutex.lock mutex;
+              if !fatal = None then
+                fatal :=
+                  Some
+                    (Retries_exhausted
+                       { chunk = id; attempts; last_error = Printexc.to_string e });
+              Mutex.unlock mutex;
+              Atomic.set stop true;
+              continue := false
+          end
+      end
+    done
+  in
+  let workers = min jobs (max 1 (Array.length pending)) in
+  if Array.length pending > 0 then fan_out ~workers worker;
+  (match !fatal with Some e -> raise e | None -> ());
+  (* Recovery on the calling domain (it survived the join): re-run chunks
+     whose worker wedged away, each continuing its attempt count, then drain
+     any chunks those lost workers never claimed. The calling domain cannot
+     wedge away, so a simulated wedge here burns an attempt like a crash
+     does. Determinism: recovered chunks replay the same substreams, so the
+     merged result is bit-identical to an untroubled run. *)
+  let run_on_caller id burned =
+    let rec go attempt =
+      match attempt_chunk id attempt with
+      | `Done acc -> record_done id acc
+      | `Failed (e, attempts) ->
+        raise (Retries_exhausted { chunk = id; attempts; last_error = Printexc.to_string e })
+      | `Wedge attempts ->
+        if attempts > max_retries then
+          raise
+            (Retries_exhausted { chunk = id; attempts; last_error = "simulated worker wedge" })
+        else begin
+          ignore (Atomic.fetch_and_add retries 1);
+          go (attempts + 1)
+        end
+    in
+    if burned > 0 then ignore (Atomic.fetch_and_add retries 1);
+    go (burned + 1)
+  in
+  let with_budget_check k =
+    if !exhausted_cause = None then
+      match match budget with None -> None | Some b -> Budget.check b with
+      | Some cause -> exhausted_cause := Some cause
+      | None -> k ()
+  in
+  List.iter
+    (fun (id, burned) -> with_budget_check (fun () -> run_on_caller id burned))
+    (List.sort compare !abandoned);
+  let rec drain () =
+    with_budget_check (fun () ->
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length pending then begin
+          run_on_caller pending.(i) 0;
+          drain ()
+        end)
+  in
+  if !abandoned <> [] then drain ();
+  (* final checkpoint: flush everything completed, so a later resume picks
+     up exactly here (a snapshot of a finished run resumes to a no-op) *)
+  (match checkpoint with
+   | None -> ()
+   | Some _ ->
+     Mutex.lock mutex;
+     write_checkpoint_locked ();
+     Mutex.unlock mutex);
+  let done_sorted = List.sort (fun (a, _) (b, _) -> compare a b) !completed in
+  let trials_done = List.fold_left (fun acc (id, _) -> acc + chunk_trials id) 0 done_sorted in
+  (* merge in chunk-index order — the same left fold as a sequential run,
+     so even non-associative merges (float sums) agree bit-for-bit *)
+  let value =
+    match done_sorted with
+    | [] -> init ()
+    | (_, first) :: rest -> List.fold_left (fun acc (_, a) -> merge acc a) first rest
+  in
+  let exhausted =
+    match (!exhausted_cause, budget) with
+    | Some cause, Some b -> Some (Budget.exhaustion b cause)
+    | Some cause, None ->
+      (* unreachable: a cause only arises from a budget check *)
+      Some { Budget.cause; work_done = !completed_n; elapsed_s = 0.0 }
+    | None, _ -> None
+  in
+  {
+    value;
+    run_stats =
+      {
+        chunks_total = n_chunks;
+        chunks_done = !completed_n;
+        chunks_resumed;
+        trials_done;
+        retries = Atomic.get retries;
+        worker_failures = Atomic.get failures;
+        checkpoints_written = !ckpts;
+      };
+    exhausted;
+  }
+
+(* -- ungoverned entry points (the hot paths) ---------------------------- *)
+
 let run ?jobs ?(chunk = default_chunk) ~trials ~init ~accumulate ~merge rng =
   if trials <= 0 then invalid_arg "Par.run: trials must be positive";
   if chunk <= 0 then invalid_arg "Par.run: chunk must be positive";
   let jobs = resolve_jobs jobs in
-  (* one draw from the caller's generator, independent of [jobs], keys the
-     whole schedule: chunk [id] always runs on [Rng.substream base id] *)
   let base = Rng.bits64 rng in
   let n_chunks = (trials + chunk - 1) / chunk in
   let run_chunk id =
@@ -75,6 +384,14 @@ let sum_float ?jobs ?chunk ~trials f rng =
     ~init:(fun () -> 0.0)
     ~accumulate:(fun acc r -> acc +. f r)
     ~merge:( +. ) rng
+
+let count_governed ?jobs ?chunk ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries
+    ?fault ~trials f rng =
+  run_governed ?jobs ?chunk ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries ?fault
+    ~trials
+    ~init:(fun () -> 0)
+    ~accumulate:(fun acc r -> if f r then acc + 1 else acc)
+    ~merge:( + ) rng
 
 let map_array ?jobs f a =
   let jobs = resolve_jobs jobs in

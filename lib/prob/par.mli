@@ -35,6 +35,11 @@ val default_chunk : int
     the schedule key — changing it changes which substream a trial draws
     from, hence the sampled values (never the distribution). *)
 
+val resolve_jobs : int option -> int
+(** [resolve_jobs None] is {!default_jobs}[ ()]; [resolve_jobs (Some j)] is
+    [j]. An explicit [j <= 0] raises [Invalid_argument] — the engine never
+    silently clamps a nonsensical jobs count. *)
+
 val run :
   ?jobs:int ->
   ?chunk:int ->
@@ -74,3 +79,118 @@ val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List counterpart of {!map_array}. *)
+
+(** {1 Resource-governed execution}
+
+    [run_governed] is {!run} under governance: a cooperative {!Budget}
+    checked before every chunk claim, periodic {!Snapshot}-backed
+    checkpoints, resume from a checkpoint, and worker-failure retry. It
+    degrades gracefully — on budget exhaustion it returns whatever chunks
+    completed (a typed partial result) instead of raising.
+
+    Determinism contract: chunk [i]'s accumulator is a pure function of the
+    schedule key [(base, i)] and the merge is a fixed left fold in chunk
+    order, so (a) a complete governed run is bit-identical to {!run} with
+    the same seed/chunk, on any jobs count; (b) kill + resume reproduces
+    the uninterrupted result bit-for-bit; (c) a chunk retried after a
+    worker failure — on any domain, any attempt — contributes bit-identical
+    state. Only {e partial} results may differ across runs (which chunks
+    finished before exhaustion is timing-dependent unless the budget is a
+    deterministic work cap). *)
+
+type fault = Crash | Wedge
+    (** Injected worker failure modes (test-only): [Crash] raises inside the
+        worker mid-chunk; [Wedge] simulates a worker dying silently — it
+        stops taking work and its chunk is re-run after the join on the
+        calling domain. *)
+
+exception Injected_crash of { chunk : int; attempt : int }
+(** The exception an injected [Crash] raises. *)
+
+exception Retries_exhausted of { chunk : int; attempts : int; last_error : string }
+(** A chunk failed [attempts] times (1 initial + [max_retries] retries). *)
+
+exception Invalid_snapshot of string
+(** Checkpoint file rejected: corrupted, truncated, wrong format version,
+    wrong engine tag, or taken under different run parameters
+    (seed/trials/chunk). The message says which. *)
+
+type run_stats = {
+  chunks_total : int;  (** chunks in the full schedule *)
+  chunks_done : int;  (** chunks merged into the result (incl. resumed) *)
+  chunks_resumed : int;  (** chunks loaded from the resume checkpoint *)
+  trials_done : int;  (** trials covered by the merged chunks *)
+  retries : int;  (** chunk re-attempts after injected/user failures *)
+  worker_failures : int;  (** individual failure events observed *)
+  checkpoints_written : int;
+}
+
+type 'a governed = {
+  value : 'a;
+      (** merged accumulator over the completed chunks — the full result
+          when [exhausted = None], a partial one otherwise *)
+  run_stats : run_stats;
+  exhausted : Budget.exhaustion option;
+      (** [Some _] iff the budget tripped before all chunks completed *)
+}
+
+val default_max_retries : int
+(** 2 — a chunk may run up to 3 times before [Retries_exhausted]. *)
+
+val default_checkpoint_every : int
+(** Checkpoint after every 16 completed chunks (when [~checkpoint] is
+    given); a final checkpoint is always written on return. *)
+
+val run_governed :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?budget:Budget.t ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:string ->
+  ?max_retries:int ->
+  ?fault:(chunk:int -> attempt:int -> fault option) ->
+  trials:int ->
+  init:(unit -> 'acc) ->
+  accumulate:('acc -> Rng.t -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  Rng.t ->
+  'acc governed
+(** [run_governed ~trials ~init ~accumulate ~merge rng] — {!run} with
+    governance. Like {!run} it advances the caller's [rng] by exactly one
+    [bits64] draw.
+
+    - [budget]: checked before every chunk claim; one work unit is spent
+      per completed chunk. On exhaustion, surviving workers stop and the
+      completed chunks are merged into a partial [value] with
+      [exhausted = Some _].
+    - [checkpoint]: snapshot file, written atomically (tmp + rename) every
+      [checkpoint_every] completed chunks and once on return.
+    - [resume]: load a prior checkpoint and skip its chunks. The run must
+      use the same seed, [trials] and [chunk]; anything else (or a damaged
+      file) raises {!Invalid_snapshot}.
+    - [fault]: test hook consulted before each chunk attempt. Crashed
+      chunks retry in-worker; wedged workers stop, and their claimed and
+      unclaimed chunks are re-run on the calling domain after the join.
+      More than [max_retries] retries of one chunk raises
+      {!Retries_exhausted}. User exceptions from [accumulate] are retried
+      the same way (they count as worker failures).
+
+    Raises [Invalid_argument] on nonpositive [trials]/[chunk]/
+    [checkpoint_every], negative [max_retries], or [jobs <= 0]. *)
+
+val count_governed :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?budget:Budget.t ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:string ->
+  ?max_retries:int ->
+  ?fault:(chunk:int -> attempt:int -> fault option) ->
+  trials:int ->
+  (Rng.t -> bool) ->
+  Rng.t ->
+  int governed
+(** Governed {!count}: the success counter under budgets, checkpoints and
+    fault injection. A complete governed count equals {!count} exactly. *)

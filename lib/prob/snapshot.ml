@@ -1,0 +1,135 @@
+let magic = "MRELSNAP"
+
+let current_version = 1
+
+type error =
+  | Io of string
+  | Not_a_snapshot
+  | Version_mismatch of { expected : int; found : int }
+  | Tag_mismatch of { expected : string; found : string }
+  | Truncated
+  | Crc_mismatch
+
+let error_to_string = function
+  | Io msg -> "i/o error: " ^ msg
+  | Not_a_snapshot -> "not a memrel snapshot (bad magic)"
+  | Version_mismatch { expected; found } ->
+    Printf.sprintf "snapshot format version %d (this build reads version %d)" found expected
+  | Tag_mismatch { expected; found } ->
+    Printf.sprintf "snapshot tag %S (expected %S)" found expected
+  | Truncated -> "snapshot truncated"
+  | Crc_mismatch -> "snapshot payload fails its checksum"
+
+(* -- CRC-32 (IEEE 802.3, polynomial 0xEDB88320) ------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+(* -- big-endian fixed-width fields ------------------------------------- *)
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u32 buf v =
+  for shift = 3 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * shift)) land 0xff))
+  done
+
+let add_u64 buf v =
+  for shift = 7 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * shift)) land 0xff))
+  done
+
+let get_bytes s pos n =
+  if pos + n > String.length s then None else Some (String.sub s pos n)
+
+let get_uint s pos n =
+  match get_bytes s pos n with
+  | None -> None
+  | Some b ->
+    let v = ref 0 in
+    String.iter (fun ch -> v := (!v lsl 8) lor Char.code ch) b;
+    Some !v
+
+(* -- write (tmp + rename) ---------------------------------------------- *)
+
+let write ~file ~tag payload =
+  if String.length tag > 0xffff then invalid_arg "Snapshot.write: tag too long";
+  let buf = Buffer.create (String.length payload + 64) in
+  Buffer.add_string buf magic;
+  add_u32 buf current_version;
+  add_u16 buf (String.length tag);
+  Buffer.add_string buf tag;
+  add_u64 buf (String.length payload);
+  add_u32 buf (crc32 payload);
+  Buffer.add_string buf payload;
+  let tmp = file ^ ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Buffer.contents buf));
+    Sys.rename tmp file
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Io msg)
+
+(* -- read + validate --------------------------------------------------- *)
+
+let read_file file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> Ok s
+  | exception Sys_error msg -> Error (Io msg)
+  | exception End_of_file -> Error (Io "unreadable file")
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let read ~file ~tag =
+  let* s = read_file file in
+  let* () =
+    match get_bytes s 0 8 with
+    | Some m when String.equal m magic -> Ok ()
+    | _ -> Error Not_a_snapshot
+  in
+  let* version =
+    match get_uint s 8 4 with Some v -> Ok v | None -> Error Not_a_snapshot
+  in
+  let* () =
+    if version = current_version then Ok ()
+    else Error (Version_mismatch { expected = current_version; found = version })
+  in
+  let* tag_len = match get_uint s 12 2 with Some v -> Ok v | None -> Error Truncated in
+  let* found_tag =
+    match get_bytes s 14 tag_len with Some t -> Ok t | None -> Error Truncated
+  in
+  let* () =
+    if String.equal found_tag tag then Ok ()
+    else Error (Tag_mismatch { expected = tag; found = found_tag })
+  in
+  let pos = 14 + tag_len in
+  let* payload_len = match get_uint s pos 8 with Some v -> Ok v | None -> Error Truncated in
+  let* crc = match get_uint s (pos + 8) 4 with Some v -> Ok v | None -> Error Truncated in
+  let* payload =
+    match get_bytes s (pos + 12) payload_len with
+    | Some p when pos + 12 + payload_len = String.length s -> Ok p
+    | _ -> Error Truncated
+  in
+  if crc32 payload = crc then Ok payload else Error Crc_mismatch

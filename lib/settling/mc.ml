@@ -18,11 +18,10 @@ let sample_gamma ?(p = 0.5) ?(m = default_m) model rng =
   let prog = Program.generate ~p rng ~m in
   sample_gamma_program model rng prog
 
-let estimate ?(p = 0.5) ?(m = default_m) ?jobs ~trials model rng =
-  if trials <= 0 then invalid_arg "Mc.estimate: trials must be positive";
-  (* accumulator: per-chunk gamma counts plus the running gamma sum; counts
-     merge by addition, so the merged histogram is independent of chunk
-     execution order (and Stats sorts the bins) *)
+(* accumulator: per-chunk gamma counts plus the running gamma sum; counts
+   merge by addition, so the merged histogram is independent of chunk
+   execution order (and Stats sorts the bins) *)
+let gamma_fold ~p ~m model =
   let init () = (Hashtbl.create 32, ref 0) in
   let accumulate ((counts, sum) as acc) r =
     let g = sample_gamma ~p ~m model r in
@@ -37,16 +36,59 @@ let estimate ?(p = 0.5) ?(m = default_m) ?jobs ~trials model rng =
     s1 := !s1 + !s2;
     acc
   in
-  let counts, sum = Par.run ?jobs ~trials ~init ~accumulate ~merge rng in
-  let histogram = Stats.histogram_of_counts counts in
-  {
-    gamma_pmf = Stats.empirical_pmf histogram;
-    trials;
-    mean_gamma = float_of_int !sum /. float_of_int trials;
-    histogram;
-  }
+  (init, accumulate, merge)
+
+let estimate_of ~trials (counts, sum) =
+  if trials = 0 then
+    (* nothing completed before the budget tripped: an honestly empty
+       estimate rather than 0/0 *)
+    { gamma_pmf = []; trials = 0; mean_gamma = Float.nan; histogram = { Stats.bins = []; total = 0 } }
+  else begin
+    let histogram = Stats.histogram_of_counts counts in
+    {
+      gamma_pmf = Stats.empirical_pmf histogram;
+      trials;
+      mean_gamma = float_of_int !sum /. float_of_int trials;
+      histogram;
+    }
+  end
+
+let estimate ?(p = 0.5) ?(m = default_m) ?jobs ~trials model rng =
+  if trials <= 0 then invalid_arg "Mc.estimate: trials must be positive";
+  let init, accumulate, merge = gamma_fold ~p ~m model in
+  estimate_of ~trials (Par.run ?jobs ~trials ~init ~accumulate ~merge rng)
+
+let estimate_governed ?(p = 0.5) ?(m = default_m) ?jobs ?budget ?checkpoint ?checkpoint_every
+    ?resume ?max_retries ?fault ~trials model rng =
+  if trials <= 0 then invalid_arg "Mc.estimate: trials must be positive";
+  let init, accumulate, merge = gamma_fold ~p ~m model in
+  let g =
+    Par.run_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries ?fault
+      ~trials ~init ~accumulate ~merge rng
+  in
+  (* the estimate is over the trials that actually ran; on a complete run
+     [trials_done = trials] and this equals {!estimate} bit-for-bit *)
+  { g with Par.value = estimate_of ~trials:g.Par.run_stats.Par.trials_done g.Par.value }
 
 let probability_b ?(p = 0.5) ?(m = default_m) ?jobs ~trials ~gamma model rng =
   if trials <= 0 then invalid_arg "Mc.probability_b: trials must be positive";
   let successes = Par.count ?jobs ~trials (fun r -> sample_gamma ~p ~m model r = gamma) rng in
   (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
+
+let probability_b_governed ?(p = 0.5) ?(m = default_m) ?jobs ?budget ?checkpoint
+    ?checkpoint_every ?resume ?max_retries ?fault ~trials ~gamma model rng =
+  if trials <= 0 then invalid_arg "Mc.probability_b: trials must be positive";
+  let g =
+    Par.count_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries ?fault
+      ~trials
+      (fun r -> sample_gamma ~p ~m model r = gamma)
+      rng
+  in
+  let successes = g.Par.value and trials = g.Par.run_stats.Par.trials_done in
+  (* intervals widen honestly as trials_done shrinks; with nothing done the
+     interval is the vacuous [0, 1] *)
+  let value =
+    if trials = 0 then (Float.nan, { Stats.lo = 0.0; hi = 1.0 })
+    else (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
+  in
+  { g with Par.value }

@@ -33,6 +33,35 @@ val probability_b :
 (** [probability_b ~trials ~gamma model rng] is the point estimate of
     Pr[B_gamma] with its 95% Wilson interval. [jobs] as in {!estimate}. *)
 
+val estimate_governed :
+  ?p:float -> ?m:int -> ?jobs:int ->
+  ?budget:Memrel_prob.Budget.t ->
+  ?checkpoint:string -> ?checkpoint_every:int -> ?resume:string ->
+  ?max_retries:int ->
+  ?fault:(chunk:int -> attempt:int -> Memrel_prob.Par.fault option) ->
+  trials:int ->
+  Memrel_memmodel.Model.t -> Memrel_prob.Rng.t ->
+  estimate Memrel_prob.Par.governed
+(** {!estimate} under resource governance (see
+    {!Memrel_prob.Par.run_governed}). On budget exhaustion the estimate
+    covers the trials that completed ([run_stats.trials_done]), with
+    [exhausted = Some _]; a complete governed run is bit-identical to
+    {!estimate}. An immediately exhausted run returns the empty estimate
+    ([trials = 0], [mean_gamma = nan]). *)
+
+val probability_b_governed :
+  ?p:float -> ?m:int -> ?jobs:int ->
+  ?budget:Memrel_prob.Budget.t ->
+  ?checkpoint:string -> ?checkpoint_every:int -> ?resume:string ->
+  ?max_retries:int ->
+  ?fault:(chunk:int -> attempt:int -> Memrel_prob.Par.fault option) ->
+  trials:int -> gamma:int ->
+  Memrel_memmodel.Model.t -> Memrel_prob.Rng.t ->
+  (float * Memrel_prob.Stats.interval) Memrel_prob.Par.governed
+(** Governed {!probability_b}. A partial run reports the estimate over the
+    completed trials; the Wilson interval widens accordingly (with zero
+    completed trials it is the vacuous [[0, 1]] around a [nan] point). *)
+
 val sample_gamma_program :
   Memrel_memmodel.Model.t -> Memrel_prob.Rng.t -> Program.t -> int
 (** Settle one given program (used when several threads must share the same

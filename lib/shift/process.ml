@@ -40,3 +40,20 @@ let estimate ?jobs ~trials rng gammas =
     Memrel_prob.Par.count ?jobs ~trials (fun r -> (sample r gammas).disjoint) rng
   in
   (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
+
+let estimate_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries ?fault
+    ~trials rng gammas =
+  if trials <= 0 then invalid_arg "Process.estimate: trials must be positive";
+  let g =
+    Memrel_prob.Par.count_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume
+      ?max_retries ?fault ~trials
+      (fun r -> (sample r gammas).disjoint)
+      rng
+  in
+  let successes = g.Memrel_prob.Par.value in
+  let trials = g.Memrel_prob.Par.run_stats.Memrel_prob.Par.trials_done in
+  let value =
+    if trials = 0 then (Float.nan, { Stats.lo = 0.0; hi = 1.0 })
+    else (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
+  in
+  { g with Memrel_prob.Par.value }

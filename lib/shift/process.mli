@@ -29,6 +29,20 @@ val estimate :
     domains via {!Memrel_prob.Par} (default
     {!Memrel_prob.Par.default_jobs}); bit-identical at every [jobs]. *)
 
+val estimate_governed :
+  ?jobs:int ->
+  ?budget:Memrel_prob.Budget.t ->
+  ?checkpoint:string -> ?checkpoint_every:int -> ?resume:string ->
+  ?max_retries:int ->
+  ?fault:(chunk:int -> attempt:int -> Memrel_prob.Par.fault option) ->
+  trials:int -> Memrel_prob.Rng.t -> int array ->
+  (float * Memrel_prob.Stats.interval) Memrel_prob.Par.governed
+(** {!estimate} under resource governance (see
+    {!Memrel_prob.Par.run_governed}). A partial run reports the estimate
+    over [run_stats.trials_done] with an honestly widened Wilson interval
+    (vacuous [[0, 1]] when nothing completed); a complete run is
+    bit-identical to {!estimate}. *)
+
 val sample_geom : q:float -> Memrel_prob.Rng.t -> int array -> sample
 (** Like {!sample} but with geometric(q) shifts — pmf [(1-q) q^k] — the
     generalized dispersion of {!Memrel_shift.Exact.disjoint_probability_geom}.

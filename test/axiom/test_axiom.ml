@@ -99,6 +99,48 @@ let test_pruning_stats () =
   Alcotest.(check bool) "something pruned under SC" true (stats.G.pruned > 0);
   Alcotest.(check (float 1e-9)) "naive space = 4" 4.0 stats.G.naive_space
 
+(* budget governance: a candidate cap yields a partial run whose outcome
+   set is a subset of the full one, honestly flagged as exhausted *)
+let test_budget_candidate_cap () =
+  let t = L.find "sb" in
+  let full = G.outcome_set t tso in
+  let budget = Memrel_prob.Budget.create ~max_work:2 () in
+  let r = G.run ~budget t tso in
+  (match r.G.stats.G.exhausted with
+  | Some e ->
+      Alcotest.(check string)
+        "cause is the work cap" "work cap"
+        (Memrel_prob.Budget.cause_to_string e.Memrel_prob.Budget.cause)
+  | None -> Alcotest.fail "capped run must report exhaustion");
+  Alcotest.(check bool) "at most 2 candidates accepted" true (r.G.stats.G.accepted <= 2);
+  Alcotest.(check bool) "some progress was made" true (r.G.stats.G.accepted > 0);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "partial outcome is in the full set" true
+        (List.mem e.G.outcome full))
+    r.G.entries
+
+let test_budget_deadline_zero_partial () =
+  let t = L.find "sb" in
+  let budget = Memrel_prob.Budget.create ~deadline_s:0.0 () in
+  let r = G.run ~budget t sc in
+  (match r.G.stats.G.exhausted with
+  | Some e ->
+      Alcotest.(check string)
+        "cause is the deadline" "deadline"
+        (Memrel_prob.Budget.cause_to_string e.Memrel_prob.Budget.cause)
+  | None -> Alcotest.fail "expired deadline must report exhaustion");
+  Alcotest.(check int) "no candidates accepted" 0 r.G.stats.G.accepted;
+  Alcotest.(check outcome_testable) "no outcomes" [] (List.map (fun e -> e.G.outcome) r.G.entries)
+
+let test_budget_complete_run_not_exhausted () =
+  let t = L.find "sb" in
+  let budget = Memrel_prob.Budget.create ~max_work:1_000_000 () in
+  let r = G.run ~budget t tso in
+  Alcotest.(check bool) "generous budget completes" true (r.G.stats.G.exhausted = None);
+  Alcotest.(check outcome_testable) "same outcomes as unbudgeted" (G.outcome_set t tso)
+    (List.map (fun e -> e.G.outcome) r.G.entries)
+
 let sets name expected_by_family =
   List.map
     (fun (family, expected) ->
@@ -121,4 +163,10 @@ let suite =
       Alcotest.test_case "WO window=1 collapses to SC" `Quick test_wo_window1_is_sc;
       Alcotest.test_case "inc+rmw forces x=2 everywhere" `Quick test_inc_rmw_atomic;
       Alcotest.test_case "generator statistics" `Quick test_pruning_stats;
+      Alcotest.test_case "candidate cap yields honest partial coverage" `Quick
+        test_budget_candidate_cap;
+      Alcotest.test_case "expired deadline yields empty partial run" `Quick
+        test_budget_deadline_zero_partial;
+      Alcotest.test_case "generous budget runs to completion" `Quick
+        test_budget_complete_run_not_exhausted;
     ]

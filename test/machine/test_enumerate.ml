@@ -35,14 +35,51 @@ let test_visited_accounting () =
 let test_max_states_cap () =
   let st = mk [ Array.init 10 (fun i -> I.load ~reg:i ~loc:i);
                 Array.init 10 (fun i -> I.load ~reg:i ~loc:i) ] in
-  match E.outcomes ~max_states:5 Sem.Sc st ~observe:(fun _ -> ()) with
+  (* the cap now degrades gracefully: a partial result with an exhaustion
+     record instead of an exception *)
+  let r = E.outcomes ~max_states:5 Sem.Sc st ~observe:(fun _ -> ()) in
+  (match r.exhausted with
+   | None -> Alcotest.fail "expected a partial result"
+   | Some e ->
+     Alcotest.(check bool) "cause is the work cap" true
+       (e.Memrel_prob.Budget.cause = Memrel_prob.Budget.Work));
+  (* off-by-one regression: the seed enumerator admitted max_states + 1
+     states before aborting; now at most max_states are ever admitted *)
+  Alcotest.(check int) "exactly max_states admitted" 5 r.states_visited;
+  Alcotest.(check bool) "partial terminal count is sane" true
+    (r.terminals >= 0 && r.terminals <= 5)
+
+let test_max_states_cap_legacy_raise () =
+  let st = mk [ Array.init 10 (fun i -> I.load ~reg:i ~loc:i);
+                Array.init 10 (fun i -> I.load ~reg:i ~loc:i) ] in
+  match E.outcomes ~max_states:5 ~legacy_raise:true Sem.Sc st ~observe:(fun _ -> ()) with
   | _ -> Alcotest.fail "expected State_limit"
   | exception E.State_limit { max_states; states_visited; terminals } ->
     Alcotest.(check int) "cap echoed" 5 max_states;
-    (* off-by-one regression: the seed enumerator admitted max_states + 1
-       states before aborting; now at most max_states are ever admitted *)
     Alcotest.(check int) "exactly max_states admitted" 5 states_visited;
     Alcotest.(check bool) "partial terminal count is sane" true (terminals >= 0 && terminals <= 5)
+
+let test_budget_deadline_partial () =
+  (* an already-expired deadline stops the exploration before any state is
+     admitted; the partial result is well-formed and empty *)
+  let st = mk [ Array.init 6 (fun i -> I.load ~reg:i ~loc:i);
+                Array.init 6 (fun i -> I.load ~reg:i ~loc:i) ] in
+  let budget = Memrel_prob.Budget.create ~deadline_s:0.0 () in
+  let r = E.outcomes ~budget Sem.Sc st ~observe:(fun _ -> ()) in
+  Alcotest.(check bool) "exhausted" true (r.exhausted <> None);
+  Alcotest.(check int) "no states admitted" 0 r.states_visited;
+  Alcotest.(check int) "no terminals" 0 r.terminals;
+  Alcotest.(check (list unit)) "no outcomes" [] (List.map fst r.outcomes)
+
+let test_budget_complete_run_not_exhausted () =
+  (* a generous budget leaves a complete run untouched: same result as no
+     budget, exhausted = None, work counter = admitted states *)
+  let st = mk [ [| I.load ~reg:0 ~loc:0 |]; [| I.load ~reg:0 ~loc:1 |] ] in
+  let budget = Memrel_prob.Budget.create ~max_work:1_000 () in
+  let r = E.outcomes ~budget Sem.Sc st ~observe:(fun _ -> ()) in
+  Alcotest.(check bool) "not exhausted" true (r.exhausted = None);
+  Alcotest.(check int) "4 states" 4 r.states_visited;
+  Alcotest.(check int) "work = admitted states" 4 (Memrel_prob.Budget.work_done budget)
 
 let test_max_states_exact_fit () =
   (* the 2x1-load space has exactly 4 states (see visited accounting):
@@ -174,7 +211,10 @@ let suite =
       ("single-thread single outcome", test_single_thread_single_outcome);
       ("racing stores", test_interleaving_count_sc);
       ("state accounting", test_visited_accounting);
-      ("max_states cap raises State_limit", test_max_states_cap);
+      ("max_states cap yields partial result", test_max_states_cap);
+      ("max_states cap raises under legacy_raise", test_max_states_cap_legacy_raise);
+      ("expired deadline yields empty partial result", test_budget_deadline_partial);
+      ("generous budget leaves run complete", test_budget_complete_run_not_exhausted);
       ("max_states exact fit succeeds", test_max_states_exact_fit);
       ("terminal count", test_reachable_terminal_count);
       ("TSO explores more states than SC", test_dedup_effectiveness);

@@ -5,6 +5,8 @@ let () =
       ("rational", Test_rational.suite);
       ("rng", Test_rng.suite);
       ("par", Test_par.suite);
+      ("budget", Test_budget.suite);
+      ("snapshot", Test_snapshot.suite);
       ("combinatorics", Test_combinatorics.suite);
       ("fastpath", Test_fastpath.suite);
       ("stats", Test_stats.suite);

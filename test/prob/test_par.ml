@@ -145,7 +145,304 @@ let test_guards () =
     (fun () -> ignore (Par.count ~trials:0 (fun _ -> true) rng));
   Alcotest.check_raises "chunk 0" (Invalid_argument "Par.run: chunk must be positive")
     (fun () -> ignore (Par.count ~chunk:0 ~trials:10 (fun _ -> true) rng));
-  Alcotest.(check bool) "default_jobs >= 1" true (Par.default_jobs () >= 1)
+  Alcotest.(check bool) "default_jobs >= 1" true (Par.default_jobs () >= 1);
+  (* explicit nonsensical jobs values are rejected, not silently clamped *)
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs %d" jobs)
+        (Invalid_argument "Par: jobs must be positive")
+        (fun () -> ignore (Par.count ~jobs ~trials:10 (fun _ -> true) rng)))
+    [ 0; -1; -7 ];
+  Alcotest.check_raises "map_array jobs 0" (Invalid_argument "Par: jobs must be positive")
+    (fun () -> ignore (Par.map_array ~jobs:0 Fun.id [| 1 |]));
+  Alcotest.check_raises "governed checkpoint_every 0"
+    (Invalid_argument "Par.run_governed: checkpoint_every must be positive") (fun () ->
+      ignore (Par.count_governed ~checkpoint_every:0 ~trials:10 (fun _ -> true) rng));
+  Alcotest.check_raises "governed max_retries -1"
+    (Invalid_argument "Par.run_governed: max_retries must be nonnegative") (fun () ->
+      ignore (Par.count_governed ~max_retries:(-1) ~trials:10 (fun _ -> true) rng))
+
+(* -- resource-governed execution ---------------------------------------- *)
+
+module Budget = Memrel_prob.Budget
+
+let bits f = Int64.bits_of_float f
+
+let float_sum_governed ?jobs ?chunk ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries
+    ?fault ~trials seed =
+  Par.run_governed ?jobs ?chunk ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries
+    ?fault ~trials
+    ~init:(fun () -> 0.0)
+    ~accumulate:(fun acc r -> acc +. Rng.float r)
+    ~merge:( +. ) (Rng.create seed)
+
+let with_tmp f =
+  let file = Filename.temp_file "memrel_par" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ()) (fun () -> f file)
+
+let test_governed_equals_plain_run () =
+  (* with no budget/fault/checkpoint, the governed scheduler (dynamic chunk
+     claiming) must reproduce the static-stride hot path bit-for-bit, at
+     every jobs count *)
+  List.iter
+    (fun (trials, chunk) ->
+      let reference = float_sum ~jobs:1 ~chunk ~trials 42 in
+      List.iter
+        (fun jobs ->
+          let g = float_sum_governed ~jobs ~chunk ~trials 42 in
+          Alcotest.(check bool)
+            (Printf.sprintf "trials=%d chunk=%d jobs=%d" trials chunk jobs)
+            true
+            (Int64.equal (bits g.Par.value) (bits reference));
+          Alcotest.(check bool) "complete" true (g.Par.exhausted = None);
+          Alcotest.(check int) "all trials done" trials g.Par.run_stats.Par.trials_done;
+          Alcotest.(check int) "no retries" 0 g.Par.run_stats.Par.retries)
+        [ 1; 2; 4 ])
+    [ (10_000, 256); (1000, 999); (5, 2) ]
+
+let test_governed_advances_caller_rng_uniformly () =
+  let next_after f =
+    let rng = Rng.create 11 in
+    f rng;
+    Rng.bits64 rng
+  in
+  let reference = next_after (fun rng -> ignore (Rng.bits64 rng)) in
+  let v =
+    next_after (fun rng ->
+        ignore (Par.count_governed ~jobs:2 ~chunk:64 ~trials:1000 (fun r -> Rng.bool r) rng))
+  in
+  Alcotest.(check int64) "one draw, like run" reference v
+
+let test_work_cap_partial () =
+  (* a work cap of k chunks yields a partial result covering exactly the
+     chunks completed before the cap, each a bit-exact replay *)
+  let trials = 10_000 and chunk = 256 in
+  let budget = Budget.create ~max_work:5 () in
+  let g = float_sum_governed ~jobs:1 ~chunk ~budget ~trials 42 in
+  (match g.Par.exhausted with
+   | Some e -> Alcotest.(check bool) "cause Work" true (e.Budget.cause = Budget.Work)
+   | None -> Alcotest.fail "expected exhaustion");
+  Alcotest.(check int) "5 chunks done" 5 g.Par.run_stats.Par.chunks_done;
+  Alcotest.(check int) "trials_done matches" (5 * chunk) g.Par.run_stats.Par.trials_done;
+  (* jobs:1 completes chunks in schedule order, so the partial value is the
+     prefix sum over substreams 0..4 *)
+  let base = Rng.bits64 (Rng.create 42) in
+  let expected = ref 0.0 in
+  for id = 0 to 4 do
+    let r = Rng.substream base id in
+    for _ = 1 to chunk do
+      expected := !expected +. Rng.float r
+    done
+  done;
+  Alcotest.(check bool) "partial value = prefix chunks" true
+    (Int64.equal (bits g.Par.value) (bits !expected))
+
+let test_zero_budget_partial_is_empty () =
+  let budget = Budget.create ~max_work:0 () in
+  let g = float_sum_governed ~jobs:4 ~chunk:64 ~budget ~trials:10_000 42 in
+  Alcotest.(check bool) "exhausted" true (g.Par.exhausted <> None);
+  Alcotest.(check int) "nothing done" 0 g.Par.run_stats.Par.trials_done;
+  Alcotest.(check bool) "init value" true (g.Par.value = 0.0)
+
+let checkpoint_roundtrip_for ~jobs () =
+  (* simulate kill + resume: a budget-limited first run checkpoints, a
+     resumed run finishes; result and sample counts must be bit-identical to
+     an uninterrupted run *)
+  let trials = 20_000 and chunk = 256 in
+  with_tmp @@ fun file ->
+  let reference = float_sum_governed ~jobs ~chunk ~trials 42 in
+  let first =
+    float_sum_governed ~jobs ~chunk ~trials
+      ~budget:(Budget.create ~max_work:13 ())
+      ~checkpoint:file ~checkpoint_every:4 42
+  in
+  Alcotest.(check bool) "first run is partial" true (first.Par.exhausted <> None);
+  Alcotest.(check bool) "snapshots were written" true
+    (first.Par.run_stats.Par.checkpoints_written > 0);
+  let resumed = float_sum_governed ~jobs ~chunk ~trials ~resume:file 42 in
+  Alcotest.(check bool) "resumed = uninterrupted (bitwise)" true
+    (Int64.equal (bits resumed.Par.value) (bits reference.Par.value));
+  Alcotest.(check int) "all trials accounted" trials resumed.Par.run_stats.Par.trials_done;
+  Alcotest.(check int) "resumed chunk count" first.Par.run_stats.Par.chunks_done
+    resumed.Par.run_stats.Par.chunks_resumed;
+  Alcotest.(check bool) "resume is complete" true (resumed.Par.exhausted = None)
+
+let test_checkpoint_roundtrip_jobs1 () = checkpoint_roundtrip_for ~jobs:1 ()
+
+let test_checkpoint_roundtrip_jobs4 () = checkpoint_roundtrip_for ~jobs:4 ()
+
+let test_resume_from_finished_checkpoint_is_noop () =
+  with_tmp @@ fun file ->
+  let full = float_sum_governed ~jobs:2 ~chunk:512 ~trials:10_000 ~checkpoint:file 42 in
+  let resumed = float_sum_governed ~jobs:2 ~chunk:512 ~trials:10_000 ~resume:file 42 in
+  Alcotest.(check bool) "same value" true
+    (Int64.equal (bits resumed.Par.value) (bits full.Par.value));
+  Alcotest.(check int) "nothing re-run" 0
+    (resumed.Par.run_stats.Par.chunks_done - resumed.Par.run_stats.Par.chunks_resumed)
+
+let expect_invalid_snapshot name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_snapshot" name
+  | exception Par.Invalid_snapshot _ -> ()
+
+let test_resume_rejects_damaged_snapshots () =
+  with_tmp @@ fun file ->
+  let run ?(seed = 42) ?(trials = 10_000) ?(chunk = 256) ?checkpoint ?resume () =
+    float_sum_governed ~jobs:1 ~chunk ~trials ?checkpoint ?resume seed
+  in
+  ignore (run ~checkpoint:file ());
+  let original = In_channel.with_open_bin file In_channel.input_all in
+  let rewrite s = Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc s) in
+  (* truncation *)
+  rewrite (String.sub original 0 (String.length original - 7));
+  expect_invalid_snapshot "truncated" (fun () -> run ~resume:file ());
+  (* corruption (payload bit flip) *)
+  let corrupt = Bytes.of_string original in
+  let last = Bytes.length corrupt - 1 in
+  Bytes.set corrupt last (Char.chr (Char.code (Bytes.get corrupt last) lxor 0x40));
+  rewrite (Bytes.to_string corrupt);
+  expect_invalid_snapshot "corrupted" (fun () -> run ~resume:file ());
+  (* wrong format version *)
+  let versioned = Bytes.of_string original in
+  Bytes.set versioned 11 (Char.chr (Char.code (Bytes.get versioned 11) + 1));
+  rewrite (Bytes.to_string versioned);
+  expect_invalid_snapshot "wrong version" (fun () -> run ~resume:file ());
+  (* pristine snapshot, mismatched run parameters *)
+  rewrite original;
+  expect_invalid_snapshot "different seed" (fun () -> run ~seed:43 ~resume:file ());
+  expect_invalid_snapshot "different trials" (fun () -> run ~trials:9_999 ~resume:file ());
+  expect_invalid_snapshot "different chunk" (fun () -> run ~chunk:128 ~resume:file ());
+  (* and the pristine file still resumes fine *)
+  ignore (run ~resume:file ())
+
+(* -- fault injection ----------------------------------------------------- *)
+
+let fault_on ~kind ~chunks ~attempts_below ~chunk:id ~attempt =
+  if List.mem id chunks && attempt <= attempts_below then Some kind else None
+
+let fault_equal_baseline name ~jobs ~fault ~expect_retries =
+  let trials = 10_000 and chunk = 256 in
+  let baseline = float_sum ~jobs:1 ~chunk ~trials 42 in
+  let g = float_sum_governed ~jobs ~chunk ~trials ~fault 42 in
+  Alcotest.(check bool) (name ^ ": value = baseline (bitwise)") true
+    (Int64.equal (bits g.Par.value) (bits baseline));
+  Alcotest.(check bool) (name ^ ": complete") true (g.Par.exhausted = None);
+  Alcotest.(check int) (name ^ ": all trials") trials g.Par.run_stats.Par.trials_done;
+  Alcotest.(check int) (name ^ ": retries") expect_retries g.Par.run_stats.Par.retries;
+  Alcotest.(check bool) (name ^ ": failures recorded") true
+    (g.Par.run_stats.Par.worker_failures >= expect_retries)
+
+let test_crash_first_chunk () =
+  List.iter
+    (fun jobs ->
+      fault_equal_baseline
+        (Printf.sprintf "crash chunk 0, jobs %d" jobs)
+        ~jobs
+        ~fault:(fault_on ~kind:Par.Crash ~chunks:[ 0 ] ~attempts_below:1)
+        ~expect_retries:1)
+    [ 1; 4 ]
+
+let test_crash_middle_chunk () =
+  List.iter
+    (fun jobs ->
+      fault_equal_baseline
+        (Printf.sprintf "crash chunk 20, jobs %d" jobs)
+        ~jobs
+        ~fault:(fault_on ~kind:Par.Crash ~chunks:[ 20 ] ~attempts_below:1)
+        ~expect_retries:1)
+    [ 1; 4 ]
+
+let test_crash_repeated_up_to_max_retries () =
+  (* two consecutive crashes with max_retries = 2: the third attempt
+     succeeds and the result is untouched *)
+  List.iter
+    (fun jobs ->
+      fault_equal_baseline
+        (Printf.sprintf "double crash, jobs %d" jobs)
+        ~jobs
+        ~fault:(fault_on ~kind:Par.Crash ~chunks:[ 7 ] ~attempts_below:2)
+        ~expect_retries:2)
+    [ 1; 4 ]
+
+let test_crash_exhausts_retries () =
+  (* a chunk that crashes on every attempt surfaces as a typed error, on any
+     jobs count *)
+  List.iter
+    (fun jobs ->
+      match
+        float_sum_governed ~jobs ~chunk:256 ~trials:10_000 ~max_retries:2
+          ~fault:(fun ~chunk:id ~attempt:_ -> if id = 3 then Some Par.Crash else None)
+          42
+      with
+      | _ -> Alcotest.fail "expected Retries_exhausted"
+      | exception Par.Retries_exhausted { chunk; attempts; last_error } ->
+        Alcotest.(check int) "failing chunk" 3 chunk;
+        Alcotest.(check int) "1 try + 2 retries" 3 attempts;
+        Alcotest.(check bool) (Printf.sprintf "last_error: %s" last_error) true
+          (String.length last_error > 0))
+    [ 1; 4 ]
+
+let test_wedge_recovers () =
+  (* a wedged worker abandons its chunk; the scheduler re-runs it (and any
+     chunks the lost worker never claimed) on the calling domain with a
+     bit-identical result — including jobs:1, where the only worker dies *)
+  List.iter
+    (fun jobs ->
+      fault_equal_baseline
+        (Printf.sprintf "wedge chunk 2, jobs %d" jobs)
+        ~jobs
+        ~fault:(fault_on ~kind:Par.Wedge ~chunks:[ 2 ] ~attempts_below:1)
+        ~expect_retries:1)
+    [ 1; 4 ]
+
+let test_wedge_exhausts_retries () =
+  match
+    float_sum_governed ~jobs:2 ~chunk:256 ~trials:10_000 ~max_retries:1
+      ~fault:(fun ~chunk:id ~attempt:_ -> if id = 0 then Some Par.Wedge else None)
+      42
+  with
+  | _ -> Alcotest.fail "expected Retries_exhausted"
+  | exception Par.Retries_exhausted { chunk; attempts; _ } ->
+    Alcotest.(check int) "failing chunk" 0 chunk;
+    Alcotest.(check int) "1 try + 1 retry" 2 attempts
+
+let test_user_exception_is_retried () =
+  (* a transient user exception (fails on the first visit to one chunk) is
+     retried like an injected crash, via the same substream replay *)
+  let trials = 5_000 and chunk = 256 in
+  let baseline = float_sum ~jobs:1 ~chunk ~trials 42 in
+  let poisoned = Atomic.make true in
+  let g =
+    Par.run_governed ~jobs:1 ~chunk ~trials
+      ~init:(fun () -> 0.0)
+      ~accumulate:(fun acc r ->
+        (* fail exactly once, on the first trial ever executed; the retry
+           replays the whole chunk from its substream start *)
+        if Atomic.compare_and_set poisoned true false then failwith "transient";
+        acc +. Rng.float r)
+      ~merge:( +. ) (Rng.create 42)
+  in
+  Alcotest.(check bool) "value = baseline despite the transient failure" true
+    (Int64.equal (bits g.Par.value) (bits baseline));
+  Alcotest.(check int) "one retry" 1 g.Par.run_stats.Par.retries
+
+let test_fault_with_checkpoint_resume () =
+  (* the full gauntlet: faults + budget + checkpoint on the first run,
+     faults again on the resume — still bit-identical to the plain result *)
+  let trials = 20_000 and chunk = 256 in
+  with_tmp @@ fun file ->
+  let reference = float_sum ~jobs:1 ~chunk ~trials 42 in
+  let fault = fault_on ~kind:Par.Crash ~chunks:[ 1; 30 ] ~attempts_below:1 in
+  let first =
+    float_sum_governed ~jobs:4 ~chunk ~trials
+      ~budget:(Budget.create ~max_work:40 ())
+      ~checkpoint:file ~checkpoint_every:8 ~fault 42
+  in
+  Alcotest.(check bool) "first is partial" true (first.Par.exhausted <> None);
+  let resumed = float_sum_governed ~jobs:4 ~chunk ~trials ~resume:file ~fault 42 in
+  Alcotest.(check bool) "resumed = plain run (bitwise)" true
+    (Int64.equal (bits resumed.Par.value) (bits reference))
 
 let suite =
   List.map
@@ -161,4 +458,20 @@ let suite =
       ("map_list order and jobs", test_map_list_order_and_jobs);
       ("map_array propagates exceptions", test_map_array_exception_propagates);
       ("guards", test_guards);
+      ("governed = plain run (bitwise)", test_governed_equals_plain_run);
+      ("governed advances caller rng by one draw", test_governed_advances_caller_rng_uniformly);
+      ("work cap yields exact prefix partial", test_work_cap_partial);
+      ("zero budget yields empty partial", test_zero_budget_partial_is_empty);
+      ("checkpoint kill+resume bit-identical (jobs 1)", test_checkpoint_roundtrip_jobs1);
+      ("checkpoint kill+resume bit-identical (jobs 4)", test_checkpoint_roundtrip_jobs4);
+      ("resume of a finished checkpoint is a no-op", test_resume_from_finished_checkpoint_is_noop);
+      ("damaged/mismatched snapshots rejected", test_resume_rejects_damaged_snapshots);
+      ("crash on first chunk recovers bit-identically", test_crash_first_chunk);
+      ("crash on middle chunk recovers bit-identically", test_crash_middle_chunk);
+      ("repeated crashes within max_retries recover", test_crash_repeated_up_to_max_retries);
+      ("persistent crash exhausts retries", test_crash_exhausts_retries);
+      ("wedged worker recovers bit-identically", test_wedge_recovers);
+      ("persistent wedge exhausts retries", test_wedge_exhausts_retries);
+      ("transient user exception retried", test_user_exception_is_retried);
+      ("faults + checkpoint + resume bit-identical", test_fault_with_checkpoint_resume);
     ]

@@ -157,6 +157,65 @@ let test_invalid () =
   Alcotest.check_raises "trials 0" (Invalid_argument "Mc.estimate: trials must be positive")
     (fun () -> ignore (Mc.estimate ~trials:0 Model.sc rng))
 
+module Par = Memrel_prob.Par
+module Budget = Memrel_prob.Budget
+
+let test_governed_complete_equals_estimate () =
+  (* a governed run that completes must reproduce the ungoverned estimator
+     bit-for-bit *)
+  let model = Model.tso () in
+  let plain = Mc.estimate ~jobs:2 ~trials:20_000 model (Rng.create 77) in
+  let g = Mc.estimate_governed ~jobs:2 ~trials:20_000 model (Rng.create 77) in
+  Alcotest.(check bool) "complete" true (g.Par.exhausted = None);
+  let e = g.Par.value in
+  Alcotest.(check int) "trials" plain.Mc.trials e.Mc.trials;
+  Alcotest.(check bool) "mean bitwise" true
+    (Int64.equal (Int64.bits_of_float plain.Mc.mean_gamma) (Int64.bits_of_float e.Mc.mean_gamma));
+  Alcotest.(check (list (pair int (float 0.0)))) "pmf identical" plain.Mc.gamma_pmf
+    e.Mc.gamma_pmf
+
+let test_governed_partial_interval_honest () =
+  (* a deadline-limited probability_b covers fewer trials; its Wilson
+     interval must widen enough to contain the full-run point estimate *)
+  let model = Model.tso () in
+  let full, _ = Mc.probability_b ~jobs:1 ~trials:50_000 ~gamma:1 model (Rng.create 9) in
+  let g =
+    Mc.probability_b_governed ~jobs:1
+      ~budget:(Budget.create ~max_work:6 ())
+      ~trials:50_000 ~gamma:1 model (Rng.create 9)
+  in
+  (match g.Par.exhausted with
+   | Some e -> Alcotest.(check bool) "work cap" true (e.Budget.cause = Budget.Work)
+   | None -> Alcotest.fail "expected a partial run");
+  let partial_trials = g.Par.run_stats.Par.trials_done in
+  Alcotest.(check bool) "fewer trials" true (partial_trials > 0 && partial_trials < 50_000);
+  let point, ci = g.Par.value in
+  Alcotest.(check bool)
+    (Printf.sprintf "full estimate %.5f inside partial interval [%.5f, %.5f]" full ci.lo ci.hi)
+    true
+    (ci.lo <= full && full <= ci.hi);
+  Alcotest.(check bool) "partial point is a probability" true (point >= 0.0 && point <= 1.0);
+  (* the widened interval really is wider than the full-run one *)
+  let _, full_ci = Mc.probability_b ~jobs:1 ~trials:50_000 ~gamma:1 model (Rng.create 9) in
+  Alcotest.(check bool) "interval widened" true
+    (ci.hi -. ci.lo > full_ci.hi -. full_ci.lo)
+
+let test_governed_zero_trials_vacuous () =
+  let model = Model.sc in
+  let g =
+    Mc.probability_b_governed ~jobs:1
+      ~budget:(Budget.create ~max_work:0 ())
+      ~trials:10_000 ~gamma:0 model (Rng.create 3)
+  in
+  let point, ci = g.Par.value in
+  Alcotest.(check bool) "nan point" true (Float.is_nan point);
+  Alcotest.(check (float 0.0)) "vacuous lo" 0.0 ci.lo;
+  Alcotest.(check (float 0.0)) "vacuous hi" 1.0 ci.hi;
+  let ge = Mc.estimate_governed ~jobs:1 ~budget:(Budget.create ~max_work:0 ()) ~trials:1_000
+      model (Rng.create 3) in
+  Alcotest.(check int) "empty estimate" 0 ge.Par.value.Mc.trials;
+  Alcotest.(check bool) "nan mean" true (Float.is_nan ge.Par.value.Mc.mean_gamma)
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -174,4 +233,7 @@ let suite =
       ("jobs:1 = jobs:4 bit-identical", test_jobs_invariance);
       ("probability_b jobs-invariant", test_probability_b_jobs_invariance);
       ("invalid arguments", test_invalid);
+      ("governed complete = estimate (bitwise)", test_governed_complete_equals_estimate);
+      ("partial interval contains full estimate", test_governed_partial_interval_honest);
+      ("zero-trial partial is vacuous", test_governed_zero_trials_vacuous);
     ]
