@@ -51,7 +51,8 @@ ci:
 	dune build
 	dune runtest
 	dune exec bin/memrel_cli.exe -- axiom sb mp lb inc3 inc4
-	dune exec bench/main.exe -- --json-smoke /tmp/BENCH_mc_smoke.json
+	# --json-mc-smoke asserts streaming = Reference in-process before timing
+	dune exec bench/main.exe -- --json-mc-smoke /tmp/BENCH_mc_smoke.json
 	dune exec bench/main.exe -- --json-enum-smoke BENCH_enum.json
 	dune exec bench/main.exe -- --json-axiom-smoke /tmp/BENCH_axiom_smoke.json
 	dune exec bench/main.exe -- --json-exact-smoke /tmp/BENCH_exact_smoke.json
@@ -59,6 +60,11 @@ ci:
 	# partial-result contract: an expired deadline must exit 3, not 0/crash
 	dune exec bin/memrel_cli.exe -- window --trials 100000 --deadline 0 > /dev/null; test $$? -eq 3
 	dune exec bin/memrel_cli.exe -- enumerate inc3 --max-states 50 > /dev/null; test $$? -eq 3
+	# adaptive-stopping contract: --target-width prints the achieved interval
+	# and exits 0; under an expired deadline the partial result exits 3
+	dune exec bin/memrel_cli.exe -- shift --target-width 0.01 --seed 4 | grep -q "adaptive: target width"
+	dune exec bin/memrel_cli.exe -- joint --model sc -n 2 --target-width 0.01 > /dev/null
+	dune exec bin/memrel_cli.exe -- shift --target-width 0.01 --deadline 0 > /dev/null; test $$? -eq 3
 
 clean:
 	dune clean

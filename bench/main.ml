@@ -554,9 +554,98 @@ let mc_throughput_rows ~jobs_n ~scale =
         ignore (Shift.estimate ~jobs ~trials (Rng.create seed) [| 2; 3; 2; 4 |]));
   ]
 
+(* streaming vs the kept closure-based Reference path, at jobs=1 (the
+   honest single-core number). The differential check runs IN-PROCESS and
+   BEFORE any timing: a speedup over a path that computes something else
+   would be meaningless, so a mismatch aborts the bench. *)
+
+type sr_row = {
+  sname : string;
+  strials : int;
+  sref_secs : float;
+  sstream_secs : float;
+}
+
+let streaming_vs_reference_rows ~scale =
+  let row sname strials ~equal ~reference ~streaming =
+    if not (equal ()) then failwith (sname ^ ": streaming result differs from Reference");
+    reference (max 1 (strials / 100));
+    streaming (max 1 (strials / 100));
+    let sref_secs = wall (fun () -> reference strials) in
+    let sstream_secs = wall (fun () -> streaming strials) in
+    { sname; strials; sref_secs; sstream_secs }
+  in
+  [
+    row "settling_estimate_tso" (300_000 / scale)
+      ~equal:(fun () ->
+        Window_mc.estimate ~jobs:1 ~trials:20_000 (Model.tso ()) (Rng.create seed)
+        = Window_mc.Reference.estimate ~jobs:1 ~trials:20_000 (Model.tso ()) (Rng.create seed))
+      ~reference:(fun trials ->
+        ignore (Window_mc.Reference.estimate ~jobs:1 ~trials (Model.tso ()) (Rng.create seed)))
+      ~streaming:(fun trials ->
+        ignore (Window_mc.estimate ~jobs:1 ~trials (Model.tso ()) (Rng.create seed)));
+    row "shift_estimate_n4" (3_000_000 / scale)
+      ~equal:(fun () ->
+        Shift.estimate ~jobs:1 ~trials:50_000 (Rng.create seed) [| 2; 3; 2; 4 |]
+        = Shift.Reference.estimate ~jobs:1 ~trials:50_000 (Rng.create seed) [| 2; 3; 2; 4 |])
+      ~reference:(fun trials ->
+        ignore (Shift.Reference.estimate ~jobs:1 ~trials (Rng.create seed) [| 2; 3; 2; 4 |]))
+      ~streaming:(fun trials ->
+        ignore (Shift.estimate ~jobs:1 ~trials (Rng.create seed) [| 2; 3; 2; 4 |]));
+    row "joint_estimate_tso_n2" (200_000 / scale)
+      ~equal:(fun () ->
+        Joint.estimate ~jobs:1 ~trials:20_000 (Model.tso ()) ~n:2 (Rng.create seed)
+        = Joint.Reference.estimate ~jobs:1 ~trials:20_000 (Model.tso ()) ~n:2
+            (Rng.create seed))
+      ~reference:(fun trials ->
+        ignore (Joint.Reference.estimate ~jobs:1 ~trials (Model.tso ()) ~n:2 (Rng.create seed)))
+      ~streaming:(fun trials ->
+        ignore (Joint.estimate ~jobs:1 ~trials (Model.tso ()) ~n:2 (Rng.create seed)));
+  ]
+
+(* adaptive (CI-width) stopping vs the fixed-trials cost for the same
+   certainty: how many trials the Wilson stop actually needs, and what the
+   fixed-budget alternative would have spent *)
+
+type adaptive_numbers = {
+  a_target_width : float;
+  a_max_trials : int;
+  a_trials_used : int;
+  a_target_met : bool;
+  a_secs : float;
+  a_fixed_secs : float;
+}
+
+let adaptive_numbers ~scale =
+  let a_target_width = 0.005 in
+  let a_max_trials = 2_000_000 / scale in
+  let run () =
+    Window_mc.probability_b_adaptive ~jobs:1 ~target_width:a_target_width
+      ~max_trials:a_max_trials ~gamma:0 (Model.tso ()) (Rng.create seed)
+  in
+  ignore (run ());
+  let result = ref (run ()) in
+  let a_secs = wall (fun () -> result := run ()) in
+  let a_fixed_secs =
+    wall (fun () ->
+        ignore
+          (Window_mc.probability_b ~jobs:1 ~trials:a_max_trials ~gamma:0 (Model.tso ())
+             (Rng.create seed)))
+  in
+  {
+    a_target_width;
+    a_max_trials;
+    a_trials_used = !result.Par.trials_done;
+    a_target_met = !result.Par.target_met;
+    a_secs;
+    a_fixed_secs;
+  }
+
 let mc_json ~file ~scale =
   let jobs_n = max 4 (Par.default_jobs ()) in
   let rows = mc_throughput_rows ~jobs_n ~scale in
+  let sr_rows = streaming_vs_reference_rows ~scale in
+  let adaptive = adaptive_numbers ~scale in
   let buf = Buffer.create 1024 in
   let tps trials secs = if secs > 0.0 then float_of_int trials /. secs else 0.0 in
   Buffer.add_string buf "{\n";
@@ -578,7 +667,34 @@ let mc_json ~file ~scale =
            (if r.secs_n > 0.0 then r.secs_1 /. r.secs_n else 0.0)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"streaming_vs_reference\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"trials\": %d, \"reference_seconds\": %.6f, \
+            \"reference_trials_per_sec\": %.1f, \"streaming_seconds\": %.6f, \
+            \"streaming_trials_per_sec\": %.1f, \"speedup\": %.3f, \"results_equal\": true}%s\n"
+           r.sname r.strials r.sref_secs
+           (tps r.strials r.sref_secs)
+           r.sstream_secs
+           (tps r.strials r.sstream_secs)
+           (if r.sstream_secs > 0.0 then r.sref_secs /. r.sstream_secs else 0.0)
+           (if i = List.length sr_rows - 1 then "" else ",")))
+    sr_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"adaptive\": {\"name\": \"settling_probability_b_adaptive_tso_gamma0\", \
+        \"target_width\": %g, \"max_trials\": %d, \"trials_used\": %d, \"target_met\": %b, \
+        \"seconds\": %.6f, \"fixed_trials_seconds\": %.6f, \"trials_saved_ratio\": %.3f}\n"
+       adaptive.a_target_width adaptive.a_max_trials adaptive.a_trials_used
+       adaptive.a_target_met adaptive.a_secs adaptive.a_fixed_secs
+       (if adaptive.a_max_trials > 0 then
+          1.0 -. (float_of_int adaptive.a_trials_used /. float_of_int adaptive.a_max_trials)
+        else 0.0));
+  Buffer.add_string buf "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -588,6 +704,18 @@ let mc_json ~file ~scale =
         r.bname r.btrials (tps r.btrials r.secs_1) jobs_n (tps r.btrials r.secs_n)
         (if r.secs_n > 0.0 then r.secs_1 /. r.secs_n else 0.0))
     rows;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-32s %9d trials  reference %8.0f/s  streaming %8.0f/s  speedup %.2fx  (equal)\n"
+        r.sname r.strials (tps r.strials r.sref_secs)
+        (tps r.strials r.sstream_secs)
+        (if r.sstream_secs > 0.0 then r.sref_secs /. r.sstream_secs else 0.0))
+    sr_rows;
+  Printf.printf
+    "%-32s width<=%g in %d of %d trials (met: %b)  %.3fs vs fixed %.3fs\n"
+    "adaptive_probability_b_tso" adaptive.a_target_width adaptive.a_trials_used
+    adaptive.a_max_trials adaptive.a_target_met adaptive.a_secs adaptive.a_fixed_secs;
   Printf.printf "wrote %s\n" file
 
 (* -- enumeration bench (--json-enum) ----------------------------------- *)
@@ -1219,7 +1347,7 @@ let () =
   | _ :: "--json" :: rest ->
     let file = match rest with f :: _ -> f | [] -> "BENCH_mc.json" in
     mc_json ~file ~scale:1
-  | _ :: "--json-smoke" :: rest ->
+  | _ :: ("--json-smoke" | "--json-mc-smoke") :: rest ->
     let file = match rest with f :: _ -> f | [] -> "BENCH_mc.json" in
     mc_json ~file ~scale:10
   | _ :: "--json-enum" :: rest ->

@@ -36,6 +36,51 @@ let jobs_arg =
 
 let resolve_jobs j = if j <= 0 then None else Some j
 
+(* -- adaptive (CI-width) stopping --------------------------------------- *)
+
+let target_width_arg =
+  Arg.(value & opt (some float) None & info [ "target-width" ] ~docv:"W"
+         ~doc:"Adaptive stopping: run until the 95% Wilson interval of the simulated \
+               probability has width at most W (checked at chunk boundaries; the stopping \
+               trial count is deterministic per seed and identical at every --jobs), capped \
+               by $(b,--max-trials). The achieved interval is printed either way. Not \
+               combinable with --checkpoint/--resume.")
+
+let max_trials_arg =
+  Arg.(value & opt (some int) None & info [ "max-trials" ] ~docv:"N"
+         ~doc:"Trial cap for $(b,--target-width) (default: the --trials value).")
+
+let progress_arg =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"Print the running estimate and interval to stderr every few chunks.")
+
+let progress_report ~label enabled =
+  if not enabled then None
+  else
+    Some
+      (fun ~trials ~successes ->
+        let p = Stats.binomial_point ~successes ~trials in
+        let ci = Stats.wilson_ci ~successes ~trials ~z:1.96 in
+        Printf.eprintf "memrel: %s %9d trials  %.6f [%.6f, %.6f]  width %.6f\n%!" label trials
+          p ci.Stats.lo ci.Stats.hi (ci.Stats.hi -. ci.Stats.lo))
+
+(* the adaptive streaming engines run without checkpoints: reject the
+   combination instead of silently ignoring the flags *)
+let check_adaptive_flags checkpoint resume =
+  if checkpoint <> None || resume <> None then begin
+    prerr_endline "memrel: --target-width cannot be combined with --checkpoint/--resume";
+    false
+  end
+  else true
+
+let adaptive_status ~(streamed : _ Par.streamed) ~target_width =
+  if streamed.Par.target_met then
+    Printf.printf "adaptive: target width %g reached after %d trials\n" target_width
+      streamed.Par.trials_done
+  else
+    Printf.printf "adaptive: target width %g NOT reached within %d trials\n" target_width
+      streamed.Par.trials_done
+
 (* -- resource governance (budgets, checkpoints, resume) ----------------- *)
 
 let deadline_arg =
@@ -252,25 +297,48 @@ let window_cmd =
 (* -- shift ------------------------------------------------------------ *)
 
 let shift_cmd =
-  let run gammas seed trials jobs stats deadline max_mem checkpoint checkpoint_every resume =
+  let run gammas seed trials jobs stats deadline max_mem checkpoint checkpoint_every resume
+      target_width max_trials progress =
     with_robust @@ fun () ->
     with_exact_stats stats @@ fun () ->
     let g = Array.of_list gammas in
     let exact = Shift_exact.disjoint_probability g in
     let rng = Rng.create seed in
-    let gov =
-      Shift.estimate_governed ?jobs:(resolve_jobs jobs) ?budget:(budget_of deadline max_mem)
-        ?checkpoint ~checkpoint_every ?resume ~trials rng g
+    let jobs = resolve_jobs jobs in
+    let budget = budget_of deadline max_mem in
+    let print_result est (ci : Stats.interval) =
+      Printf.printf "Pr[A(%s)] exact %s (%.6f); simulated %.6f [%.6f, %.6f]\n"
+        (String.concat "," (List.map string_of_int gammas))
+        (Rational.to_string exact) (Rational.to_float exact) est ci.lo ci.hi
     in
-    let est, ci = gov.Par.value in
-    Printf.printf "Pr[A(%s)] exact %s (%.6f); simulated %.6f [%.6f, %.6f]\n"
-      (String.concat "," (List.map string_of_int gammas))
-      (Rational.to_string exact) (Rational.to_float exact) est ci.lo ci.hi;
-    partial_exit
-      ~engine:
-        (Printf.sprintf "shift (simulated over %d of %d trials)"
-           gov.Par.run_stats.Par.trials_done trials)
-      gov.Par.exhausted
+    match target_width with
+    | Some w ->
+      if not (check_adaptive_flags checkpoint resume) then Cmd.Exit.some_error
+      else begin
+        let max_trials = Option.value max_trials ~default:trials in
+        let s =
+          Shift.estimate_adaptive ?jobs ?budget ?report:(progress_report ~label:"shift" progress)
+            ~target_width:w ~max_trials rng g
+        in
+        let est, ci = s.Par.value in
+        print_result est ci;
+        adaptive_status ~streamed:s ~target_width:w;
+        partial_exit
+          ~engine:(Printf.sprintf "shift (simulated over %d trials)" s.Par.trials_done)
+          s.Par.exhausted
+      end
+    | None ->
+      let gov =
+        Shift.estimate_governed ?jobs ?budget ?checkpoint ~checkpoint_every ?resume ~trials rng
+          g
+      in
+      let est, ci = gov.Par.value in
+      print_result est ci;
+      partial_exit
+        ~engine:
+          (Printf.sprintf "shift (simulated over %d of %d trials)"
+             gov.Par.run_stats.Par.trials_done trials)
+        gov.Par.exhausted
   in
   let gammas_arg =
     Arg.(value & opt (list int) [ 3; 2; 5 ] & info [ "gammas" ] ~docv:"G,G,..."
@@ -280,16 +348,37 @@ let shift_cmd =
     (Cmd.info "shift" ~exits:budget_exits
        ~doc:"Shift-process disjointness probability (Theorem 5.1).")
     Term.(const run $ gammas_arg $ seed_arg $ trials_arg 500_000 $ jobs_arg $ stats_arg
-          $ deadline_arg $ max_mem_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
+          $ deadline_arg $ max_mem_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+          $ target_width_arg $ max_trials_arg $ progress_arg)
 
 (* -- joint ------------------------------------------------------------ *)
 
 let joint_cmd =
-  let run model n seed trials jobs stats deadline max_mem checkpoint checkpoint_every resume =
+  let run model n seed trials jobs stats deadline max_mem checkpoint checkpoint_every resume
+      target_width max_trials progress =
     with_robust @@ fun () ->
     with_exact_stats stats @@ fun () ->
     let jobs = resolve_jobs jobs in
     let rng = Rng.create seed in
+    match target_width with
+    | Some w ->
+      if not (check_adaptive_flags checkpoint resume) then Cmd.Exit.some_error
+      else begin
+        let max_trials = Option.value max_trials ~default:trials in
+        let s =
+          Joint.estimate_adaptive ?jobs ?budget:(budget_of deadline max_mem)
+            ?report:(progress_report ~label:"joint" progress) ~target_width:w ~max_trials model
+            ~n rng
+        in
+        let e = s.Par.value in
+        Printf.printf "Pr[A] (%s, n=%d): simulated %.6f [%.6f, %.6f]\n" (Model.name model) n
+          e.pr_no_bug e.ci.lo e.ci.hi;
+        adaptive_status ~streamed:s ~target_width:w;
+        partial_exit
+          ~engine:(Printf.sprintf "joint (simulated over %d trials)" s.Par.trials_done)
+          s.Par.exhausted
+      end
+    | None ->
     let g =
       Joint.estimate_governed ?jobs ?budget:(budget_of deadline max_mem) ?checkpoint
         ~checkpoint_every ?resume ~trials model ~n rng
@@ -337,7 +426,7 @@ let joint_cmd =
        ~doc:"End-to-end bug manifestation probability (Theorem 6.2).")
     Term.(const run $ model_arg $ threads_arg $ seed_arg $ trials_arg 200_000 $ jobs_arg
           $ stats_arg $ deadline_arg $ max_mem_arg $ checkpoint_arg $ checkpoint_every_arg
-          $ resume_arg)
+          $ resume_arg $ target_width_arg $ max_trials_arg $ progress_arg)
 
 (* -- scaling ---------------------------------------------------------- *)
 

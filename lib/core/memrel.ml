@@ -42,6 +42,7 @@ module Window_joint_dp = Memrel_settling.Joint_dp
 module Window_joint_dp_q = Memrel_settling.Joint_dp_q
 module Window_verified = Memrel_settling.Verified
 module Window_mc = Memrel_settling.Mc
+module Window_scratch = Memrel_settling.Scratch
 
 (** {1 The shift process (Section 5)} *)
 

@@ -1,8 +1,10 @@
 module Rng = Memrel_prob.Rng
+module Par = Memrel_prob.Par
 module Stats = Memrel_prob.Stats
 module Settle = Memrel_settling.Settle
 module Window = Memrel_settling.Window
 module Program = Memrel_settling.Program
+module Scratch = Memrel_settling.Scratch
 module Shift = Memrel_shift.Process
 
 type convention = [ `Paper | `Strict ]
@@ -46,31 +48,108 @@ let sample ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) model ~
     done;
     !ok
 
+(* streaming per-trial draws on per-worker scratch, replaying [sample]'s
+   exact draw sequence: program Bernoullis, then per thread the settle walk
+   (and for [`Strict] its shift), then for [`Paper] the n shifts *)
+let sample_worker ~p ~m ~gap ~convention model ~n () =
+  let scratch = Scratch.create ~p ~gap ~m model in
+  match convention with
+  | `Paper ->
+    let gammas = Array.make n 0 in
+    let shifts = Array.make n 0 in
+    let idx = Array.make n 0 in
+    fun r ->
+      Scratch.generate scratch r;
+      for i = 0 to n - 1 do
+        Scratch.settle scratch r;
+        Array.unsafe_set gammas i (Scratch.gamma scratch + 2)
+      done;
+      for i = 0 to n - 1 do
+        Array.unsafe_set shifts i (Rng.geometric_half r)
+      done;
+      Shift.disjoint_scratch ~shifts ~idx ~gammas
+  | `Strict ->
+    let tops = Array.make n 0 in
+    let bottoms = Array.make n 0 in
+    fun r ->
+      Scratch.generate scratch r;
+      for i = 0 to n - 1 do
+        Scratch.settle scratch r;
+        let eta = Rng.geometric_half r in
+        Array.unsafe_set tops i (Scratch.load_pos scratch - eta);
+        Array.unsafe_set bottoms i (Scratch.store_pos scratch - eta)
+      done;
+      (* insertion sort of the (top, bottom) pairs, lexicographic — the
+         order [Array.sort compare] on tuples produces; the adjacent check
+         only reads values, so any sort of equal pairs agrees *)
+      for i = 1 to n - 1 do
+        let t0 = Array.unsafe_get tops i and b0 = Array.unsafe_get bottoms i in
+        let j = ref (i - 1) in
+        while
+          !j >= 0
+          && (Array.unsafe_get tops !j > t0
+              || (Array.unsafe_get tops !j = t0 && Array.unsafe_get bottoms !j > b0))
+        do
+          Array.unsafe_set tops (!j + 1) (Array.unsafe_get tops !j);
+          Array.unsafe_set bottoms (!j + 1) (Array.unsafe_get bottoms !j);
+          decr j
+        done;
+        Array.unsafe_set tops (!j + 1) t0;
+        Array.unsafe_set bottoms (!j + 1) b0
+      done;
+      let ok = ref true in
+      for i = 0 to n - 2 do
+        if Array.unsafe_get tops (i + 1) <= Array.unsafe_get bottoms i then ok := false
+      done;
+      !ok
+
+let estimate_of_streamed (s : int Par.streamed) =
+  let successes = s.Par.value and trials = s.Par.trials_done in
+  let value =
+    if trials = 0 then { pr_no_bug = Float.nan; ci = { Stats.lo = 0.0; hi = 1.0 }; trials = 0 }
+    else
+      {
+        pr_no_bug = Stats.binomial_point ~successes ~trials;
+        ci = Stats.wilson_ci ~successes ~trials ~z:1.96;
+        trials;
+      }
+  in
+  { s with Par.value }
+
 let estimate ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) ?jobs ~trials model
     ~n rng =
   check_n n;
   if trials <= 0 then invalid_arg "Joint.estimate: trials must be positive";
-  let successes =
-    Memrel_prob.Par.count ?jobs ~trials (fun r -> sample ~p ~m ~gap ~convention model ~n r) rng
+  let s =
+    Par.count_streaming ?jobs ~max_trials:trials
+      ~worker:(sample_worker ~p ~m ~gap ~convention model ~n)
+      rng
   in
-  {
-    pr_no_bug = Stats.binomial_point ~successes ~trials;
-    ci = Stats.wilson_ci ~successes ~trials ~z:1.96;
-    trials;
-  }
+  (estimate_of_streamed s).Par.value
+
+let estimate_adaptive ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) ?jobs
+    ?chunk ?budget ?report ?report_every ~target_width ~max_trials model ~n rng =
+  check_n n;
+  if max_trials <= 0 then invalid_arg "Joint.estimate_adaptive: max_trials must be positive";
+  let s =
+    Par.count_streaming ?jobs ?chunk ?budget ~target_width ?report ?report_every ~max_trials
+      ~worker:(sample_worker ~p ~m ~gap ~convention model ~n)
+      rng
+  in
+  estimate_of_streamed s
 
 let estimate_governed ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) ?jobs
     ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries ?fault ~trials model ~n rng =
   check_n n;
   if trials <= 0 then invalid_arg "Joint.estimate: trials must be positive";
   let g =
-    Memrel_prob.Par.count_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume
-      ?max_retries ?fault ~trials
+    Par.count_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries ?fault
+      ~trials
       (fun r -> sample ~p ~m ~gap ~convention model ~n r)
       rng
   in
-  let successes = g.Memrel_prob.Par.value in
-  let trials = g.Memrel_prob.Par.run_stats.Memrel_prob.Par.trials_done in
+  let successes = g.Par.value in
+  let trials = g.Par.run_stats.Par.trials_done in
   let value =
     if trials = 0 then
       { pr_no_bug = Float.nan; ci = { Stats.lo = 0.0; hi = 1.0 }; trials = 0 }
@@ -81,7 +160,7 @@ let estimate_governed ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Pap
         trials;
       }
   in
-  { g with Memrel_prob.Par.value }
+  { g with Par.value }
 
 let semi_analytic ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?jobs ~trials model ~n rng =
   check_n n;
@@ -90,20 +169,62 @@ let semi_analytic ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?jobs ~trials model ~n 
      of the window lengths; Theorem 6.1's exchangeability lets us fix the
      assignment of threads to exponents. Par's fixed fold order keeps the
      float sum bit-identical at every jobs count. *)
-  let acc =
-    Memrel_prob.Par.sum_float ?jobs ~trials
-      (fun r ->
-        let prog = Program.generate_with_gap ~p r ~m ~gap in
-        let exponent = ref 0 in
-        for i = 1 to n - 1 do
-          let pi = Settle.run model r prog in
-          let gamma_len = Window.gamma prog pi + 2 in
-          exponent := !exponent + (i * gamma_len)
-        done;
-        Float.pow 2.0 (float_of_int (- !exponent)))
-      rng
+  let s =
+    Par.run_streaming ?jobs ~max_trials:trials
+      ~init:(fun () -> 0.0)
+      ~worker:(fun () ->
+        let scratch = Scratch.create ~p ~gap ~m model in
+        fun acc r ->
+          Scratch.generate scratch r;
+          let exponent = ref 0 in
+          for i = 1 to n - 1 do
+            Scratch.settle scratch r;
+            exponent := !exponent + (i * (Scratch.gamma scratch + 2))
+          done;
+          acc +. Float.pow 2.0 (float_of_int (- !exponent)))
+      ~merge:( +. ) rng
   in
-  let mean = acc /. float_of_int trials in
+  let mean = s.Par.value /. float_of_int trials in
   let prefactor = Memrel_prob.Rational.to_float (Memrel_shift.Exact.prefactor n) in
   let fact = Memrel_prob.Bigint.to_float (Memrel_prob.Combinatorics.factorial n) in
   prefactor *. fact *. mean
+
+(* -- closure-based reference path --------------------------------------- *)
+
+(* The pre-streaming per-trial closures, kept for differential tests and
+   benchmarks: the streaming workers must reproduce these bit-for-bit. *)
+module Reference = struct
+  let estimate ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?(convention = `Paper) ?jobs ~trials
+      model ~n rng =
+    check_n n;
+    if trials <= 0 then invalid_arg "Joint.estimate: trials must be positive";
+    let successes =
+      Par.count ?jobs ~trials (fun r -> sample ~p ~m ~gap ~convention model ~n r) rng
+    in
+    {
+      pr_no_bug = Stats.binomial_point ~successes ~trials;
+      ci = Stats.wilson_ci ~successes ~trials ~z:1.96;
+      trials;
+    }
+
+  let semi_analytic ?(p = 0.5) ?(m = default_m) ?(gap = 0) ?jobs ~trials model ~n rng =
+    check_n n;
+    if trials <= 0 then invalid_arg "Joint.semi_analytic: trials must be positive";
+    let acc =
+      Par.sum_float ?jobs ~trials
+        (fun r ->
+          let prog = Program.generate_with_gap ~p r ~m ~gap in
+          let exponent = ref 0 in
+          for i = 1 to n - 1 do
+            let pi = Settle.run model r prog in
+            let gamma_len = Window.gamma prog pi + 2 in
+            exponent := !exponent + (i * gamma_len)
+          done;
+          Float.pow 2.0 (float_of_int (- !exponent)))
+        rng
+    in
+    let mean = acc /. float_of_int trials in
+    let prefactor = Memrel_prob.Rational.to_float (Memrel_shift.Exact.prefactor n) in
+    let fact = Memrel_prob.Bigint.to_float (Memrel_prob.Combinatorics.factorial n) in
+    prefactor *. fact *. mean
+end

@@ -44,6 +44,34 @@ val estimate :
     {!Memrel_prob.Par} (default {!Memrel_prob.Par.default_jobs}); for a
     fixed seed the estimate is bit-identical at every [jobs]. *)
 
+val estimate_adaptive :
+  ?p:float -> ?m:int -> ?gap:int -> ?convention:convention -> ?jobs:int -> ?chunk:int ->
+  ?budget:Memrel_prob.Budget.t ->
+  ?report:(trials:int -> successes:int -> unit) -> ?report_every:int ->
+  target_width:float -> max_trials:int ->
+  Memrel_memmodel.Model.t -> n:int -> Memrel_prob.Rng.t ->
+  estimate Memrel_prob.Par.streamed
+(** Adaptive {!estimate}: runs until the 95% Wilson interval for Pr[A] has
+    width [<= target_width] (checked at chunk boundaries on the
+    schedule-order prefix — the stopping trial count is deterministic per
+    (seed, schedule) and jobs-invariant), up to [max_trials]. Composes with
+    [budget] (typed partial, honestly widened interval) and [report]
+    (running estimate every [report_every] chunks). See
+    {!Memrel_prob.Par.count_streaming}. *)
+
+(** The pre-streaming per-trial closure path ({!sample} under [Par.count]),
+    kept as the differential-test and benchmark baseline: the streaming
+    estimators reproduce these results bit-for-bit. *)
+module Reference : sig
+  val estimate :
+    ?p:float -> ?m:int -> ?gap:int -> ?convention:convention -> ?jobs:int -> trials:int ->
+    Memrel_memmodel.Model.t -> n:int -> Memrel_prob.Rng.t -> estimate
+
+  val semi_analytic :
+    ?p:float -> ?m:int -> ?gap:int -> ?jobs:int -> trials:int ->
+    Memrel_memmodel.Model.t -> n:int -> Memrel_prob.Rng.t -> float
+end
+
 val estimate_governed :
   ?p:float -> ?m:int -> ?gap:int -> ?convention:convention -> ?jobs:int ->
   ?budget:Memrel_prob.Budget.t ->

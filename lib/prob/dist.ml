@@ -20,6 +20,37 @@ let sample_categorical rng weights =
   in
   go 0 0.0
 
+(* Precomputed cumulative table: [cum.(i)] is the scan's running prefix sum
+   after weight [i], built by the same left-to-right float summation as
+   [sample_categorical], so a binary search over it lands on exactly the
+   index the linear scan returns for the same uniform draw. *)
+type categorical = { cum : float array }
+
+let categorical weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.categorical: weights must be nonempty";
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let w = weights.(i) in
+    if not (w >= 0.0) then invalid_arg "Dist.categorical: negative weight";
+    acc := !acc +. w;
+    cum.(i) <- !acc
+  done;
+  if not (!acc > 0.0) then invalid_arg "Dist.categorical: weights must have positive sum";
+  { cum }
+
+let sample_categorical_table { cum } rng =
+  let n = Array.length cum in
+  let u = Rng.float rng *. cum.(n - 1) in
+  (* smallest i with u < cum.(i), clamped to n - 1: the scan's answer *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if u < Array.unsafe_get cum mid then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 type 'a pmf = ('a * Rational.t) list
 
 let pmf_total pmf = Rational.sum (List.map snd pmf)

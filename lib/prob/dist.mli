@@ -23,7 +23,26 @@ val sample_bernoulli : Rng.t -> float -> bool
 val sample_categorical : Rng.t -> float array -> int
 (** [sample_categorical rng weights] draws index [i] with probability
     proportional to [weights.(i)]. Requires nonnegative weights with a
-    positive sum. Linear scan — fine for the small supports used here. *)
+    positive sum. Linear scan, re-summing the weights on every draw — the
+    reference implementation; build a {!categorical} table when drawing
+    repeatedly from the same weights. *)
+
+type categorical
+(** Precomputed cumulative table for repeated categorical draws: build once
+    per estimator call, then each draw is one uniform deviate plus a binary
+    search (no per-draw summation, no allocation). *)
+
+val categorical : float array -> categorical
+(** [categorical weights] precomputes the cumulative table. Requires a
+    nonempty array of nonnegative weights with positive sum (raises
+    [Invalid_argument] otherwise). The table snapshots the weights; later
+    mutation of the input array is not observed. *)
+
+val sample_categorical_table : categorical -> Rng.t -> int
+(** [sample_categorical_table c rng] draws from the precomputed table. The
+    cumulative sums are accumulated in the same left-to-right order as
+    {!sample_categorical}'s scan, so for the same generator state the two
+    return {e identical} indices — checked in [test/prob/test_dist.ml]. *)
 
 type 'a pmf = ('a * Rational.t) list
 (** A finite exact pmf as a sparse association list. *)

@@ -325,6 +325,179 @@ let run_governed ?jobs ?(chunk = default_chunk) ?budget ?checkpoint
     exhausted;
   }
 
+(* -- streaming engine: per-worker scratch + adaptive stopping ----------- *)
+
+type 'a streamed = {
+  value : 'a;
+  trials_done : int;
+  chunks_done : int;
+  target_met : bool;
+  exhausted : Budget.exhaustion option;
+}
+
+let default_report_every = 16
+
+(* Same schedule as [run] — one base draw, chunk [id] on
+   [Rng.substream base id], merge as a left fold in chunk-index order — but
+   the trial function is built once per worker ([worker ()] allocates the
+   scratch that the per-trial closure reuses), and the fold is evaluated
+   incrementally so a stop predicate can end the run at a chunk boundary.
+
+   Stopping determinism: the predicate is evaluated on the merged
+   {e schedule-order prefix} after each prefix extension, so the stopping
+   chunk is min k such that [stop] holds over chunks [0..k] — a pure
+   function of (seed, schedule, predicate). With [jobs > 1] workers may
+   complete chunks beyond the stopping point or out of order; chunks past
+   the stopping point (or past a hole at budget exhaustion) are discarded,
+   never merged, keeping the result and the stopping trial count
+   jobs-invariant. *)
+let run_streaming ?jobs ?(chunk = default_chunk) ?budget ?stop ?report
+    ?(report_every = default_report_every) ~max_trials ~init ~worker ~merge rng =
+  if max_trials <= 0 then invalid_arg "Par.run_streaming: max_trials must be positive";
+  if chunk <= 0 then invalid_arg "Par.run_streaming: chunk must be positive";
+  if report_every <= 0 then invalid_arg "Par.run_streaming: report_every must be positive";
+  let jobs = resolve_jobs jobs in
+  let base = Rng.bits64 rng in
+  let n_chunks = (max_trials + chunk - 1) / chunk in
+  let chunk_trials id = min chunk (max_trials - (id * chunk)) in
+  let run_chunk accumulate id =
+    let r = Rng.substream base id in
+    let count = chunk_trials id in
+    let acc = ref (init ()) in
+    for _ = 1 to count do
+      acc := accumulate !acc r
+    done;
+    !acc
+  in
+  let finish ~value ~trials ~chunks ~target_met ~cause =
+    let exhausted =
+      match (cause, budget) with
+      | Some c, Some b -> Some (Budget.exhaustion b c)
+      | Some c, None ->
+        (* unreachable: a cause only arises from a budget check *)
+        Some { Budget.cause = c; work_done = chunks; elapsed_s = 0.0 }
+      | None, _ -> None
+    in
+    let value = match value with Some v -> v | None -> init () in
+    { value; trials_done = trials; chunks_done = chunks; target_met; exhausted }
+  in
+  let workers = min jobs n_chunks in
+  if workers = 1 then begin
+    (* sequential path: the reference semantics the parallel path must match *)
+    let accumulate = worker () in
+    let value = ref None in
+    let trials = ref 0 in
+    let chunks = ref 0 in
+    let target_met = ref false in
+    let cause = ref None in
+    let id = ref 0 in
+    while !id < n_chunks && (not !target_met) && !cause = None do
+      (match match budget with None -> None | Some b -> Budget.check b with
+       | Some c -> cause := Some c
+       | None ->
+         let acc = run_chunk accumulate !id in
+         (match budget with Some b -> Budget.spend b 1 | None -> ());
+         value := Some (match !value with None -> acc | Some v -> merge v acc);
+         trials := !trials + chunk_trials !id;
+         incr chunks;
+         let v = Option.get !value in
+         (match stop with
+          | Some f when f ~trials:!trials v -> target_met := true
+          | _ -> ());
+         (match report with
+          | Some f when !chunks mod report_every = 0 && not !target_met -> f ~trials:!trials v
+          | _ -> ());
+         incr id)
+    done;
+    finish ~value:!value ~trials:!trials ~chunks:!chunks ~target_met:!target_met ~cause:!cause
+  end
+  else begin
+    (* dynamic chunk claims + in-order prefix merging under a mutex. Every
+       slot of [results] is written once; the prefix pointer only advances
+       over contiguous completed chunks, so the merged value replays the
+       sequential fold exactly. *)
+    let results = Array.make n_chunks None in
+    let next = Atomic.make 0 in
+    let stop_flag = Atomic.make false in
+    let mutex = Mutex.create () in
+    let prefix = ref 0 in
+    let value = ref None in
+    let trials = ref 0 in
+    let target_met = ref false in
+    let cause = ref None in
+    let advance_prefix_locked () =
+      let continue = ref true in
+      while !continue && (not !target_met) && !prefix < n_chunks do
+        match results.(!prefix) with
+        | None -> continue := false
+        | Some acc ->
+          value := Some (match !value with None -> acc | Some v -> merge v acc);
+          trials := !trials + chunk_trials !prefix;
+          incr prefix;
+          let v = Option.get !value in
+          (match stop with
+           | Some f when f ~trials:!trials v ->
+             target_met := true;
+             Atomic.set stop_flag true
+           | _ -> ());
+          (match report with
+           | Some f when !prefix mod report_every = 0 && not !target_met ->
+             f ~trials:!trials v
+           | _ -> ())
+      done
+    in
+    let worker_loop _w =
+      let accumulate = worker () in
+      let continue = ref true in
+      while !continue do
+        if Atomic.get stop_flag then continue := false
+        else begin
+          match match budget with None -> None | Some b -> Budget.check b with
+          | Some c ->
+            Mutex.lock mutex;
+            if !cause = None then cause := Some c;
+            Mutex.unlock mutex;
+            Atomic.set stop_flag true;
+            continue := false
+          | None ->
+            let id = Atomic.fetch_and_add next 1 in
+            if id >= n_chunks then continue := false
+            else begin
+              let acc = run_chunk accumulate id in
+              Mutex.lock mutex;
+              results.(id) <- Some acc;
+              (match budget with Some b -> Budget.spend b 1 | None -> ());
+              advance_prefix_locked ();
+              Mutex.unlock mutex
+            end
+        end
+      done
+    in
+    fan_out ~workers worker_loop;
+    finish ~value:!value ~trials:!trials ~chunks:!prefix ~target_met:!target_met ~cause:!cause
+  end
+
+let count_streaming ?jobs ?chunk ?budget ?target_width ?(z = 1.96) ?report ?report_every
+    ~max_trials ~worker rng =
+  (match target_width with
+   | Some w when not (w > 0.0) ->
+     invalid_arg "Par.count_streaming: target_width must be positive"
+   | _ -> ());
+  let stop =
+    Option.map
+      (fun w ~trials successes ->
+        let ci = Stats.wilson_ci ~successes ~trials ~z in
+        ci.Stats.hi -. ci.Stats.lo <= w)
+      target_width
+  in
+  let report = Option.map (fun f ~trials successes -> f ~trials ~successes) report in
+  run_streaming ?jobs ?chunk ?budget ?stop ?report ?report_every ~max_trials
+    ~init:(fun () -> 0)
+    ~worker:(fun () ->
+      let f = worker () in
+      fun acc r -> if f r then acc + 1 else acc)
+    ~merge:( + ) rng
+
 (* -- ungoverned entry points (the hot paths) ---------------------------- *)
 
 let run ?jobs ?(chunk = default_chunk) ~trials ~init ~accumulate ~merge rng =

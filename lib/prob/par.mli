@@ -80,6 +80,93 @@ val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List counterpart of {!map_array}. *)
 
+(** {1 Streaming execution with adaptive stopping}
+
+    [run_streaming] is {!run} restructured for the hot paths: the per-trial
+    function is built once per worker domain ([worker ()] allocates whatever
+    preallocated scratch the trial closure reuses, so the steady-state inner
+    loop allocates nothing), and the chunk accumulators are folded
+    {e incrementally} in schedule order, which lets the engine (a) stop at a
+    chunk boundary once a predicate over the running accumulator holds,
+    (b) report running results every few chunks, and (c) honor a {!Budget}.
+
+    The schedule and the fold are identical to {!run} — one [bits64] draw
+    keys the chunk substreams, merge is the left fold in chunk-index order —
+    so a run without [stop]/[budget] returns a value bit-identical to {!run}
+    with the same seed and chunk size, at any [jobs].
+
+    Sequential-stopping determinism: [stop] is evaluated on the merged
+    schedule-order {e prefix} each time the prefix extends, so the stopping
+    chunk is the least [k] such that the predicate holds over chunks
+    [0..k] — a pure function of (seed, schedule, predicate). Workers racing
+    past the stopping point (or past a hole when the budget trips) have
+    their chunks discarded, never merged: the stopping trial count and the
+    returned value are jobs-invariant. On budget exhaustion the result is
+    the merged contiguous prefix — a typed partial, like
+    {!run_governed}. *)
+
+type 'a streamed = {
+  value : 'a;
+      (** merged accumulator over the schedule-order prefix of completed
+          chunks: all of them when the run finished, the prefix at the
+          stopping point or at budget exhaustion otherwise *)
+  trials_done : int;  (** trials covered by [value] *)
+  chunks_done : int;  (** chunks merged into [value] *)
+  target_met : bool;  (** the [stop] predicate ended the run *)
+  exhausted : Budget.exhaustion option;
+      (** [Some _] iff the budget tripped before completion/stop *)
+}
+
+val default_report_every : int
+(** Report every 16 merged chunks (when [~report] is given). *)
+
+val run_streaming :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?budget:Budget.t ->
+  ?stop:(trials:int -> 'acc -> bool) ->
+  ?report:(trials:int -> 'acc -> unit) ->
+  ?report_every:int ->
+  max_trials:int ->
+  init:(unit -> 'acc) ->
+  worker:(unit -> 'acc -> Rng.t -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  Rng.t ->
+  'acc streamed
+(** [run_streaming ~max_trials ~init ~worker ~merge rng] folds up to
+    [max_trials] trials. [worker ()] runs once per worker domain and
+    returns the per-trial accumulate function — allocate reusable scratch
+    there, not per trial. [init] creates one accumulator per chunk (as in
+    {!run}); [stop ~trials acc] is checked at chunk boundaries on the
+    merged prefix; [report] is called every [report_every] merged chunks
+    (under the scheduler lock when [jobs > 1] — keep it fast, and don't
+    re-enter the engine from it). [budget] is checked before every chunk
+    claim and charged one work unit per completed chunk.
+
+    Advances the caller's [rng] by exactly one [bits64] draw. Raises
+    [Invalid_argument] on nonpositive [max_trials]/[chunk]/
+    [report_every]. *)
+
+val count_streaming :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?budget:Budget.t ->
+  ?target_width:float ->
+  ?z:float ->
+  ?report:(trials:int -> successes:int -> unit) ->
+  ?report_every:int ->
+  max_trials:int ->
+  worker:(unit -> Rng.t -> bool) ->
+  Rng.t ->
+  int streamed
+(** Streaming {!count} with Wilson-interval adaptive stopping: when
+    [target_width] is given, the run stops at the first chunk boundary
+    where the [z]-score (default 1.96, 95%) Wilson interval for the success
+    probability has width [<= target_width]; otherwise it runs the full
+    [max_trials]. [target_met] tells which. A run without
+    [target_width]/[budget] equals {!count} exactly. Raises
+    [Invalid_argument] on nonpositive [target_width]. *)
+
 (** {1 Resource-governed execution}
 
     [run_governed] is {!run} under governance: a cooperative {!Budget}

@@ -46,6 +46,21 @@ val bool : t -> bool
 val bernoulli : t -> float -> bool
 (** [bernoulli t p] is [true] with probability [p]. *)
 
+val scale_probability : float -> int
+(** [scale_probability p] is the integer threshold [ceil (p * 2^53)] such
+    that {!bernoulli_scaled}[ t (scale_probability p)] draws the same word
+    and returns the same verdict as {!bernoulli}[ t p] — exactly, not up to
+    rounding (both comparisons scale by a power of two, which is exact).
+    Precompute it once per probability so the hot loop passes an immediate
+    int instead of boxing a float argument per draw. [p = 0] maps to
+    threshold [0] (never true) and [p > 0] to a positive threshold, so
+    [scale_probability p > 0] iff [p > 0.0]. Raises [Invalid_argument]
+    outside [0, 1]. *)
+
+val bernoulli_scaled : t -> int -> bool
+(** [bernoulli_scaled t threshold] is {!bernoulli} with the probability
+    pre-scaled by {!scale_probability}. Allocation-free. *)
+
 val geometric_half : t -> int
 (** [geometric_half t] samples the paper's shift distribution:
     [Pr[k] = 2^-(k+1)] for [k >= 0], i.e. the number of heads before the

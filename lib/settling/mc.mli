@@ -33,6 +33,36 @@ val probability_b :
 (** [probability_b ~trials ~gamma model rng] is the point estimate of
     Pr[B_gamma] with its 95% Wilson interval. [jobs] as in {!estimate}. *)
 
+val probability_b_adaptive :
+  ?p:float -> ?m:int -> ?jobs:int -> ?chunk:int ->
+  ?budget:Memrel_prob.Budget.t ->
+  ?report:(trials:int -> successes:int -> unit) -> ?report_every:int ->
+  target_width:float -> max_trials:int -> gamma:int ->
+  Memrel_memmodel.Model.t -> Memrel_prob.Rng.t ->
+  (float * Memrel_prob.Stats.interval) Memrel_prob.Par.streamed
+(** Adaptive {!probability_b}: runs until the 95% Wilson interval for
+    Pr[B_gamma] has width [<= target_width] (checked at chunk boundaries on
+    the schedule-order prefix — the stopping trial count is deterministic
+    per (seed, schedule) and jobs-invariant), up to [max_trials]. Composes
+    with [budget] (typed partial with an honestly widened interval, vacuous
+    [[0, 1]] when nothing completed) and [report] (running estimate every
+    [report_every] chunks). See {!Memrel_prob.Par.count_streaming}. *)
+
+(** The pre-streaming per-trial closure path (fresh program/permutation
+    structures every trial), kept as the differential-test and benchmark
+    baseline: the streaming estimators reproduce these results
+    bit-for-bit. *)
+module Reference : sig
+  val estimate :
+    ?p:float -> ?m:int -> ?jobs:int -> trials:int ->
+    Memrel_memmodel.Model.t -> Memrel_prob.Rng.t -> estimate
+
+  val probability_b :
+    ?p:float -> ?m:int -> ?jobs:int -> trials:int -> gamma:int ->
+    Memrel_memmodel.Model.t -> Memrel_prob.Rng.t ->
+    float * Memrel_prob.Stats.interval
+end
+
 val estimate_governed :
   ?p:float -> ?m:int -> ?jobs:int ->
   ?budget:Memrel_prob.Budget.t ->

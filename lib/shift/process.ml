@@ -1,4 +1,5 @@
 module Rng = Memrel_prob.Rng
+module Par = Memrel_prob.Par
 module Stats = Memrel_prob.Stats
 
 type sample = { shifts : int array; disjoint : bool }
@@ -15,45 +16,133 @@ let disjoint ~shifts ~gammas =
   done;
   !ok
 
+(* Zero-allocation disjointness on caller-owned buffers: insertion sort of
+   [idx] keyed by shift (n is small; no closure, no fresh index array), then
+   the same adjacent-pair check as [disjoint]. Equal shifts always overlap
+   — the verdict does not depend on how a sort orders ties — so this agrees
+   with [disjoint] exactly, whatever either sort does with ties. *)
+let disjoint_scratch ~shifts ~idx ~gammas =
+  let n = Array.length gammas in
+  for i = 0 to n - 1 do
+    Array.unsafe_set idx i i
+  done;
+  for i = 1 to n - 1 do
+    let key = Array.unsafe_get idx i in
+    let ks = Array.unsafe_get shifts key in
+    let j = ref (i - 1) in
+    while !j >= 0 && Array.unsafe_get shifts (Array.unsafe_get idx !j) > ks do
+      Array.unsafe_set idx (!j + 1) (Array.unsafe_get idx !j);
+      decr j
+    done;
+    Array.unsafe_set idx (!j + 1) key
+  done;
+  let ok = ref true in
+  for j = 0 to n - 2 do
+    let prev = Array.unsafe_get idx j and next = Array.unsafe_get idx (j + 1) in
+    if
+      Array.unsafe_get shifts next
+      < Array.unsafe_get shifts prev + Array.unsafe_get gammas prev + 1
+    then ok := false
+  done;
+  !ok
+
+let check_gammas name gammas =
+  Array.iter (fun g -> if g < 0 then invalid_arg (name ^ ": negative segment length")) gammas
+
 let sample rng gammas =
-  Array.iter (fun g -> if g < 0 then invalid_arg "Process.sample: negative segment length") gammas;
+  check_gammas "Process.sample" gammas;
   let shifts = Array.map (fun _ -> Rng.geometric_half rng) gammas in
   { shifts; disjoint = disjoint ~shifts ~gammas }
 
 let sample_geom ~q rng gammas =
   if not (q > 0.0 && q < 1.0) then invalid_arg "Process.sample_geom: q must be in (0,1)";
-  Array.iter (fun g -> if g < 0 then invalid_arg "Process.sample_geom: negative segment length") gammas;
+  check_gammas "Process.sample_geom" gammas;
   (* geometric(q) failures-before-success with success probability 1 - q *)
   let shifts = Array.map (fun _ -> Rng.geometric rng (1.0 -. q)) gammas in
   { shifts; disjoint = disjoint ~shifts ~gammas }
 
-let estimate_geom ?jobs ~q ~trials rng gammas =
-  if trials <= 0 then invalid_arg "Process.estimate_geom: trials must be positive";
-  let successes =
-    Memrel_prob.Par.count ?jobs ~trials (fun r -> (sample_geom ~q r gammas).disjoint) rng
+(* streaming workers: scratch allocated once per worker domain, then each
+   trial draws the shifts in index order (the same sequence as [sample]'s
+   [Array.map]) and checks disjointness in place *)
+let worker_half gammas () =
+  let n = Array.length gammas in
+  let shifts = Array.make n 0 and idx = Array.make n 0 in
+  fun r ->
+    for i = 0 to n - 1 do
+      Array.unsafe_set shifts i (Rng.geometric_half r)
+    done;
+    disjoint_scratch ~shifts ~idx ~gammas
+
+let worker_geom ~q gammas () =
+  let n = Array.length gammas in
+  let p = 1.0 -. q in
+  let shifts = Array.make n 0 and idx = Array.make n 0 in
+  fun r ->
+    for i = 0 to n - 1 do
+      Array.unsafe_set shifts i (Rng.geometric r p)
+    done;
+    disjoint_scratch ~shifts ~idx ~gammas
+
+let bernoulli_of_streamed (s : int Par.streamed) =
+  let successes = s.Par.value and trials = s.Par.trials_done in
+  let value =
+    if trials = 0 then (Float.nan, { Stats.lo = 0.0; hi = 1.0 })
+    else (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
   in
-  (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
+  { s with Par.value }
 
 let estimate ?jobs ~trials rng gammas =
   if trials <= 0 then invalid_arg "Process.estimate: trials must be positive";
-  let successes =
-    Memrel_prob.Par.count ?jobs ~trials (fun r -> (sample r gammas).disjoint) rng
+  check_gammas "Process.estimate" gammas;
+  let s = Par.count_streaming ?jobs ~max_trials:trials ~worker:(worker_half gammas) rng in
+  (bernoulli_of_streamed s).Par.value
+
+let estimate_geom ?jobs ~q ~trials rng gammas =
+  if trials <= 0 then invalid_arg "Process.estimate_geom: trials must be positive";
+  if not (q > 0.0 && q < 1.0) then invalid_arg "Process.sample_geom: q must be in (0,1)";
+  check_gammas "Process.estimate_geom" gammas;
+  let s = Par.count_streaming ?jobs ~max_trials:trials ~worker:(worker_geom ~q gammas) rng in
+  (bernoulli_of_streamed s).Par.value
+
+let estimate_adaptive ?jobs ?chunk ?budget ?report ?report_every ~target_width ~max_trials rng
+    gammas =
+  if max_trials <= 0 then invalid_arg "Process.estimate_adaptive: max_trials must be positive";
+  check_gammas "Process.estimate_adaptive" gammas;
+  let s =
+    Par.count_streaming ?jobs ?chunk ?budget ~target_width ?report ?report_every ~max_trials
+      ~worker:(worker_half gammas) rng
   in
-  (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
+  bernoulli_of_streamed s
+
+(* -- closure-based reference path --------------------------------------- *)
+
+(* The pre-streaming estimators (fresh shift/index arrays per trial), kept
+   for differential tests and benchmarks. *)
+module Reference = struct
+  let estimate ?jobs ~trials rng gammas =
+    if trials <= 0 then invalid_arg "Process.estimate: trials must be positive";
+    let successes = Par.count ?jobs ~trials (fun r -> (sample r gammas).disjoint) rng in
+    (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
+
+  let estimate_geom ?jobs ~q ~trials rng gammas =
+    if trials <= 0 then invalid_arg "Process.estimate_geom: trials must be positive";
+    let successes = Par.count ?jobs ~trials (fun r -> (sample_geom ~q r gammas).disjoint) rng in
+    (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
+end
 
 let estimate_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries ?fault
     ~trials rng gammas =
   if trials <= 0 then invalid_arg "Process.estimate: trials must be positive";
   let g =
-    Memrel_prob.Par.count_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume
-      ?max_retries ?fault ~trials
+    Par.count_governed ?jobs ?budget ?checkpoint ?checkpoint_every ?resume ?max_retries ?fault
+      ~trials
       (fun r -> (sample r gammas).disjoint)
       rng
   in
-  let successes = g.Memrel_prob.Par.value in
-  let trials = g.Memrel_prob.Par.run_stats.Memrel_prob.Par.trials_done in
+  let successes = g.Par.value in
+  let trials = g.Par.run_stats.Par.trials_done in
   let value =
     if trials = 0 then (Float.nan, { Stats.lo = 0.0; hi = 1.0 })
     else (Stats.binomial_point ~successes ~trials, Stats.wilson_ci ~successes ~trials ~z:1.96)
   in
-  { g with Memrel_prob.Par.value }
+  { g with Par.value }

@@ -21,6 +21,13 @@ val disjoint : shifts:int array -> gammas:int array -> bool
     sorted by shift, every consecutive pair must satisfy
     [s_next >= s_prev + gamma_prev + 1]. Equal shifts always overlap. *)
 
+val disjoint_scratch : shifts:int array -> idx:int array -> gammas:int array -> bool
+(** {!disjoint} on caller-owned buffers — the zero-allocation form used by
+    the streaming estimators (and the joined model's): [idx] is scratch of
+    the same length as [gammas], overwritten on every call. Agrees with
+    {!disjoint} on every input (ties between equal shifts cannot affect the
+    verdict, so the sort order of ties is immaterial). *)
+
 val estimate :
   ?jobs:int -> trials:int -> Memrel_prob.Rng.t -> int array ->
   float * Memrel_prob.Stats.interval
@@ -42,6 +49,34 @@ val estimate_governed :
     over [run_stats.trials_done] with an honestly widened Wilson interval
     (vacuous [[0, 1]] when nothing completed); a complete run is
     bit-identical to {!estimate}. *)
+
+val estimate_adaptive :
+  ?jobs:int -> ?chunk:int ->
+  ?budget:Memrel_prob.Budget.t ->
+  ?report:(trials:int -> successes:int -> unit) -> ?report_every:int ->
+  target_width:float -> max_trials:int ->
+  Memrel_prob.Rng.t -> int array ->
+  (float * Memrel_prob.Stats.interval) Memrel_prob.Par.streamed
+(** Adaptive {!estimate}: runs until the 95% Wilson interval has width
+    [<= target_width] (checked at chunk boundaries on the schedule-order
+    prefix — the stopping trial count is deterministic per (seed, schedule)
+    and jobs-invariant), up to [max_trials]. Composes with [budget] (typed
+    partial, honestly widened interval) and [report] (running estimate
+    every [report_every] chunks). See
+    {!Memrel_prob.Par.count_streaming}. *)
+
+(** The pre-streaming per-trial closure path (fresh shift/index arrays per
+    trial), kept as the differential-test and benchmark baseline: the
+    streaming estimators reproduce these results bit-for-bit. *)
+module Reference : sig
+  val estimate :
+    ?jobs:int -> trials:int -> Memrel_prob.Rng.t -> int array ->
+    float * Memrel_prob.Stats.interval
+
+  val estimate_geom :
+    ?jobs:int -> q:float -> trials:int -> Memrel_prob.Rng.t -> int array ->
+    float * Memrel_prob.Stats.interval
+end
 
 val sample_geom : q:float -> Memrel_prob.Rng.t -> int array -> sample
 (** Like {!sample} but with geometric(q) shifts — pmf [(1-q) q^k] — the

@@ -110,6 +110,64 @@ let test_guards () =
   Alcotest.check_raises "trials=0" (Invalid_argument "Joint.estimate: trials must be positive")
     (fun () -> ignore (J.estimate ~trials:0 Model.sc ~n:2 rng))
 
+(* -- streaming path vs reference closures -------------------------------- *)
+
+module Par = Memrel_prob.Par
+
+let test_streaming_equals_reference () =
+  (* the fused per-trial worker (scratch settle + in-place shift check)
+     replays [sample]'s draw sequence exactly, under both conventions *)
+  List.iter
+    (fun convention ->
+      let s =
+        J.estimate ~convention ~jobs:1 ~trials:20_000 (Model.tso ()) ~n:3 (Rng.create 501)
+      in
+      let r =
+        J.Reference.estimate ~convention ~jobs:1 ~trials:20_000 (Model.tso ()) ~n:3
+          (Rng.create 501)
+      in
+      Alcotest.(check bool) "estimate identical" true (s = r))
+    [ `Paper; `Strict ]
+
+let test_semi_analytic_equals_reference () =
+  let s = J.semi_analytic ~jobs:1 ~trials:20_000 (Model.wo ()) ~n:4 (Rng.create 503) in
+  let r = J.Reference.semi_analytic ~jobs:1 ~trials:20_000 (Model.wo ()) ~n:4 (Rng.create 503) in
+  Alcotest.(check bool) "bitwise identical" true
+    (Int64.equal (Int64.bits_of_float s) (Int64.bits_of_float r))
+
+let test_estimate_amortized_alloc () =
+  (* end-to-end allocation guard: with per-worker scratch the whole
+     estimator amortizes to (well) under two minor words per trial — the
+     leftovers are per-chunk engine bookkeeping, not per-trial garbage *)
+  let run () = ignore (J.estimate ~jobs:1 ~trials:30_000 (Model.tso ()) ~n:3 (Rng.create 505)) in
+  run ();
+  let before = Gc.minor_words () in
+  run ();
+  let words = (Gc.minor_words () -. before) /. 30_000.0 in
+  Alcotest.(check bool) (Printf.sprintf "%.3f words/trial < 2.0" words) true (words < 2.0)
+
+let test_adaptive () =
+  let run jobs =
+    J.estimate_adaptive ~jobs ~target_width:0.02 ~max_trials:1_000_000 Model.sc ~n:2
+      (Rng.create 507)
+  in
+  let s1 = run 1 in
+  Alcotest.(check bool) "target met" true s1.Par.target_met;
+  Alcotest.(check bool) "stopped early" true (s1.Par.trials_done < 1_000_000);
+  let e = s1.Par.value in
+  Alcotest.(check bool)
+    (Printf.sprintf "width %f <= 0.02" (e.J.ci.hi -. e.J.ci.lo))
+    true
+    (e.J.ci.hi -. e.J.ci.lo <= 0.02);
+  Alcotest.(check bool) "1/6 within the interval" true
+    (e.J.ci.lo <= 1.0 /. 6.0 && 1.0 /. 6.0 <= e.J.ci.hi);
+  let s4 = run 4 in
+  Alcotest.(check int) "same stopping point" s1.Par.trials_done s4.Par.trials_done;
+  Alcotest.(check bool) "same point bitwise" true
+    (Int64.equal
+       (Int64.bits_of_float s1.Par.value.J.pr_no_bug)
+       (Int64.bits_of_float s4.Par.value.J.pr_no_bug))
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -127,4 +185,8 @@ let suite =
       ("deterministic sampling", test_sample_determinism);
       ("jobs:1 = jobs:4 bit-identical", test_jobs_invariance);
       ("guards", test_guards);
+      ("streaming = Reference (bitwise, both conventions)", test_streaming_equals_reference);
+      ("semi-analytic streaming = Reference (bitwise)", test_semi_analytic_equals_reference);
+      ("estimate amortized allocation bound", test_estimate_amortized_alloc);
+      ("adaptive reaches width, jobs-invariant", test_adaptive);
     ]

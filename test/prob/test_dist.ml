@@ -43,6 +43,49 @@ let test_categorical () =
     (Invalid_argument "Dist.sample_categorical: weights must have positive sum") (fun () ->
       ignore (D.sample_categorical rng [| 0.0; 0.0 |]))
 
+let test_categorical_table_matches_scan () =
+  (* the precomputed cumulative table draws the same index as the linear
+     scan from the same generator state, draw for draw — including
+     zero-weight entries at the ends and in the middle *)
+  List.iter
+    (fun w ->
+      let table = D.categorical w in
+      let a = Rng.create 13 and b = Rng.create 13 in
+      for i = 1 to 4_000 do
+        let want = D.sample_categorical a w and got = D.sample_categorical_table table b in
+        Alcotest.(check int) (Printf.sprintf "draw %d" i) want got
+      done)
+    [
+      [| 1.0 |];
+      [| 1.0; 0.0; 3.0 |];
+      [| 0.0; 0.0; 2.0; 5.0; 0.5 |];
+      [| 0.25; 0.25; 0.25; 0.25 |];
+      [| 1e-12; 1.0; 1e12 |];
+      Array.init 64 (fun i -> float_of_int (i + 1));
+    ]
+
+let test_categorical_table_distribution () =
+  let table = D.categorical [| 1.0; 0.0; 3.0 |] in
+  let rng = Rng.create 31 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 40_000 do
+    let i = D.sample_categorical_table table rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never drawn" 0 counts.(1);
+  Alcotest.(check (float 0.02)) "ratio 1:3" 0.25 (float_of_int counts.(0) /. 40_000.0)
+
+let test_categorical_validation () =
+  let check_invalid name w =
+    match D.categorical w with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  check_invalid "empty" [||];
+  check_invalid "negative weight" [| 1.0; -0.5 |];
+  check_invalid "all zero" [| 0.0; 0.0 |];
+  check_invalid "nan weight" [| 1.0; Float.nan |]
+
 let test_pmf_ops () =
   let pmf = [ (0, Q.of_ints 1 3); (1, Q.of_ints 1 3); (0, Q.of_ints 1 3) ] in
   let merged = D.pmf_merge pmf in
@@ -88,6 +131,9 @@ let suite =
       ("survival function", test_survival);
       ("general geometric pmf", test_geometric_pmf_general);
       ("categorical sampling", test_categorical);
+      ("categorical table = scan (draw-for-draw)", test_categorical_table_matches_scan);
+      ("categorical table distribution", test_categorical_table_distribution);
+      ("categorical table validation", test_categorical_validation);
       ("pmf merge/expect", test_pmf_ops);
       ("pmf normalize", test_pmf_normalize);
     ]

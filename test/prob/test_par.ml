@@ -444,6 +444,152 @@ let test_fault_with_checkpoint_resume () =
   Alcotest.(check bool) "resumed = plain run (bitwise)" true
     (Int64.equal (bits resumed.Par.value) (bits reference))
 
+(* -- streaming engine / adaptive stopping ------------------------------- *)
+
+module Stats = Memrel_prob.Stats
+
+(* the same order-sensitive float sum, through the streaming engine *)
+let float_sum_streaming ?jobs ?chunk ~max_trials seed =
+  let s =
+    Par.run_streaming ?jobs ?chunk ~max_trials
+      ~init:(fun () -> 0.0)
+      ~worker:(fun () acc r -> acc +. Rng.float r)
+      ~merge:( +. ) (Rng.create seed)
+  in
+  s.Par.value
+
+(* a Bernoulli(0.3) worker for the counting paths *)
+let coin () r = Rng.float r < 0.3
+
+let test_streaming_equals_run () =
+  (* without stop/budget the streaming engine is [run]/[count] exactly:
+     same schedule, same merge order, bit-identical result *)
+  List.iter
+    (fun (trials, chunk) ->
+      let reference = float_sum ~jobs:1 ~chunk ~trials 42 in
+      List.iter
+        (fun jobs ->
+          let v = float_sum_streaming ~jobs ~chunk ~max_trials:trials 42 in
+          Alcotest.(check bool)
+            (Printf.sprintf "trials=%d chunk=%d jobs=%d" trials chunk jobs)
+            true
+            (Int64.equal (bits v) (bits reference)))
+        [ 1; 2; 4 ])
+    [ (10_000, 256); (1000, 999); (5, 2); (100, 4096) ];
+  let c_ref = Par.count ~jobs:1 ~trials:30_000 (fun r -> coin () r) (Rng.create 9) in
+  let c = Par.count_streaming ~jobs:1 ~max_trials:30_000 ~worker:coin (Rng.create 9) in
+  Alcotest.(check int) "count_streaming = count" c_ref c.Par.value;
+  Alcotest.(check int) "all trials done" 30_000 c.Par.trials_done;
+  Alcotest.(check bool) "no stop requested" false c.Par.target_met;
+  Alcotest.(check bool) "no budget" true (c.Par.exhausted = None)
+
+let test_streaming_advances_caller_rng () =
+  (* like [run], the engine takes exactly one draw from the caller's rng *)
+  let a = Rng.create 5 in
+  ignore (Par.run_streaming ~jobs:2 ~max_trials:5000
+            ~init:(fun () -> 0)
+            ~worker:(fun () acc r -> acc + (Int64.to_int (Rng.bits64 r) land 1))
+            ~merge:( + ) a);
+  let b = Rng.create 5 in
+  ignore (Rng.bits64 b);
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "streams aligned" (Rng.bits64 b) (Rng.bits64 a)
+  done
+
+let adaptive ?jobs ?chunk ?budget ?report seed =
+  Par.count_streaming ?jobs ?chunk ?budget ?report ~target_width:0.02
+    ~max_trials:1_000_000 ~worker:coin (Rng.create seed)
+
+let test_adaptive_stops_within_width () =
+  let s = adaptive 11 in
+  Alcotest.(check bool) "target met" true s.Par.target_met;
+  Alcotest.(check bool) "stopped early" true (s.Par.trials_done < 1_000_000);
+  let ci =
+    Stats.wilson_ci ~successes:s.Par.value ~trials:s.Par.trials_done ~z:1.96
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "width %f <= 0.02" (ci.Stats.hi -. ci.Stats.lo))
+    true
+    (ci.Stats.hi -. ci.Stats.lo <= 0.02)
+
+let test_adaptive_deterministic_and_jobs_invariant () =
+  (* the stop predicate runs on the schedule-order prefix, so the stopping
+     trial count — not just the estimate — is reproducible and identical at
+     every jobs count (overrun chunks from racing workers are discarded) *)
+  let s1 = adaptive ~jobs:1 11 in
+  List.iter
+    (fun jobs ->
+      let s = adaptive ~jobs 11 in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d same stopping point" jobs)
+        s1.Par.trials_done s.Par.trials_done;
+      Alcotest.(check int) (Printf.sprintf "jobs=%d same count" jobs) s1.Par.value s.Par.value)
+    [ 1; 2; 4 ]
+
+let test_adaptive_max_trials_cap () =
+  (* an unreachable width runs to the cap and says the target was missed *)
+  let s =
+    Par.count_streaming ~jobs:1 ~target_width:0.0001 ~max_trials:20_000 ~worker:coin
+      (Rng.create 3)
+  in
+  Alcotest.(check bool) "target not met" false s.Par.target_met;
+  Alcotest.(check int) "ran to the cap" 20_000 s.Par.trials_done
+
+let test_streaming_budget_partial () =
+  (* a work cap of k chunks yields exactly the k-chunk schedule prefix: the
+     value equals an honest k*chunk-trial run with the same seed *)
+  let chunk = 512 in
+  let s =
+    Par.count_streaming ~jobs:1 ~chunk ~budget:(Budget.create ~max_work:4 ())
+      ~max_trials:100_000 ~worker:coin (Rng.create 21)
+  in
+  Alcotest.(check bool) "exhausted" true (s.Par.exhausted <> None);
+  Alcotest.(check int) "prefix trials" (4 * chunk) s.Par.trials_done;
+  Alcotest.(check int) "prefix chunks" 4 s.Par.chunks_done;
+  let reference = Par.count ~jobs:1 ~chunk ~trials:(4 * chunk) (fun r -> coin () r)
+      (Rng.create 21) in
+  Alcotest.(check int) "prefix value = honest short run" reference s.Par.value;
+  (* zero budget: nothing ran, and the record says so *)
+  let z =
+    Par.count_streaming ~jobs:1 ~budget:(Budget.create ~max_work:0 ())
+      ~max_trials:100_000 ~worker:coin (Rng.create 21)
+  in
+  Alcotest.(check int) "zero trials" 0 z.Par.trials_done;
+  Alcotest.(check bool) "zero exhausted" true (z.Par.exhausted <> None)
+
+let test_streaming_report () =
+  (* sequential path: reports fire every report_every merged chunks, with
+     monotone trial counts consistent with the running prefix *)
+  let calls = ref [] in
+  let chunk = 100 in
+  let s =
+    Par.count_streaming ~jobs:1 ~chunk ~report_every:2
+      ~report:(fun ~trials ~successes -> calls := (trials, successes) :: !calls)
+      ~max_trials:1_000 ~worker:coin (Rng.create 7)
+  in
+  let calls = List.rev !calls in
+  Alcotest.(check bool) "reported" true (List.length calls >= 4);
+  List.iteri
+    (fun i (trials, successes) ->
+      Alcotest.(check int) "every 2 chunks" ((i + 1) * 2 * chunk) trials;
+      Alcotest.(check bool) "successes sane" true (0 <= successes && successes <= trials))
+    calls;
+  ignore s
+
+let test_streaming_guards () =
+  let check_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  check_invalid "max_trials" (fun () ->
+      Par.count_streaming ~max_trials:0 ~worker:coin (Rng.create 1));
+  check_invalid "target_width" (fun () ->
+      Par.count_streaming ~target_width:0.0 ~max_trials:10 ~worker:coin (Rng.create 1));
+  check_invalid "report_every" (fun () ->
+      Par.count_streaming ~report_every:0 ~report:(fun ~trials:_ ~successes:_ -> ())
+        ~max_trials:10 ~worker:coin (Rng.create 1))
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -474,4 +620,12 @@ let suite =
       ("persistent wedge exhausts retries", test_wedge_exhausts_retries);
       ("transient user exception retried", test_user_exception_is_retried);
       ("faults + checkpoint + resume bit-identical", test_fault_with_checkpoint_resume);
+      ("streaming = run/count (bitwise)", test_streaming_equals_run);
+      ("streaming advances caller rng by one draw", test_streaming_advances_caller_rng);
+      ("adaptive stop reaches the target width", test_adaptive_stops_within_width);
+      ("adaptive stopping point jobs-invariant", test_adaptive_deterministic_and_jobs_invariant);
+      ("adaptive respects max_trials cap", test_adaptive_max_trials_cap);
+      ("streaming budget partial is the exact prefix", test_streaming_budget_partial);
+      ("streaming report cadence", test_streaming_report);
+      ("streaming guards", test_streaming_guards);
     ]

@@ -123,6 +123,32 @@ let test_bernoulli_rate () =
   done;
   Alcotest.(check (float 0.01)) "rate ~ 0.3" 0.3 (float_of_int !c /. float_of_int n)
 
+let test_bernoulli_scaled_equivalence () =
+  (* the integer-threshold draw must replicate [bernoulli]'s verdict on the
+     same generator state, bit-for-bit, across the probability range —
+     including the endpoints and subnormal-adjacent values *)
+  List.iter
+    (fun p ->
+      let threshold = Rng.scale_probability p in
+      let a = Rng.create 77 and b = Rng.create 77 in
+      for i = 1 to 2_000 do
+        let want = Rng.bernoulli a p and got = Rng.bernoulli_scaled b threshold in
+        Alcotest.(check bool) (Printf.sprintf "p=%h draw %d" p i) want got
+      done)
+    [ 0.0; 1e-300; 1e-9; 0.1; 0.25; 0.5; 2.0 /. 3.0; 0.75; 0.999999; 1.0 ]
+
+let test_scale_probability_edges () =
+  Alcotest.(check int) "p=0" 0 (Rng.scale_probability 0.0);
+  Alcotest.(check int) "p=1" (1 lsl 53) (Rng.scale_probability 1.0);
+  Alcotest.(check int) "p=0.5" (1 lsl 52) (Rng.scale_probability 0.5);
+  Alcotest.(check bool) "tiny p still positive" true (Rng.scale_probability 1e-300 > 0);
+  List.iter
+    (fun p ->
+      match Rng.scale_probability p with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "p=%h: expected Invalid_argument" p)
+    [ -0.1; 1.5; Float.nan; Float.infinity ]
+
 let test_shuffle_permutes () =
   let rng = Rng.create 29 in
   let a = Array.init 20 (fun i -> i) in
@@ -165,6 +191,8 @@ let suite =
       ("geometric_half pmf", test_geometric_half_distribution);
       ("geometric general", test_geometric_general);
       ("bernoulli rate", test_bernoulli_rate);
+      ("bernoulli_scaled = bernoulli (bitwise)", test_bernoulli_scaled_equivalence);
+      ("scale_probability edges", test_scale_probability_edges);
       ("shuffle permutes", test_shuffle_permutes);
       ("shuffle uniform", test_shuffle_uniform_pairs);
     ]

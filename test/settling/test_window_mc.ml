@@ -216,6 +216,99 @@ let test_governed_zero_trials_vacuous () =
   Alcotest.(check int) "empty estimate" 0 ge.Par.value.Mc.trials;
   Alcotest.(check bool) "nan mean" true (Float.is_nan ge.Par.value.Mc.mean_gamma)
 
+(* -- streaming kernel vs reference closures ------------------------------ *)
+
+module Scratch = Memrel_settling.Scratch
+
+let test_scratch_matches_sample_gamma () =
+  (* the fused scratch kernel replays the closure path's exact draw
+     sequence: same seed, same gamma on every consecutive trial *)
+  List.iter
+    (fun (name, model) ->
+      let scratch = Scratch.create ~m:64 model in
+      let a = Rng.create 301 and b = Rng.create 301 in
+      for i = 1 to 1_000 do
+        let want = Mc.sample_gamma model a and got = Scratch.sample_gamma scratch b in
+        Alcotest.(check int) (Printf.sprintf "%s trial %d" name i) want got
+      done)
+    [ ("SC", Model.sc); ("TSO", Model.tso ()); ("PSO", Model.pso ()); ("WO", Model.wo ()) ]
+
+let test_streaming_equals_reference () =
+  (* the streaming estimators are drop-in: bit-identical records to the
+     pre-streaming closure path on the same seed *)
+  let model = Model.tso () in
+  let s = Mc.estimate ~jobs:1 ~trials:20_000 model (Rng.create 303) in
+  let r = Mc.Reference.estimate ~jobs:1 ~trials:20_000 model (Rng.create 303) in
+  Alcotest.(check bool) "estimate identical" true (s = r);
+  let sp = Mc.probability_b ~jobs:1 ~trials:20_000 ~gamma:1 model (Rng.create 305) in
+  let rp = Mc.Reference.probability_b ~jobs:1 ~trials:20_000 ~gamma:1 model (Rng.create 305) in
+  Alcotest.(check bool) "probability_b identical" true (sp = rp)
+
+let test_scratch_zero_alloc () =
+  (* the zero-allocation guard: in steady state one full trial
+     (generate + settle + gamma) must not touch the minor heap at all *)
+  let scratch = Scratch.create ~m:64 (Model.tso ()) in
+  let rng = Rng.create 307 in
+  for _ = 1 to 1_000 do
+    ignore (Scratch.sample_gamma scratch rng)
+  done;
+  let trials = 10_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to trials do
+    ignore (Scratch.sample_gamma scratch rng)
+  done;
+  let words = (Gc.minor_words () -. before) /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.3f words/trial < 0.5" words)
+    true (words < 0.5)
+
+let test_adaptive_probability_b () =
+  let model = Model.tso () in
+  let run jobs =
+    Mc.probability_b_adaptive ~jobs ~target_width:0.01 ~max_trials:1_000_000 ~gamma:0 model
+      (Rng.create 5)
+  in
+  let s1 = run 1 in
+  Alcotest.(check bool) "target met" true s1.Par.target_met;
+  Alcotest.(check bool) "stopped early" true (s1.Par.trials_done < 1_000_000);
+  let _, ci = s1.Par.value in
+  Alcotest.(check bool)
+    (Printf.sprintf "width %f <= 0.01" (ci.hi -. ci.lo))
+    true
+    (ci.hi -. ci.lo <= 0.01);
+  (* stopping point and value are deterministic and jobs-invariant *)
+  let s4 = run 4 in
+  Alcotest.(check int) "same stopping point" s1.Par.trials_done s4.Par.trials_done;
+  let p1, _ = s1.Par.value and p4, _ = s4.Par.value in
+  Alcotest.(check bool) "same point bitwise" true
+    (Int64.equal (Int64.bits_of_float p1) (Int64.bits_of_float p4))
+
+let test_adaptive_budget_partial () =
+  let model = Model.tso () in
+  (* a work cap trips before the width is reached: typed partial over the
+     exact chunk prefix, interval honestly wider than the target *)
+  let s =
+    Mc.probability_b_adaptive ~jobs:1 ~chunk:512
+      ~budget:(Budget.create ~max_work:2 ())
+      ~target_width:0.0001 ~max_trials:1_000_000 ~gamma:0 model (Rng.create 15)
+  in
+  Alcotest.(check bool) "exhausted" true (s.Par.exhausted <> None);
+  Alcotest.(check bool) "target missed" false s.Par.target_met;
+  Alcotest.(check int) "prefix trials" 1024 s.Par.trials_done;
+  let _, ci = s.Par.value in
+  Alcotest.(check bool) "interval honestly wide" true (ci.hi -. ci.lo > 0.0001);
+  (* zero budget: vacuous [0,1] around a nan point *)
+  let z =
+    Mc.probability_b_adaptive ~jobs:1
+      ~budget:(Budget.create ~max_work:0 ())
+      ~target_width:0.01 ~max_trials:1_000 ~gamma:0 model (Rng.create 15)
+  in
+  let p, zci = z.Par.value in
+  Alcotest.(check int) "zero trials" 0 z.Par.trials_done;
+  Alcotest.(check bool) "nan point" true (Float.is_nan p);
+  Alcotest.(check (float 0.0)) "vacuous lo" 0.0 zci.lo;
+  Alcotest.(check (float 0.0)) "vacuous hi" 1.0 zci.hi
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -236,4 +329,9 @@ let suite =
       ("governed complete = estimate (bitwise)", test_governed_complete_equals_estimate);
       ("partial interval contains full estimate", test_governed_partial_interval_honest);
       ("zero-trial partial is vacuous", test_governed_zero_trials_vacuous);
+      ("scratch kernel = closure path (draw-for-draw)", test_scratch_matches_sample_gamma);
+      ("streaming = Reference (bitwise)", test_streaming_equals_reference);
+      ("scratch trial allocates nothing", test_scratch_zero_alloc);
+      ("adaptive probability_b reaches width, jobs-invariant", test_adaptive_probability_b);
+      ("adaptive budget partial honest", test_adaptive_budget_partial);
     ]

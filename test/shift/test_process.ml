@@ -111,6 +111,85 @@ let prop_growing_segments_never_create_disjointness =
             smaller ones *)
          (not (P.disjoint ~shifts:s ~gammas:g_bigger)) || P.disjoint ~shifts:s ~gammas:g))
 
+(* -- streaming path vs reference closures -------------------------------- *)
+
+module Par = Memrel_prob.Par
+module Budget = Memrel_prob.Budget
+
+let test_disjoint_scratch_matches () =
+  (* the zero-allocation insertion-sort check agrees with the reference
+     [disjoint] on random inputs, ties included *)
+  let rng = Rng.create 401 in
+  for _ = 1 to 5_000 do
+    let n = 2 + Rng.int rng 5 in
+    let shifts = Array.init n (fun _ -> Rng.int rng 8) in
+    let gammas = Array.init n (fun _ -> Rng.int rng 5) in
+    let idx = Array.make n 0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "shifts=[%s] gammas=[%s]"
+         (String.concat ";" (Array.to_list (Array.map string_of_int shifts)))
+         (String.concat ";" (Array.to_list (Array.map string_of_int gammas))))
+      (P.disjoint ~shifts ~gammas)
+      (P.disjoint_scratch ~shifts ~idx ~gammas)
+  done
+
+let test_streaming_equals_reference () =
+  let gammas = [| 2; 3; 1; 2 |] in
+  let s = P.estimate ~jobs:1 ~trials:50_000 (Rng.create 403) gammas in
+  let r = P.Reference.estimate ~jobs:1 ~trials:50_000 (Rng.create 403) gammas in
+  Alcotest.(check bool) "estimate identical" true (s = r);
+  let sg = P.estimate_geom ~jobs:1 ~q:0.3 ~trials:50_000 (Rng.create 405) gammas in
+  let rg = P.Reference.estimate_geom ~jobs:1 ~q:0.3 ~trials:50_000 (Rng.create 405) gammas in
+  Alcotest.(check bool) "estimate_geom identical" true (sg = rg)
+
+let test_inner_loop_zero_alloc () =
+  (* the streaming trial body — n geometric draws + in-place disjointness —
+     must not touch the minor heap in steady state *)
+  let gammas = [| 2; 3; 1; 2 |] in
+  let n = Array.length gammas in
+  let shifts = Array.make n 0 and idx = Array.make n 0 in
+  let rng = Rng.create 407 in
+  let trial () =
+    for i = 0 to n - 1 do
+      shifts.(i) <- Rng.geometric_half rng
+    done;
+    ignore (P.disjoint_scratch ~shifts ~idx ~gammas)
+  in
+  for _ = 1 to 1_000 do trial () done;
+  let trials = 20_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to trials do trial () done;
+  let words = (Gc.minor_words () -. before) /. float_of_int trials in
+  Alcotest.(check bool) (Printf.sprintf "%.3f words/trial < 0.5" words) true (words < 0.5)
+
+let test_adaptive () =
+  let gammas = [| 2; 3 |] in
+  let run jobs =
+    P.estimate_adaptive ~jobs ~target_width:0.02 ~max_trials:1_000_000 (Rng.create 409) gammas
+  in
+  let s1 = run 1 in
+  Alcotest.(check bool) "target met" true s1.Par.target_met;
+  Alcotest.(check bool) "stopped early" true (s1.Par.trials_done < 1_000_000);
+  let _, ci = s1.Par.value in
+  Alcotest.(check bool)
+    (Printf.sprintf "width %f <= 0.02" (ci.hi -. ci.lo))
+    true
+    (ci.hi -. ci.lo <= 0.02);
+  let s4 = run 4 in
+  Alcotest.(check int) "same stopping point" s1.Par.trials_done s4.Par.trials_done;
+  let p1, _ = s1.Par.value and p4, _ = s4.Par.value in
+  Alcotest.(check bool) "same point bitwise" true
+    (Int64.equal (Int64.bits_of_float p1) (Int64.bits_of_float p4));
+  (* budget partial: typed, exact prefix, honestly missed target *)
+  let b =
+    P.estimate_adaptive ~jobs:1 ~chunk:256
+      ~budget:(Budget.create ~max_work:3 ())
+      ~target_width:0.0001 ~max_trials:1_000_000 (Rng.create 409) gammas
+  in
+  Alcotest.(check bool) "exhausted" true (b.Par.exhausted <> None);
+  Alcotest.(check bool) "target missed" false b.Par.target_met;
+  Alcotest.(check int) "prefix trials" 768 b.Par.trials_done
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -125,5 +204,9 @@ let suite =
       ("estimate matches n=2 closed form", test_estimate_n2_closed_form);
       ("single segment", test_single_segment_always_disjoint);
       ("jobs:1 = jobs:4 bit-identical", test_jobs_invariance);
+      ("disjoint_scratch = disjoint (randomized)", test_disjoint_scratch_matches);
+      ("streaming = Reference (bitwise)", test_streaming_equals_reference);
+      ("inner loop allocates nothing", test_inner_loop_zero_alloc);
+      ("adaptive reaches width, jobs-invariant, budget partial", test_adaptive);
     ]
   @ [ prop_disjoint_permutation_invariant; prop_growing_segments_never_create_disjointness ]
