@@ -32,7 +32,9 @@ bench-enum:
 	dune exec bench/main.exe -- --json-enum BENCH_enum.json
 
 # full-scale candidate-generation bench (corpus + inc3..inc5 under all four
-# models, every row differentially validated); writes BENCH_axiom.json
+# models plus the inc6/inc7 SC frontier where only the solver concludes;
+# every row three-way validated: solver = generate = operational, candidate
+# counts included); writes BENCH_axiom.json
 bench-axiom:
 	dune exec bench/main.exe -- --json-axiom BENCH_axiom.json
 
@@ -51,6 +53,9 @@ ci:
 	dune build
 	dune runtest
 	dune exec bin/memrel_cli.exe -- axiom sb mp lb inc3 inc4
+	# solver-vs-generate differential smoke: both engines against the
+	# operational machine, per-outcome candidate counts cross-checked
+	dune exec bin/memrel_cli.exe -- axiom sb mp lb inc3 inc4 --engine both
 	# --json-mc-smoke asserts streaming = Reference in-process before timing
 	dune exec bench/main.exe -- --json-mc-smoke /tmp/BENCH_mc_smoke.json
 	dune exec bench/main.exe -- --json-enum-smoke BENCH_enum.json

@@ -822,19 +822,71 @@ let enum_json ~file ~smoke =
 
 (* -- axiomatic bench (--json-axiom) ------------------------------------ *)
 
-(* Measures the candidate-execution generator (lib/axiom) across the corpus
-   and the increment family under all four models: accepted candidates per
-   second and how much of the naive co x rf space the incremental cycle
-   checks prune, with the operational outcome set cross-checked on every
-   row. Writes BENCH_axiom.json; `make ci` runs the smoke form. *)
+(* Measures BOTH axiomatic engines (lib/axiom) across the corpus and the
+   increment family under all four models — the generate-and-prune
+   reference and the conflict-driven solver, three-way cross-checked
+   against the operational machine including per-outcome candidate counts.
+   The full form climbs the increment family to inc7, where the reference
+   engine exceeds a 60-second budget and only the solver (and the
+   POR-reduced operational enumerator) conclude — the candidate-space
+   reduction rows of DESIGN.md section 13. Naive-space columns are
+   reported in log10 (the seed's linear product overflowed around 171
+   same-location writes). Writes BENCH_axiom.json; `make ci` runs the
+   smoke form. *)
 
 type axiom_row = {
   atest : string;
   afamily : string;
   aoutcomes : int;
   aagree : bool;
-  astats : Axiom.stats;
+  agen : Axiom.stats;
+  agen_partial : bool;  (* generate hit its budget; its columns are a lower bound *)
+  asol : Axiom_solver.stats;
+  aop_states : int;
 }
+
+let axiom_three_way ?max_states ?por (t : Litmus.t) family =
+  let tw = Axiom_differential.three_way ?max_states ?por t family in
+  let r = tw.Axiom_differential.solver_report in
+  assert tw.Axiom_differential.agree;
+  {
+    atest = t.Litmus.name;
+    afamily = String.lowercase_ascii (Model.family_name family);
+    aoutcomes = List.length r.Axiom_differential.axiomatic;
+    aagree = tw.Axiom_differential.agree;
+    agen = tw.Axiom_differential.generate_stats;
+    agen_partial = false;
+    asol = tw.Axiom_differential.solver_stats;
+    aop_states = r.Axiom_differential.operational_states;
+  }
+
+(* inc7: ~25M allowed SC candidates. Generate-and-prune gets a 60 s
+   deadline and is expected to come back partial; the solver must finish,
+   and is cross-checked against the POR-reduced operational enumeration. *)
+let axiom_frontier_row () =
+  let t = Litmus.increment_n 7 in
+  let family = Model.Sequential_consistency in
+  let sr = Axiom_solver.run t family in
+  let solver_outcomes = List.map (fun (e : Axiom_solver.entry) -> e.Axiom_solver.outcome) sr.Axiom_solver.entries in
+  let budget = Budget.create ~deadline_s:60.0 () in
+  let gr = Axiom.run ~budget t family in
+  let opr = Litmus.run_exhaustive ~max_states:50_000_000 ~por:true t family in
+  let agree =
+    sr.Axiom_solver.stats.Axiom_solver.exhausted = None
+    && opr.Enumerate.exhausted = None
+    && solver_outcomes = Enumerate.outcome_set opr
+  in
+  assert agree;
+  {
+    atest = t.Litmus.name;
+    afamily = "sc";
+    aoutcomes = List.length solver_outcomes;
+    aagree = agree;
+    agen = gr.Axiom.stats;
+    agen_partial = gr.Axiom.stats.Axiom.exhausted <> None;
+    asol = sr.Axiom_solver.stats;
+    aop_states = opr.Enumerate.terminals;
+  }
 
 let axiom_rows ~smoke =
   let tests =
@@ -845,39 +897,51 @@ let axiom_rows ~smoke =
   in
   List.concat_map
     (fun (t : Litmus.t) ->
-      List.map
-        (fun family ->
-          let r = Axiom_differential.run t family in
-          assert r.Axiom_differential.agree;
-          {
-            atest = t.Litmus.name;
-            afamily = String.lowercase_ascii (Model.family_name family);
-            aoutcomes = List.length r.Axiom_differential.axiomatic;
-            aagree = r.Axiom_differential.agree;
-            astats = r.Axiom_differential.stats;
-          })
-        Axiom_differential.standard_families)
+      List.map (fun family -> axiom_three_way t family) Axiom_differential.standard_families)
     tests
+  @
+  if smoke then []
+  else
+    [ axiom_three_way (Litmus.increment_n 6) Model.Sequential_consistency;
+      axiom_frontier_row () ]
 
 let axiom_json ~file ~smoke =
   let rows = axiom_rows ~smoke in
-  let buf = Buffer.create 2048 in
+  let log10_reduction r =
+    if r.asol.Axiom_solver.accepted = 0 then 0.0
+    else
+      r.asol.Axiom_solver.log10_naive_space
+      -. log10 (float_of_int r.asol.Axiom_solver.accepted)
+  in
+  let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
   Buffer.add_string buf "  \"workloads\": [\n";
   List.iteri
     (fun i r ->
-      let s = r.astats in
+      let g = r.agen and s = r.asol in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"test\": %S, \"family\": %S, \"events\": %d, \"outcomes\": %d,\n\
-           \     \"candidates\": %d, \"co_branches\": %d, \"rf_branches\": %d, \
+           \     \"log10_naive_space\": %.2f, \"log10_reduction\": %.2f, \"agree\": %b,\n\
+           \     \"generate\": {\"candidates\": %d, \"co_branches\": %d, \"rf_branches\": %d, \
             \"pruned\": %d,\n\
-           \     \"naive_space\": %.0f, \"pruning_ratio\": %.4f,\n\
-           \     \"seconds\": %.6f, \"candidates_per_sec\": %.1f, \"agree\": %b}%s\n"
-           r.atest r.afamily s.Axiom.events r.aoutcomes s.Axiom.accepted s.Axiom.co_branches
-           s.Axiom.rf_branches s.Axiom.pruned s.Axiom.naive_space s.Axiom.pruning_ratio
-           s.Axiom.elapsed_s s.Axiom.candidates_per_sec r.aagree
+           \                  \"seconds\": %.6f, \"candidates_per_sec\": %.1f, \"partial\": \
+            %b},\n\
+           \     \"solver\": {\"candidates\": %d, \"decisions\": %d, \"propagations\": %d, \
+            \"conflicts\": %d,\n\
+           \                \"backjumps\": %d, \"forced\": %d, \"memo_hits\": %d, \
+            \"distinct_keys\": %d,\n\
+           \                \"seconds\": %.6f, \"candidates_per_sec\": %.1f},\n\
+           \     \"operational_states\": %d}%s\n"
+           r.atest r.afamily s.Axiom_solver.events r.aoutcomes
+           s.Axiom_solver.log10_naive_space (log10_reduction r) r.aagree g.Axiom.accepted
+           g.Axiom.co_branches g.Axiom.rf_branches g.Axiom.pruned g.Axiom.elapsed_s
+           g.Axiom.candidates_per_sec r.agen_partial s.Axiom_solver.accepted
+           s.Axiom_solver.decisions s.Axiom_solver.propagations s.Axiom_solver.conflicts
+           s.Axiom_solver.backjumps s.Axiom_solver.forced s.Axiom_solver.memo_hits
+           s.Axiom_solver.distinct_keys s.Axiom_solver.elapsed_s
+           s.Axiom_solver.candidates_per_sec r.aop_states
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -886,12 +950,14 @@ let axiom_json ~file ~smoke =
   close_out oc;
   List.iter
     (fun r ->
-      let s = r.astats in
+      let g = r.agen and s = r.asol in
       Printf.printf
-        "%-8s %-4s %2d events  %6d candidates (%d outcomes)  pruned %6d of naive %10.0f  \
-         %9.0f cand/s  %s\n"
-        r.atest r.afamily s.Axiom.events s.Axiom.accepted r.aoutcomes s.Axiom.pruned
-        s.Axiom.naive_space s.Axiom.candidates_per_sec
+        "%-8s %-4s %2d events  %8d candidates (%d outcomes)  naive 10^%-5.1f  generate \
+         %8.0f/s%s  solver %8.0f/s (bj %d, memo %d)  %s\n"
+        r.atest r.afamily s.Axiom_solver.events s.Axiom_solver.accepted r.aoutcomes
+        s.Axiom_solver.log10_naive_space g.Axiom.candidates_per_sec
+        (if r.agen_partial then " (PARTIAL)" else "")
+        s.Axiom_solver.candidates_per_sec s.Axiom_solver.backjumps s.Axiom_solver.memo_hits
         (if r.aagree then "agree" else "DISAGREE"))
     rows;
   Printf.printf "wrote %s\n" file

@@ -37,3 +37,16 @@ val instances :
 (** The acceptance condition of a discipline over the given program's
     events. A candidate execution is allowed iff every instance's relation
     (static edges plus selected com edges) is acyclic. *)
+
+val fence_edges :
+  Memrel_machine.Instr.t array list -> Event.t array -> (int * int) list
+(** Ordering edges contributed by Full/Release fences: per-thread event
+    slices only (the seed scanned the whole event array twice per fence —
+    O(fences * E^2)), emitting a transitively-irredundant subset whose
+    closure equals the full before x after product. Exposed with
+    {!fence_edges_reference} for the corpus-wide closure-equality test. *)
+
+val fence_edges_reference :
+  Memrel_machine.Instr.t array list -> Event.t array -> (int * int) list
+(** The seed's dense emission — the oracle: closure(fence_edges) must equal
+    closure(fence_edges_reference) on every program. *)

@@ -1,14 +1,31 @@
 (** Axiomatic-vs-operational differential validation.
 
     For a litmus test and a model family, compares the outcome set allowed
-    by the axioms ({!Generate.run}) with the outcome set reachable by the
-    operational machine ({!Memrel_machine.Litmus.run_exhaustive}). The two
-    semantics are implemented independently — event graphs with acyclicity
-    axioms on one side, an exhaustively explored transition system on the
-    other — so set equality on every corpus test under every model is
-    strong evidence both encode the same memory model. Disagreements carry
-    a rendered counterexample event graph when the axiomatic side has a
-    witness. *)
+    by the axioms with the outcome set reachable by the operational
+    machine ({!Memrel_machine.Litmus.run_exhaustive}). The axiomatic side
+    can run on either engine — the reference generate-and-prune
+    enumeration ({!Generate}) or the conflict-driven solver ({!Solver}) —
+    and {!three_way} runs both, additionally requiring their per-outcome
+    candidate counts to be identical: the engines claim to walk the same
+    decision tree, and the count equality is what holds them to it.
+    Disagreements carry a rendered counterexample event graph when the
+    axiomatic side has a witness. A budgeted run that comes back partial
+    {e refuses} the comparison (partial coverage is sound for "allowed",
+    never for "forbidden") instead of reporting false disagreements. *)
+
+type engine = Generate_engine | Solver_engine
+
+val engine_name : engine -> string
+(** ["generate"] / ["solver"] — the CLI's [--engine] vocabulary. *)
+
+(** The axiomatic run's statistics, tagged by which engine produced
+    them. *)
+type engine_stats = Generated of Generate.stats | Solved of Solver.stats
+
+val stats_accepted : engine_stats -> int
+val stats_elapsed : engine_stats -> float
+val stats_log10_naive_space : engine_stats -> float
+val stats_exhausted : engine_stats -> Memrel_prob.Budget.exhaustion option
 
 type disagreement = {
   outcome : Memrel_machine.Litmus.outcome;
@@ -24,11 +41,16 @@ type report = {
   test : string;
   family : Memrel_memmodel.Model.family;
   window : int;
+  engine : engine;
   axiomatic : Memrel_machine.Litmus.outcome list;
   operational : Memrel_machine.Litmus.outcome list;
-  agree : bool;  (** the two outcome sets are equal *)
+  agree : bool;  (** the two outcome sets are equal (always [false] when
+                     [partial] — an unfinished side proves nothing) *)
+  partial : bool;
+      (** some side exhausted its budget/state cap; the comparison was
+          refused and [disagreements] is empty *)
   disagreements : disagreement list;
-  stats : Generate.stats;
+  stats : engine_stats;
   operational_states : int;  (** distinct terminal states explored *)
 }
 
@@ -39,15 +61,37 @@ val run :
   ?window:int ->
   ?max_states:int ->
   ?por:bool ->
+  ?budget:Memrel_prob.Budget.t ->
+  ?engine:engine ->
   Memrel_machine.Litmus.t ->
   Memrel_memmodel.Model.family ->
   report
 (** One test under one model. [window] (default 8) is used on both sides;
-    [max_states] and [por] go to the operational enumerator. *)
+    [max_states] and [por] go to the operational enumerator; [budget] to
+    the axiomatic engine (default {!Generate_engine}). *)
 
 val run_corpus :
-  ?window:int -> ?max_states:int -> ?por:bool -> unit -> report list
+  ?window:int -> ?max_states:int -> ?por:bool -> ?engine:engine -> unit -> report list
 (** Every corpus test under every standard family. *)
+
+type three_way = {
+  solver_report : report;  (** solver vs operational *)
+  generate_stats : Generate.stats;
+  solver_stats : Solver.stats;
+  counts_agree : bool;
+      (** generate and solver produced identical (outcome, candidate
+          count) lists — leaf-set equality, not just outcome equality *)
+  agree : bool;  (** [solver_report.agree && counts_agree] *)
+}
+
+val three_way :
+  ?window:int ->
+  ?max_states:int ->
+  ?por:bool ->
+  Memrel_machine.Litmus.t ->
+  Memrel_memmodel.Model.family ->
+  three_way
+(** Solver = generate-and-prune = operational, in one verdict. *)
 
 val outcome_to_string : Memrel_machine.Litmus.outcome -> string
 

@@ -42,3 +42,30 @@ let locations events =
   let locs = ref [] in
   Array.iter (fun e -> if not (List.mem e.loc !locs) then locs := e.loc :: !locs) events;
   List.sort compare !locs
+
+(* |co permutations| x |rf assignments| in log space: the linear-space
+   product of float factorials overflows to infinity around 171 events at
+   one location, and a solver-scale event graph can get there. *)
+let log10_naive_space events =
+  let log10_factorial m =
+    let acc = ref 0.0 in
+    for k = 2 to m do
+      acc := !acc +. log10 (float_of_int k)
+    done;
+    !acc
+  in
+  let locs = locations events in
+  let writes_at loc =
+    Array.to_list events |> List.filter (fun e -> is_write e && e.loc = loc)
+  in
+  let co =
+    List.fold_left (fun acc loc -> acc +. log10_factorial (List.length (writes_at loc))) 0.0
+      locs
+  in
+  Array.fold_left
+    (fun acc e ->
+      if is_read e then
+        let others = List.length (List.filter (fun w -> w.id <> e.id) (writes_at e.loc)) in
+        acc +. log10 (float_of_int (1 + others))
+      else acc)
+    co events

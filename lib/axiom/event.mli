@@ -47,3 +47,10 @@ val of_programs : Memrel_machine.Instr.t array list -> t array
 
 val locations : t array -> int list
 (** Sorted distinct locations accessed. *)
+
+val log10_naive_space : t array -> float
+(** log10 of |co permutations| x |rf assignments| — the candidate space a
+    generate-then-filter enumeration would visit. Computed in log space:
+    the linear-space product of float factorials overflows to [infinity]
+    around 171 same-location writes, poisoning downstream ratios with
+    [nan]. *)

@@ -8,6 +8,7 @@ type stats = {
   co_branches : int;
   rf_branches : int;
   pruned : int;
+  log10_naive_space : float;
   naive_space : float;
   pruning_ratio : float;
   elapsed_s : float;
@@ -15,7 +16,12 @@ type stats = {
   exhausted : Memrel_prob.Budget.exhaustion option;
 }
 
-let rec factorial n = if n <= 1 then 1.0 else float_of_int n *. factorial (n - 1)
+(* the clamped linear-space convenience: exact for the sizes a human reads
+   off a report, saturating (never infinity/nan) beyond float range — the
+   seed multiplied float factorials, which overflows to infinity around 171
+   same-location writes and turns downstream ratios into nan *)
+let naive_space_of_log10 lg =
+  if lg > 308.0 then max_float else 10.0 ** lg
 
 let iter ?(window = 8) ?budget (t : Litmus.t) family f =
   let t0 = Unix.gettimeofday () in
@@ -47,16 +53,7 @@ let iter ?(window = 8) ?budget (t : Litmus.t) family f =
   let ids p = Array.to_list events |> List.filter p |> List.map (fun (e : Event.t) -> e.Event.id) in
   let writes_at loc = ids (fun e -> Event.is_write e && e.Event.loc = loc) in
   let reads = ids Event.is_read in
-  let naive_space =
-    List.fold_left (fun acc loc -> acc *. factorial (List.length (writes_at loc))) 1.0 locs
-    *. List.fold_left
-         (fun acc r ->
-           let others =
-             List.length (List.filter (fun w -> w <> r) (writes_at events.(r).Event.loc))
-           in
-           acc *. float_of_int (1 + others))
-         1.0 reads
-  in
+  let log10_naive_space = Event.log10_naive_space events in
   let push_all () = List.iter (fun (_, ord) -> Order.push ord) orders in
   let pop_all () = List.iter (fun (_, ord) -> Order.pop ord) orders in
   let internal u v = Event.same_thread events.(u) events.(v) in
@@ -171,7 +168,8 @@ let iter ?(window = 8) ?budget (t : Litmus.t) family f =
     co_branches = !co_branches;
     rf_branches = !rf_branches;
     pruned;
-    naive_space;
+    log10_naive_space;
+    naive_space = naive_space_of_log10 log10_naive_space;
     pruning_ratio =
       (if explored = 0 then 0.0 else float_of_int pruned /. float_of_int explored);
     elapsed_s;

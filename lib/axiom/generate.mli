@@ -18,9 +18,15 @@ type stats = {
   co_branches : int;  (** coherence-order extension attempts *)
   rf_branches : int;  (** reads-from assignment attempts *)
   pruned : int;  (** dynamic edge insertions rejected by a cycle check *)
+  log10_naive_space : float;
+      (** log10 of |co permutations| x |rf assignments| — the space a
+          generate-then-filter enumeration would visit, in log space so
+          solver-scale event graphs cannot overflow it
+          ({!Event.log10_naive_space}) *)
   naive_space : float;
-      (** |co permutations| x |rf assignments| — the space a
-          generate-then-filter enumeration would visit *)
+      (** linear-space convenience, [10 ** log10_naive_space] clamped to
+          [max_float] — never [infinity]/[nan] (the seed's float-factorial
+          product overflowed around 171 same-location writes) *)
   pruning_ratio : float;  (** pruned / (co_branches + rf_branches) *)
   elapsed_s : float;
   candidates_per_sec : float;  (** accepted / elapsed *)
@@ -33,6 +39,10 @@ type stats = {
           coverage is a subset of the allowed executions — sound for
           "allowed", never for "forbidden". *)
 }
+
+val naive_space_of_log10 : float -> float
+(** The clamp behind [stats.naive_space]: [10 ** lg], saturating at
+    [max_float]. Exposed for the overflow regression tests. *)
 
 val iter :
   ?window:int ->

@@ -1,21 +1,48 @@
+(* Reachability rows are multi-word bitsets (bit v of row u = "u reaches
+   v"), flattened into one int array, row-major. Backtracking is a trail of
+   per-word undo records: [add] saves each word it actually changes, [push]
+   opens a trail scope in O(1), [pop] rewinds exactly the touched words —
+   the seed implementation copied every row at every search node (see
+   {!Reference}, kept as the equivalence oracle). *)
+
+let bpw = Sys.int_size
+
+let max_vertices = 1024
+
+let words_for n = max 1 ((n + bpw - 1) / bpw)
+
+let check_vertices n =
+  if n < 0 || n > max_vertices then
+    invalid_arg
+      (Printf.sprintf "Order.create: %d vertices (at most %d supported)" n max_vertices)
+
 type t = {
   n : int;
-  mutable reach : int array;
-  mutable saved : int array list;
+  words : int;
+  reach : int array;
+  trail : Trail.t;
+  scratch : int array;
+  restore : int -> int -> unit;
   mutable additions : int;
   mutable rejections : int;
 }
 
-let max_vertices = Sys.int_size - 1
-
 let create n =
-  if n < 0 || n > max_vertices then
-    invalid_arg
-      (Printf.sprintf "Order.create: %d vertices (at most %d supported — one bit each)" n
-         max_vertices);
-  { n; reach = Array.make n 0; saved = []; additions = 0; rejections = 0 }
+  check_vertices n;
+  let words = words_for n in
+  let reach = Array.make (max 1 (n * words)) 0 in
+  {
+    n;
+    words;
+    reach;
+    trail = Trail.create ();
+    scratch = Array.make words 0;
+    restore = (fun slot old -> reach.(slot) <- old);
+    additions = 0;
+    rejections = 0;
+  }
 
-let reaches t u v = t.reach.(u) land (1 lsl v) <> 0
+let reaches t u v = t.reach.((u * t.words) + (v / bpw)) land (1 lsl (v mod bpw)) <> 0
 
 let add t u v =
   if u = v || reaches t v u then begin
@@ -25,25 +52,96 @@ let add t u v =
   else begin
     t.additions <- t.additions + 1;
     (* everything v reaches — and v itself — becomes reachable from u and
-       from every vertex that already reaches u. One O(n) sweep with word-
-       parallel bitmask unions: the closure stays exact after every edge. *)
-    let closure = t.reach.(v) lor (1 lsl v) in
-    let bit_u = 1 lsl u in
-    let reach = t.reach in
+       from every vertex that already reaches u. One sweep of word-parallel
+       unions; only words that actually change are trailed. *)
+    let words = t.words and reach = t.reach and scratch = t.scratch in
+    let base_v = v * words in
+    for k = 0 to words - 1 do
+      scratch.(k) <- reach.(base_v + k)
+    done;
+    scratch.(v / bpw) <- scratch.(v / bpw) lor (1 lsl (v mod bpw));
+    let uw = u / bpw and ub = 1 lsl (u mod bpw) in
     for w = 0 to t.n - 1 do
-      if w = u || reach.(w) land bit_u <> 0 then reach.(w) <- reach.(w) lor closure
+      let base = w * words in
+      if w = u || reach.(base + uw) land ub <> 0 then
+        for k = 0 to words - 1 do
+          let old = reach.(base + k) in
+          let upd = old lor scratch.(k) in
+          if upd <> old then begin
+            Trail.save t.trail (base + k) old;
+            reach.(base + k) <- upd
+          end
+        done
     done;
     true
   end
 
-let push t = t.saved <- Array.copy t.reach :: t.saved
+let push t = Trail.mark t.trail
 
 let pop t =
-  match t.saved with
-  | [] -> invalid_arg "Order.pop: no snapshot"
-  | r :: rest ->
-    t.reach <- r;
-    t.saved <- rest
+  try Trail.undo t.trail ~restore:t.restore
+  with Invalid_argument _ -> invalid_arg "Order.pop: no snapshot"
 
 let additions t = t.additions
 let rejections t = t.rejections
+let undo_records t = Trail.records t.trail
+
+(* The seed engine: same closure maintenance, but push copies the whole
+   reachability store and pop swaps it back — O(n * words) per search node
+   regardless of how little the node changed. Kept verbatim in spirit as
+   the oracle the trail implementation is randomized-tested against. *)
+module Reference = struct
+  type t = {
+    n : int;
+    words : int;
+    mutable reach : int array;
+    mutable saved : int array list;
+    mutable additions : int;
+    mutable rejections : int;
+  }
+
+  let create n =
+    check_vertices n;
+    let words = words_for n in
+    { n; words; reach = Array.make (max 1 (n * words)) 0; saved = []; additions = 0;
+      rejections = 0 }
+
+  let reaches t u v = t.reach.((u * t.words) + (v / bpw)) land (1 lsl (v mod bpw)) <> 0
+
+  let add t u v =
+    if u = v || reaches t v u then begin
+      t.rejections <- t.rejections + 1;
+      false
+    end
+    else begin
+      t.additions <- t.additions + 1;
+      let words = t.words and reach = t.reach in
+      let closure = Array.make words 0 in
+      let base_v = v * words in
+      for k = 0 to words - 1 do
+        closure.(k) <- reach.(base_v + k)
+      done;
+      closure.(v / bpw) <- closure.(v / bpw) lor (1 lsl (v mod bpw));
+      let uw = u / bpw and ub = 1 lsl (u mod bpw) in
+      for w = 0 to t.n - 1 do
+        let base = w * words in
+        if w = u || reach.(base + uw) land ub <> 0 then
+          for k = 0 to words - 1 do
+            reach.(base + k) <- reach.(base + k) lor closure.(k)
+          done
+      done;
+      true
+    end
+
+  let push t = t.saved <- Array.copy t.reach :: t.saved
+
+  let pop t =
+    match t.saved with
+    | [] -> invalid_arg "Order.Reference.pop: no snapshot"
+    | r :: rest ->
+      t.reach <- r;
+      t.saved <- rest
+
+  let additions t = t.additions
+  let rejections t = t.rejections
+end

@@ -1,18 +1,25 @@
 (** Incremental acyclicity maintenance over a fixed vertex set.
 
-    The candidate-execution generator commits rf/co choices one edge at a
+    The candidate-execution engines commit rf/co choices one edge at a
     time; each axiom is an acyclicity requirement, so the hot operation is
     "would adding this edge close a cycle?". This module keeps the exact
-    transitive closure as per-vertex reachability bitmasks (one native-int
-    word per vertex — event counts are tiny), making the check O(1) and an
-    accepted insertion O(n) word operations, instead of a fresh O(V+E) DFS
-    per probe. Snapshots ({!push}/{!pop}) give the generator cheap
-    backtracking. *)
+    transitive closure as per-vertex reachability bitsets — multi-word, so
+    event graphs are no longer capped at one native int's worth of bits —
+    making the probe O(words) and an accepted insertion O(n * words) word
+    operations, instead of a fresh O(V+E) DFS per probe.
+
+    Backtracking is trail-based: {!push} opens an undo scope in O(1) and
+    {!pop} restores exactly the words touched since — an [add] that
+    installs nothing (the edge was already implied) costs nothing to
+    rewind. The seed behaviour (copy the whole store per snapshot) survives
+    as {!Reference}, the oracle the trail implementation is
+    randomized-tested against. *)
 
 type t
 
 val max_vertices : int
-(** Vertices are bits of a native int: [Sys.int_size - 1]. *)
+(** 1024 — rows are multi-word bitsets; the seed's one-int limit
+    ([Sys.int_size - 1] = 62 vertices) is gone. *)
 
 val create : int -> t
 (** An edgeless order on [n] vertices. Raises [Invalid_argument] beyond
@@ -27,13 +34,33 @@ val reaches : t -> int -> int -> bool
 (** [reaches t u v]: is there a nonempty path [u -> ... -> v]? *)
 
 val push : t -> unit
-(** Snapshot the current closure onto an internal stack. *)
+(** Open a backtracking scope (a trail mark; O(1), no copying). *)
 
 val pop : t -> unit
-(** Restore (and drop) the most recent snapshot. *)
+(** Rewind (and close) the most recent scope, restoring the closure
+    bit-for-bit. Raises [Invalid_argument] with no open scope. *)
 
 val additions : t -> int
 (** Edges accepted since creation (monotonic; not rewound by {!pop}). *)
 
 val rejections : t -> int
 (** Insertions refused by the cycle check (monotonic). *)
+
+val undo_records : t -> int
+(** Total words ever trailed (monotonic) — the work a snapshot scheme
+    would have copied wholesale; telemetry for the trail-vs-copy bench. *)
+
+(** The seed implementation: identical closure maintenance, but {!push}
+    copies the entire reachability store and {!pop} swaps it back. Kept as
+    the equivalence oracle for the trail-based engine. *)
+module Reference : sig
+  type t
+
+  val create : int -> t
+  val add : t -> int -> int -> bool
+  val reaches : t -> int -> int -> bool
+  val push : t -> unit
+  val pop : t -> unit
+  val additions : t -> int
+  val rejections : t -> int
+end

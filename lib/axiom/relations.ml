@@ -1,0 +1,74 @@
+(* Forced facts discovered during root propagation, shared by every axiom
+   instance: rf assignments whose domain collapsed to a single writer, and
+   co orderings every instance already agrees on. Equalities live in a
+   union-find (a read forced to a writer joins the writer's value class);
+   ordering facts are kept as a deduplicated fact list over class
+   representatives — they are recorded once, at the root, and snapshotted
+   by the solver into dense per-location precedence tables before search,
+   so the O(facts) query cost here is never on the hot path. *)
+
+type t = {
+  n : int;  (* events; node [n] is the virtual initial-state write *)
+  parent : int array;
+  rank : int array;
+  mutable merges : int;
+  mutable facts : (int * int) list;  (* (u, v): u must precede v *)
+  seen : (int * int, unit) Hashtbl.t;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Relations.create: negative size";
+  {
+    n;
+    parent = Array.init (n + 1) Fun.id;
+    rank = Array.make (n + 1) 0;
+    merges = 0;
+    facts = [];
+    seen = Hashtbl.create 32;
+  }
+
+let init t = t.n
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find t p in
+    t.parent.(x) <- r;
+    r
+  end
+
+let same t a b = find t a = find t b
+
+let equate t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    t.merges <- t.merges + 1;
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(rb) < t.rank.(ra) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+  end
+
+let order t u v =
+  let key = (find t u, find t v) in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.add t.seen key ();
+    t.facts <- (u, v) :: t.facts
+  end
+
+let must_precede t u v =
+  let ru = find t u and rv = find t v in
+  List.exists (fun (a, b) -> find t a = ru && find t b = rv) t.facts
+
+let merges t = t.merges
+let orderings t = List.length t.facts
+
+let classes t =
+  let c = ref 0 in
+  for x = 0 to t.n do
+    if find t x = x then incr c
+  done;
+  !c

@@ -1,0 +1,47 @@
+(** Union-find over forced equalities and orderings.
+
+    The conflict-driven solver's root propagation discovers facts that hold
+    in {e every} allowed execution before any decision is made: a read
+    whose reads-from domain filtered down to a single writer (a forced
+    equality between the read and that writer's value class), and a
+    coherence ordering some instance's static closure already implies —
+    which, because every instance constrains co, every other instance must
+    then be told about. This module records those facts; the solver
+    snapshots the ordering facts into dense per-location precedence tables
+    before search starts, so queries here are root-phase only. *)
+
+type t
+
+val create : int -> t
+(** [create n] covers event ids [0 .. n-1] plus a virtual node for the
+    initial state, {!init}. *)
+
+val init : t -> int
+(** The virtual initial-state write — the class a read forced to read the
+    initial value joins. *)
+
+val find : t -> int -> int
+(** Class representative (path-compressing). *)
+
+val same : t -> int -> int -> bool
+
+val equate : t -> int -> int -> unit
+(** Merge two value classes (union by rank). *)
+
+val order : t -> int -> int -> unit
+(** Record the fact "[u] must precede [v]" (deduplicated per class
+    pair). *)
+
+val must_precede : t -> int -> int -> bool
+(** Is "[u] before [v]" a recorded fact (up to class equality)? O(facts) —
+    meant for the solver's one-time snapshot and for tests, not per-node
+    queries. *)
+
+val merges : t -> int
+(** Class merges performed (forced rf assignments). *)
+
+val orderings : t -> int
+(** Distinct ordering facts recorded (forced co edges). *)
+
+val classes : t -> int
+(** Current number of value classes (starts at [n + 1]). *)

@@ -1,0 +1,67 @@
+(** Conflict-driven enumeration of allowed candidate executions.
+
+    The solver walks the {e same} decision tree as {!Generate} — a
+    coherence-order slot per location then a reads-from source per read,
+    values in the same sequence — so the two engines accept the same
+    candidate set and their per-outcome candidate counts are directly
+    comparable (the differential harness pins both). The difference is
+    machinery: trail-based incremental acyclicity with per-instance
+    watched wakeups, root propagation (static rf-domain filtering, forced
+    assignments, cross-instance implied coherence edges recorded in a
+    {!Relations} layer and turned into must-precede pruning), conflict
+    analysis that recovers the decision levels a detected cycle actually
+    depends on, backjumping over levels that provably did not contribute
+    (guarded so only leafless subtrees are skipped), and memoized leaf
+    outcomes keyed by the rf vector and each location's coherence-maximal
+    write. *)
+
+type stats = {
+  events : int;
+  accepted : int;  (** allowed candidate executions visited *)
+  decisions : int;  (** co/rf value attempts (skips by pruning excluded) *)
+  propagations : int;  (** edges installed into watching instances *)
+  conflicts : int;  (** edge insertions rejected by a cycle check *)
+  backjumps : int;  (** decision levels skipped by conflict analysis *)
+  forced : int;  (** root-propagation facts: forced rf + implied co *)
+  memo_hits : int;  (** leaves answered by the outcome memo table *)
+  distinct_keys : int;  (** distinct (rf, co-last) keys seen at leaves *)
+  log10_naive_space : float;  (** as {!Generate.stats} *)
+  naive_space : float;  (** as {!Generate.stats} *)
+  elapsed_s : float;
+  candidates_per_sec : float;
+  exhausted : Memrel_prob.Budget.exhaustion option;
+      (** [None] iff the enumeration ran to completion — the same partial
+          contract as {!Generate.stats}: work units are accepted
+          candidates, a partial run is sound for "allowed" only. *)
+}
+
+type entry = {
+  outcome : Memrel_machine.Litmus.outcome;
+  candidates : int;  (** allowed candidate executions observing it *)
+  witness : Candidate.t;
+}
+
+type run = { stats : stats; entries : entry list }
+
+val run :
+  ?window:int ->
+  ?budget:Memrel_prob.Budget.t ->
+  Memrel_machine.Litmus.t ->
+  Memrel_memmodel.Model.family ->
+  run
+(** Enumerate and group by observed outcome, sorted by outcome — entry
+    outcomes {e and} candidate counts must equal {!Generate.run}'s on a
+    complete run. [window] sizes the WO reorder window. [budget] is
+    checked at every decision and one work unit is spent per accepted
+    candidate. Raises [Invalid_argument] for [Custom] models and programs
+    beyond {!Order.max_vertices} events. *)
+
+val outcome_set :
+  ?window:int ->
+  ?budget:Memrel_prob.Budget.t ->
+  Memrel_machine.Litmus.t ->
+  Memrel_memmodel.Model.family ->
+  Memrel_machine.Litmus.outcome list
+(** Just the distinct outcomes, sorted — comparable with
+    {!Memrel_machine.Litmus.outcome_set} and {!Generate.outcome_set} (only
+    when complete). *)

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "memrel_axiom"
-    [ ("order", Test_order.suite); ("axiom", Test_axiom.suite) ]
+    [ ("order", Test_order.suite); ("axiom", Test_axiom.suite); ("solver", Test_solver.suite) ]

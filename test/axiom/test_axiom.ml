@@ -91,6 +91,52 @@ let test_inc_rmw_atomic () =
         (G.outcome_set t family))
     [ sc; tso; pso; wo ]
 
+(* the sparse fence emission (per-thread slices, redundancy-witness probe)
+   must close to exactly the seed's dense before x after product, on every
+   corpus program — including the fenceless ones, where both are empty *)
+let test_fence_edges_closure_equal () =
+  let module A = Memrel_axiom.Axioms in
+  let module O = Memrel_axiom.Order in
+  List.iter
+    (fun (t : L.t) ->
+      let events = Memrel_axiom.Event.of_programs t.L.programs in
+      let n = Array.length events in
+      let close edges =
+        let o = O.create n in
+        List.iter (fun (u, v) -> ignore (O.add o u v)) edges;
+        o
+      in
+      let sparse = A.fence_edges t.L.programs events in
+      let dense = A.fence_edges_reference t.L.programs events in
+      let a = close sparse and b = close dense in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if O.reaches a u v <> O.reaches b u v then
+            Alcotest.failf "%s: fence closures differ at (%d, %d)" t.L.name u v
+        done
+      done;
+      Alcotest.(check bool)
+        (t.L.name ^ ": sparse emission no larger than dense")
+        true
+        (List.length sparse <= List.length dense))
+    L.all
+
+(* the seed multiplied float factorials: 200 same-location writes made
+   naive_space infinite and every derived ratio nan. The log-space form
+   stays finite and the linear convenience clamps. *)
+let test_naive_space_log_overflow () =
+  let module I = Memrel_machine.Instr in
+  let prog = Array.init 200 (fun i -> I.Store { loc = 0; src = I.Imm i }) in
+  let events = Memrel_axiom.Event.of_programs [ prog ] in
+  let lg = Memrel_axiom.Event.log10_naive_space events in
+  Alcotest.(check bool) "log measure finite and past float range" true
+    (Float.is_finite lg && lg > 308.0);
+  let linear = G.naive_space_of_log10 lg in
+  Alcotest.(check bool) "linear form clamps instead of overflowing" true
+    (Float.is_finite linear && linear = Float.max_float);
+  Alcotest.(check (float 1e-9)) "small values survive the round-trip" 4.0
+    (G.naive_space_of_log10 (log10 4.0))
+
 let test_pruning_stats () =
   let t = L.find "sb" in
   let stats = G.iter t sc (fun _ -> ()) in
@@ -162,6 +208,10 @@ let suite =
         test_sb_tso_is_sc_plus_relaxed;
       Alcotest.test_case "WO window=1 collapses to SC" `Quick test_wo_window1_is_sc;
       Alcotest.test_case "inc+rmw forces x=2 everywhere" `Quick test_inc_rmw_atomic;
+      Alcotest.test_case "fence edges close to the dense reference corpus-wide" `Quick
+        test_fence_edges_closure_equal;
+      Alcotest.test_case "naive space survives factorial overflow in log space" `Quick
+        test_naive_space_log_overflow;
       Alcotest.test_case "generator statistics" `Quick test_pruning_stats;
       Alcotest.test_case "candidate cap yields honest partial coverage" `Quick
         test_budget_candidate_cap;

@@ -35,6 +35,60 @@ let test_push_pop () =
   Alcotest.(check bool) "1->2 rolled back" false (Order.reaches o 1 2);
   Alcotest.(check bool) "2->0 legal again after the pop" true (Order.add o 2 0)
 
+(* Randomized equivalence against the seed's copy-based snapshots: drive
+   both implementations through an identical random script of add / push /
+   pop (pop only with a scope open, as every caller does) and require the
+   same accept/reject verdict on every add plus identical reachability
+   matrices at every step. Sizes straddle the word boundary (63-bit ints):
+   n = 40 is single-word, 70 and 100 are multi-word, where the trail's
+   per-word undo records earn their keep. Deterministic seeds — a failure
+   reproduces. *)
+let test_randomized_vs_reference () =
+  List.iter
+    (fun (n, seed, steps) ->
+      let st = Random.State.make [| seed |] in
+      let o = Order.create n and r = Order.Reference.create n in
+      let depth = ref 0 in
+      let same_matrices step =
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            if Order.reaches o u v <> Order.Reference.reaches r u v then
+              Alcotest.failf "n=%d seed=%d step %d: closures diverge at (%d,%d)" n seed step
+                u v
+          done
+        done
+      in
+      for step = 1 to steps do
+        (match Random.State.int st 10 with
+        | 0 | 1 ->
+          Order.push o;
+          Order.Reference.push r;
+          incr depth
+        | 2 when !depth > 0 ->
+          Order.pop o;
+          Order.Reference.pop r;
+          decr depth
+        | _ ->
+          let u = Random.State.int st n and v = Random.State.int st n in
+          let a = Order.add o u v and b = Order.Reference.add r u v in
+          if a <> b then
+            Alcotest.failf "n=%d seed=%d step %d: add %d->%d verdicts differ" n seed step u v);
+        if step mod 97 = 0 then same_matrices step
+      done;
+      same_matrices steps;
+      (* rewind everything still open: the closures must keep agreeing *)
+      while !depth > 0 do
+        Order.pop o;
+        Order.Reference.pop r;
+        decr depth;
+        same_matrices (-(!depth))
+      done;
+      Alcotest.(check int) "same accepted count" (Order.Reference.additions r)
+        (Order.additions o);
+      Alcotest.(check int) "same rejected count" (Order.Reference.rejections r)
+        (Order.rejections o))
+    [ (40, 11, 4000); (70, 23, 4000); (100, 37, 3000) ]
+
 let test_bounds () =
   Alcotest.check_raises "too many vertices" (Invalid_argument "")
     (fun () ->
@@ -49,5 +103,7 @@ let suite =
     Alcotest.test_case "chain accepts and closes transitively" `Quick test_chain;
     Alcotest.test_case "cycles and self-loops rejected" `Quick test_cycle_rejected;
     Alcotest.test_case "push/pop restores the closure" `Quick test_push_pop;
+    Alcotest.test_case "randomized equivalence with the copy-based reference" `Quick
+      test_randomized_vs_reference;
     Alcotest.test_case "bounds checked" `Quick test_bounds;
   ]
