@@ -1,11 +1,12 @@
 # Tier-1 verification is `make ci`: build + tests + smoke runs of the MC
 # throughput bench, the exhaustive-enumeration bench (the latter refreshes
 # BENCH_enum.json, including the inc4 SC/TSO exhaustive counts), the
-# axiomatic-vs-operational differential, the candidate-generation bench, and
-# the robustness smoke (checkpoint/resume + fault-retry bit-identity, plus
-# the CLI's exit-3 partial-result contract).
+# axiomatic-vs-operational differential, the candidate-generation bench, the
+# robustness smoke (checkpoint/resume + fault-retry bit-identity, plus the
+# CLI's exit-3 partial-result contract), and the service smoke (daemon
+# cold/warm/restart cache behavior plus its error and partial exit codes).
 
-.PHONY: all build check test bench bench-json bench-enum bench-axiom bench-exact bench-robust ci clean
+.PHONY: all build check test bench bench-json bench-enum bench-axiom bench-exact bench-robust bench-serve ci clean
 
 all: build
 
@@ -49,6 +50,12 @@ bench-exact:
 bench-robust:
 	dune exec bench/main.exe -- --json-robust BENCH_robust.json
 
+# service bench: cold vs warm vs restarted-daemon latency on a mixed query
+# trace, warm throughput, responses asserted identical across cache tiers;
+# writes BENCH_serve.json
+bench-serve:
+	dune exec bench/main.exe -- --json-serve BENCH_serve.json
+
 ci:
 	dune build
 	dune runtest
@@ -62,6 +69,11 @@ ci:
 	dune exec bench/main.exe -- --json-axiom-smoke /tmp/BENCH_axiom_smoke.json
 	dune exec bench/main.exe -- --json-exact-smoke /tmp/BENCH_exact_smoke.json
 	dune exec bench/main.exe -- --json-robust-smoke /tmp/BENCH_robust_smoke.json
+	# serve bench smoke asserts cold = warm = disk responses before timing
+	dune exec bench/main.exe -- --json-serve-smoke /tmp/BENCH_serve_smoke.json
+	# daemon end-to-end: cold batch, warm replay, restart -> disk hits,
+	# bad-request (123) and budget-partial (3) exit codes, clean shutdown
+	sh scripts/serve_smoke.sh
 	# partial-result contract: an expired deadline must exit 3, not 0/crash
 	dune exec bin/memrel_cli.exe -- window --trials 100000 --deadline 0 > /dev/null; test $$? -eq 3
 	dune exec bin/memrel_cli.exe -- enumerate inc3 --max-states 50 > /dev/null; test $$? -eq 3

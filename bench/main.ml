@@ -1381,6 +1381,208 @@ let robust_json ~file ~smoke =
     n.r_resume_equal n.r_fault_secs n.r_fault_retries n.r_fault_equal;
   Printf.printf "wrote %s\n" file
 
+(* -- service bench (--json-serve) --------------------------------------- *)
+
+(* Measures what the [memrel serve] result cache buys: a mixed query trace
+   is run cold against a fresh daemon (every answer computed), replayed warm
+   (every answer a memory hit), and replayed again against a restarted
+   daemon over the same cache directory (every answer a disk hit). The
+   heavy enumeration is timed on its own — the headline number is how many
+   times faster the warm hit answers it. Warm responses are checked equal
+   to the cold results before any number is reported. Writes
+   BENCH_serve.json; `make ci` runs the smoke form. *)
+
+type serve_numbers = {
+  v_queries : int;
+  v_cold_trace_secs : float;
+  v_warm_trace_secs : float;
+  v_disk_trace_secs : float;
+  v_cold_heavy_secs : float;
+  v_warm_heavy_secs : float;
+  v_warm_hit_rate : float;
+  v_disk_hit_rate : float;
+  v_warm_qps : float;
+  v_responses_equal : bool;
+}
+
+let serve_rm_rf dir =
+  let rec go p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> go (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists dir then go dir
+
+let serve_numbers ~smoke =
+  let module SP = Service_protocol in
+  let module SS = Service_server in
+  let module SC = Service_client in
+  let tmp suffix =
+    let p = Filename.temp_file "memrel_bench" suffix in
+    Sys.remove p;
+    p
+  in
+  let cache_dir = tmp ".cache" in
+  let parse s =
+    match SP.parse_query s with Ok q -> q | Error m -> failwith (s ^ ": " ^ m)
+  in
+  let heavy = if smoke then "enumerate inc4 sc" else "enumerate inc5 sc" in
+  let trace =
+    List.map parse
+      [
+        "verify sb tso";
+        "verify mp wo";
+        "enumerate lb pso";
+        "axiom sb tso engine=solver";
+        "estimate settling tso gamma=2 trials=20000";
+        "estimate shift gammas=3,2,5 trials=20000";
+        heavy;
+      ]
+  in
+  let with_daemon f =
+    let socket = tmp ".sock" in
+    let address = SP.Unix_path socket in
+    let config = SS.default_config address cache_dir in
+    let ready = Atomic.make false in
+    let server =
+      Domain.spawn (fun () -> SS.run ~on_ready:(fun () -> Atomic.set ready true) config)
+    in
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+      ignore (Unix.select [] [] [] 0.01)
+    done;
+    if not (Atomic.get ready) then failwith "bench daemon did not come up";
+    let finish () =
+      (match SC.with_connection ~retry_for:2.0 address (fun c -> SC.request c SP.Shutdown) with
+       | Ok _ | Error _ -> ());
+      Domain.join server
+    in
+    match SC.connect ~retry_for:10.0 address with
+    | Error m ->
+      finish ();
+      failwith m
+    | Ok c ->
+      let r =
+        try f c
+        with e ->
+          SC.close c;
+          finish ();
+          raise e
+      in
+      SC.close c;
+      finish ();
+      r
+  in
+  let query c q =
+    match SC.query c q with
+    | Ok (SP.Result { result; origin }) -> (result, origin)
+    | Ok r -> failwith ("unexpected response: " ^ SP.render_response r)
+    | Error m -> failwith m
+  in
+  let run_trace c = List.map (fun q -> query c q) trace in
+  let hits origin results =
+    List.fold_left (fun n (_, o) -> if o = origin then n + 1 else n) 0 results
+  in
+  let rate origin results =
+    float_of_int (hits origin results) /. float_of_int (List.length results)
+  in
+  (* one daemon serves the cold pass, the warm replay, and the qps loop *)
+  let cold, v_cold_trace_secs, cold_heavy, v_cold_heavy_secs, warm, v_warm_trace_secs,
+      v_warm_heavy_secs, v_warm_qps =
+    with_daemon (fun c ->
+        let cold = ref [] in
+        let cold_secs = wall (fun () -> cold := run_trace c) in
+        let heavy_q = parse heavy in
+        (* the heavy query is answered from cache now; time it warm, and
+           read its cold time from a fresh single measurement on a distinct
+           window so the cold number is not trace-amortized *)
+        let heavy_cold = ref (List.nth !cold (List.length trace - 1)) in
+        let heavy_cold_secs =
+          wall (fun () ->
+              heavy_cold := query c (parse (heavy ^ " window=9")))
+        in
+        let warm = ref [] in
+        let warm_secs = wall (fun () -> warm := run_trace c) in
+        let warm_heavy = ref !heavy_cold in
+        let warm_heavy_secs = wall (fun () -> warm_heavy := query c heavy_q) in
+        let iters = if smoke then 50 else 300 in
+        let qps_secs =
+          wall (fun () ->
+              for _ = 1 to iters do
+                ignore (run_trace c)
+              done)
+        in
+        let qps = float_of_int (iters * List.length trace) /. qps_secs in
+        ( !cold, cold_secs, !heavy_cold, heavy_cold_secs, !warm, warm_secs, warm_heavy_secs,
+          qps ))
+  in
+  ignore cold_heavy;
+  (* a fresh daemon over the same cache directory answers from disk *)
+  let disk, v_disk_trace_secs =
+    with_daemon (fun c ->
+        let disk = ref [] in
+        let secs = wall (fun () -> disk := run_trace c) in
+        (!disk, secs))
+  in
+  let strip results = List.map fst results in
+  let v_responses_equal = strip cold = strip warm && strip cold = strip disk in
+  assert v_responses_equal;
+  assert (hits SP.Computed cold = List.length trace);
+  serve_rm_rf cache_dir;
+  {
+    v_queries = List.length trace;
+    v_cold_trace_secs;
+    v_warm_trace_secs;
+    v_disk_trace_secs;
+    v_cold_heavy_secs;
+    v_warm_heavy_secs;
+    v_warm_hit_rate = rate SP.Memory_hit warm;
+    v_disk_hit_rate = rate SP.Disk_hit disk;
+    v_warm_qps;
+    v_responses_equal;
+  }
+
+let serve_json ~file ~smoke =
+  let n = serve_numbers ~smoke in
+  let ratio = if n.v_warm_heavy_secs > 0.0 then n.v_cold_heavy_secs /. n.v_warm_heavy_secs else 0.0 in
+  if not smoke then assert (ratio >= 100.0);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf (Printf.sprintf "  \"trace_queries\": %d,\n" n.v_queries);
+  Buffer.add_string buf (Printf.sprintf "  \"cold_trace_seconds\": %.6f,\n" n.v_cold_trace_secs);
+  Buffer.add_string buf (Printf.sprintf "  \"warm_trace_seconds\": %.6f,\n" n.v_warm_trace_secs);
+  Buffer.add_string buf (Printf.sprintf "  \"disk_trace_seconds\": %.6f,\n" n.v_disk_trace_secs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cold_heavy_seconds\": %.6f,\n" n.v_cold_heavy_secs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warm_heavy_seconds\": %.6f,\n" n.v_warm_heavy_secs);
+  Buffer.add_string buf (Printf.sprintf "  \"cold_over_warm_heavy\": %.1f,\n" ratio);
+  Buffer.add_string buf (Printf.sprintf "  \"warm_hit_rate\": %.4f,\n" n.v_warm_hit_rate);
+  Buffer.add_string buf (Printf.sprintf "  \"disk_hit_rate\": %.4f,\n" n.v_disk_hit_rate);
+  Buffer.add_string buf (Printf.sprintf "  \"warm_queries_per_second\": %.1f,\n" n.v_warm_qps);
+  Buffer.add_string buf (Printf.sprintf "  \"responses_equal\": %b\n" n.v_responses_equal);
+  Buffer.add_string buf "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf
+    "memrel serve (%d-query trace):\n\
+    \  cold trace    %8.3fs (all computed)\n\
+    \  warm trace    %8.3fs (hit rate %.0f%%)\n\
+    \  disk trace    %8.3fs (hit rate %.0f%%, restarted daemon)\n\
+    \  heavy query   %8.3fs cold -> %.6fs warm (%.0fx)\n\
+    \  sustained     %8.1f queries/s warm\n\
+    \  responses byte-identical across cold/warm/disk: %b\n"
+    n.v_queries n.v_cold_trace_secs n.v_warm_trace_secs
+    (100.0 *. n.v_warm_hit_rate)
+    n.v_disk_trace_secs
+    (100.0 *. n.v_disk_hit_rate)
+    n.v_cold_heavy_secs n.v_warm_heavy_secs ratio n.v_warm_qps n.v_responses_equal;
+  Printf.printf "wrote %s\n" file
+
 let full_run () =
   print_endline "memrel reproduction harness";
   print_endline "paper: The Impact of Memory Models on Software Reliability in Multiprocessors";
@@ -1434,6 +1636,12 @@ let () =
   | _ :: "--json-robust-smoke" :: rest ->
     let file = match rest with f :: _ -> f | [] -> "BENCH_robust.json" in
     robust_json ~file ~smoke:true
+  | _ :: "--json-serve" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_serve.json" in
+    serve_json ~file ~smoke:false
+  | _ :: "--json-serve-smoke" :: rest ->
+    let file = match rest with f :: _ -> f | [] -> "BENCH_serve.json" in
+    serve_json ~file ~smoke:true
   | _ :: "--json-exact" :: rest ->
     let file = match rest with f :: _ -> f | [] -> "BENCH_exact.json" in
     exact_json ~file ~smoke:false

@@ -465,6 +465,13 @@ let find_litmus name =
 
 let litmus_cmd =
   let run name file =
+    match (name, file) with
+    | Some "list", None ->
+      (* `list` is reserved: a table of the corpus with structural hashes
+         (the service cache keys) and size counts *)
+      print_string (Litmus.corpus_table ());
+      0
+    | _ ->
     (* parsed tests carry no per-model expectation: report reachability only *)
     let loaded =
       match file with
@@ -512,7 +519,8 @@ let litmus_cmd =
   in
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"TEST"
-           ~doc:"Litmus test name (all when omitted).")
+           ~doc:"Litmus test name (all when omitted), or $(b,list) for a table of the \
+                 corpus with structural hashes and thread/location/event counts.")
   in
   let file_arg =
     Arg.(value & opt (some file) None & info [ "file" ] ~docv:"FILE"
@@ -924,10 +932,163 @@ let axiom_cmd =
     Term.(const run $ names_arg $ model_opt_arg $ engine_arg $ no_diff_arg $ window_arg
           $ deadline_arg $ max_mem_arg $ max_candidates_arg)
 
+(* -- serve / query (service mode) -------------------------------------- *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"ADDR"
+         ~doc:"Service address: a Unix-domain socket path, or $(b,tcp:HOST:PORT).")
+
+let serve_cmd =
+  let run socket cache_dir workers max_deadline max_work max_mem shards =
+    match Service_protocol.address_of_string socket with
+    | Error msg ->
+      Printf.eprintf "memrel: %s\n" msg;
+      Cmd.Exit.some_error
+    | Ok address ->
+      let caps =
+        { Service_engine.max_deadline_s = max_deadline; max_work_cap = max_work;
+          max_mem_mb_cap = max_mem }
+      in
+      let config = { Service_server.address; cache_dir; workers; caps; shards } in
+      Printf.printf "memrel serve: listening on %s (cache %s, %d worker%s)\n%!"
+        (Service_protocol.address_to_string address)
+        cache_dir workers
+        (if workers = 1 then "" else "s");
+      (match Service_server.run config with
+       | () -> 0
+       | exception Unix.Unix_error (e, fn, arg) ->
+         Printf.eprintf "memrel: %s %s: %s\n" fn arg (Unix.error_message e);
+         Cmd.Exit.some_error
+       | exception Invalid_argument msg | exception Failure msg ->
+         Printf.eprintf "memrel: %s\n" msg;
+         Cmd.Exit.some_error)
+  in
+  let cache_dir_arg =
+    Arg.(value & opt string "_memrel_cache" & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Result cache directory (created if missing). Entries are CRC-guarded \
+                 snapshot files keyed by structural litmus hash and query parameters; the \
+                 cache survives restarts.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains serving connections.")
+  in
+  let max_deadline_arg =
+    Arg.(value & opt (some float) None & info [ "max-deadline" ] ~docv:"SECS"
+           ~doc:"Server-side ceiling on per-request deadlines: requests run under \
+                 min(request, cap), and a capped budget applies even to requests that \
+                 set no limit.")
+  in
+  let max_work_cap_arg =
+    Arg.(value & opt (some int) None & info [ "max-work" ] ~docv:"N"
+           ~doc:"Server-side work-unit ceiling (states / candidates / chunks).")
+  in
+  let max_mem_cap_arg =
+    Arg.(value & opt (some int) None & info [ "max-mem" ] ~docv:"MB"
+           ~doc:"Server-side major-heap watermark ceiling, in megabytes.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 16 & info [ "shards" ] ~docv:"N"
+           ~doc:"Cache lock shards (1..256): queries on distinct shards never contend.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the query daemon: typed verify/enumerate/axiom/estimate requests over a \
+             length-prefixed binary protocol, answered through a sharded snapshot-backed \
+             result cache. Stop it with $(b,memrel query --shutdown).")
+    Term.(const run $ socket_arg $ cache_dir_arg $ workers_arg $ max_deadline_arg
+          $ max_work_cap_arg $ max_mem_cap_arg $ shards_arg)
+
+let query_cmd =
+  let run socket wait deadline max_work max_mem stats ping shutdown queries =
+    let module SP = Service_protocol in
+    match SP.address_of_string socket with
+    | Error msg ->
+      Printf.eprintf "memrel: %s\n" msg;
+      Cmd.Exit.some_error
+    | Ok address ->
+      let limits = { SP.deadline_s = deadline; max_work; max_mem_mb = max_mem } in
+      let request =
+        if stats then Ok SP.Stats
+        else if ping then Ok SP.Ping
+        else if shutdown then Ok SP.Shutdown
+        else
+          match queries with
+          | [] -> Error "no query given (and none of --stats/--ping/--shutdown)"
+          | qs ->
+            List.fold_left
+              (fun acc text ->
+                match (acc, SP.parse_query text) with
+                | (Error _ as e), _ -> e
+                | Ok _, Error msg -> Error (Printf.sprintf "%S: %s" text msg)
+                | Ok parsed, Ok q -> Ok (parsed @ [ q ]))
+              (Ok []) qs
+            |> Result.map (function
+                 | [ q ] -> SP.Query (q, limits)
+                 | qs -> SP.Batch (List.map (fun q -> (q, limits)) qs))
+      in
+      (match request with
+       | Error msg ->
+         Printf.eprintf "memrel: %s\n" msg;
+         Cmd.Exit.some_error
+       | Ok request -> begin
+         let reply =
+           Service_client.with_connection ~retry_for:wait address (fun c ->
+               Service_client.request c request)
+         in
+         match reply with
+         | Error msg ->
+           Printf.eprintf "memrel: %s\n" msg;
+           Cmd.Exit.some_error
+         | Ok response ->
+           print_endline (SP.render_response response);
+           (* worst sub-response wins: error beats budget-partial beats ok *)
+           let rec code = function
+             | SP.Result { result; _ } -> if result.SP.partial <> None then 3 else 0
+             | SP.Results rs -> List.fold_left (fun acc r -> max acc (code r)) 0 rs
+             | SP.Error _ -> Cmd.Exit.some_error
+             | SP.Stats_reply _ | SP.Pong | SP.Bye -> 0
+           in
+           let c = code response in
+           if c = 3 then
+             Printf.eprintf
+               "memrel: a query exhausted its resource budget; its result is partial\n";
+           c
+       end)
+  in
+  let wait_arg =
+    Arg.(value & opt float 0. & info [ "wait" ] ~docv:"SECS"
+           ~doc:"Retry the connection for up to SECS while the daemon starts.")
+  in
+  let max_work_arg =
+    Arg.(value & opt (some int) None & info [ "max-work" ] ~docv:"N"
+           ~doc:"Per-query work-unit budget (states / candidates / chunks).")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Ask the daemon for cache and server counters.")
+  in
+  let ping_flag = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check.") in
+  let shutdown_flag =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to exit cleanly.")
+  in
+  let queries_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY"
+           ~doc:"Queries, one per argument, e.g. 'verify sb tso', 'enumerate inc4 sc por', \
+                 'axiom mp wo engine=solver', 'estimate settling tso gamma=2 trials=50000', \
+                 'estimate shift gammas=3,2,5', 'estimate joint sc n=2 width=0.01'. Two or \
+                 more queries form a batch (identical ones are computed once).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~exits:budget_exits
+       ~doc:"Send queries to a running $(b,memrel serve) daemon. Each answer is prefixed \
+             with its origin: [computed], [memory] or [disk].")
+    Term.(const run $ socket_arg $ wait_arg $ deadline_arg $ max_work_arg $ max_mem_arg
+          $ stats_flag $ ping_flag $ shutdown_flag $ queries_arg)
+
 let main_cmd =
   let doc = "reproduction of 'The Impact of Memory Models on Software Reliability'" in
   Cmd.group (Cmd.info "memrel" ~version:"1.0.0" ~doc)
     [ table1_cmd; figure1_cmd; figure2_cmd; window_cmd; shift_cmd; joint_cmd; scaling_cmd;
-      litmus_cmd; enumerate_cmd; axiom_cmd; fences_cmd; verify_cmd ]
+      litmus_cmd; enumerate_cmd; axiom_cmd; fences_cmd; verify_cmd; serve_cmd; query_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -79,6 +79,15 @@ module Axiom = Memrel_axiom.Generate
 module Axiom_solver = Memrel_axiom.Solver
 module Axiom_differential = Memrel_axiom.Differential
 
+(** {1 Service mode (the [memrel serve] daemon)} *)
+
+module Service_protocol = Memrel_service.Protocol
+module Service_cache = Memrel_service.Cache
+module Service_pool = Memrel_service.Pool
+module Service_engine = Memrel_service.Engine
+module Service_server = Memrel_service.Server
+module Service_client = Memrel_service.Client
+
 (** {1 Figure renderings} *)
 
 module Render = Memrel_trace.Render

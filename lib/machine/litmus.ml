@@ -224,6 +224,88 @@ let find name =
     end
     else raise Not_found
 
+(* -- structural hash ---------------------------------------------------
+   FNV-1a over a canonical byte encoding of everything that determines a
+   test's semantics: the per-thread instruction streams, the initial
+   memory, and the observation spec (via the relaxed outcome's observable
+   names — two tests with identical programs but different observations
+   must not share a cache entry). The name and description are deliberately
+   excluded: the service cache must key on structure, not on what a client
+   chose to call the test. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash t =
+  let h = ref fnv_offset in
+  let mix_byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) fnv_prime in
+  let mix_int v =
+    (* 8 little-endian bytes of the (boxed-to-63-bit) int *)
+    for shift = 0 to 7 do
+      mix_byte ((v asr (8 * shift)) land 0xff)
+    done
+  in
+  let mix_string s =
+    mix_int (String.length s);
+    String.iter (fun c -> mix_byte (Char.code c)) s
+  in
+  let mix_operand = function
+    | Instr.Reg r -> mix_int 0; mix_int r
+    | Instr.Imm v -> mix_int 1; mix_int v
+  in
+  let mix_binop = function Instr.Add -> mix_int 0 | Instr.Sub -> mix_int 1 | Instr.Mul -> mix_int 2 in
+  let mix_instr = function
+    | Instr.Load { reg; loc } -> mix_int 0; mix_int reg; mix_int loc
+    | Instr.Store { loc; src } -> mix_int 1; mix_int loc; mix_operand src
+    | Instr.Binop { dst; op; a; b } -> mix_int 2; mix_int dst; mix_binop op; mix_operand a; mix_operand b
+    | Instr.Rmw { reg; loc; op; operand } ->
+      mix_int 3; mix_int reg; mix_int loc; mix_binop op; mix_operand operand
+    | Instr.Fence f ->
+      mix_int 4;
+      mix_int (match f with Fence.Acquire -> 0 | Fence.Release -> 1 | Fence.Full -> 2)
+  in
+  mix_int (List.length t.programs);
+  List.iter
+    (fun prog ->
+      mix_int (Array.length prog);
+      Array.iter mix_instr prog)
+    t.programs;
+  let init = List.sort compare t.initial_mem in
+  mix_int (List.length init);
+  List.iter (fun (loc, v) -> mix_int loc; mix_int v) init;
+  mix_int (List.length t.relaxed_outcome);
+  List.iter (fun (name, v) -> mix_string name; mix_int v) t.relaxed_outcome;
+  Printf.sprintf "%016Lx" !h
+
+let structure t =
+  let threads = List.length t.programs in
+  let locs = Hashtbl.create 8 in
+  List.iter (fun (loc, _) -> Hashtbl.replace locs loc ()) t.initial_mem;
+  let events = ref 0 in
+  List.iter
+    (fun prog ->
+      Array.iter
+        (fun i ->
+          (match Instr.loc_accessed i with Some l -> Hashtbl.replace locs l () | None -> ());
+          if Instr.is_load i || Instr.is_store i then incr events)
+        prog)
+    t.programs;
+  (threads, Hashtbl.length locs, !events)
+
+let corpus_table () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %-16s %7s %4s %6s  %s\n" "name" "hash" "threads" "locs" "events"
+       "description");
+  List.iter
+    (fun t ->
+      let threads, locs, events = structure t in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %-16s %7d %4d %6d  %s\n" t.name (hash t) threads locs events
+           t.description))
+    all;
+  Buffer.contents buf
+
 let initial_state t = State.init ~programs:t.programs ~initial_mem:t.initial_mem
 
 let run_exhaustive ?window ?max_states ?por t family =

@@ -57,6 +57,22 @@ val find : string -> t
     {!increment_n}[ N] even though only the corpus tests are in {!all}.
     Raises [Not_found]. *)
 
+val hash : t -> string
+(** Stable structural digest (16 hex chars, FNV-1a 64) over the instruction
+    streams, initial memory and the relaxed-outcome observable spec —
+    independent of [name]/[description], so renaming a test cannot alias or
+    split a service cache entry. Collision-free across the corpus (tested,
+    including the [incN] family and the parsed [.litmus] files). *)
+
+val structure : t -> int * int * int
+(** [(threads, distinct locations, memory events)] — locations counted over
+    instruction accesses and the initial memory, events over loads, stores
+    and RMWs. *)
+
+val corpus_table : unit -> string
+(** The `memrel litmus list` listing: one row per corpus test with its
+    {!hash} and {!structure} counts. Pinned by a golden test. *)
+
 val initial_state : t -> State.t
 
 val run_exhaustive :

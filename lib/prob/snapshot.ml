@@ -85,7 +85,12 @@ let write ~file ~tag payload =
     Sys.rename tmp file
   with
   | () -> Ok ()
-  | exception Sys_error msg -> Error (Io msg)
+  | exception Sys_error msg ->
+    (* a failed write or rename must not strand the temporary: the next
+       write to the same path would otherwise find a stale .tmp, and cache
+       directories would accumulate garbage *)
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Io msg)
 
 (* -- read + validate --------------------------------------------------- *)
 

@@ -1,0 +1,174 @@
+module Snapshot = Memrel_prob.Snapshot
+
+let snapshot_tag = "service/result"
+
+type shard = { lock : Mutex.t; table : (string, string) Hashtbl.t }
+
+type t = {
+  dir : string;
+  shards : shard array;
+  memory_hits : int Atomic.t;
+  disk_hits : int Atomic.t;
+  misses : int Atomic.t;
+  stores : int Atomic.t;
+  disk_errors : int Atomic.t;
+}
+
+(* FNV-1a 64, the same digest Litmus.hash uses — here over the full cache
+   key, picking the shard and the on-disk filename *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) fnv_prime)
+    s;
+  !h
+
+let mkdir_p dir =
+  let rec make d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+let shard_name i = Printf.sprintf "shard_%02x" i
+
+let create ?(shards = 16) ~dir () =
+  if shards < 1 || shards > 256 then invalid_arg "Cache.create: shards must be in 1..256";
+  mkdir_p dir;
+  for i = 0 to shards - 1 do
+    mkdir_p (Filename.concat dir (shard_name i))
+  done;
+  {
+    dir;
+    shards =
+      Array.init shards (fun _ -> { lock = Mutex.create (); table = Hashtbl.create 64 });
+    memory_hits = Atomic.make 0;
+    disk_hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    stores = Atomic.make 0;
+    disk_errors = Atomic.make 0;
+  }
+
+let shard_of t key =
+  let h = fnv64 key in
+  t.shards.(Int64.to_int (Int64.logand h 0xffL) mod Array.length t.shards)
+
+let file_of t key =
+  let h = fnv64 key in
+  let shard = Int64.to_int (Int64.logand h 0xffL) mod Array.length t.shards in
+  Filename.concat
+    (Filename.concat t.dir (shard_name shard))
+    (Printf.sprintf "%016Lx-%08x.snap" h (Snapshot.crc32 key))
+
+(* disk payload: u16 key length + key + result bytes. The embedded key is
+   checked on read, so a filename collision (two keys digesting alike) is
+   detected and treated as a miss rather than served as a wrong answer. *)
+let disk_encode ~key value =
+  if String.length key > 0xffff then invalid_arg "Cache: key too long";
+  let buf = Buffer.create (String.length key + String.length value + 2) in
+  Buffer.add_char buf (Char.chr (String.length key lsr 8));
+  Buffer.add_char buf (Char.chr (String.length key land 0xff));
+  Buffer.add_string buf key;
+  Buffer.add_string buf value;
+  Buffer.contents buf
+
+let disk_decode ~key s =
+  if String.length s < 2 then None
+  else begin
+    let klen = (Char.code s.[0] lsl 8) lor Char.code s.[1] in
+    if String.length s < 2 + klen then None
+    else if String.sub s 2 klen <> key then None
+    else Some (String.sub s (2 + klen) (String.length s - 2 - klen))
+  end
+
+let disk_read t ~key =
+  let file = file_of t key in
+  if not (Sys.file_exists file) then None
+  else
+    match Snapshot.read ~file ~tag:snapshot_tag with
+    | Ok payload -> begin
+      match disk_decode ~key payload with
+      | Some value -> Some value
+      | None ->
+        (* filename collision with a different key: not an error, a miss *)
+        None
+    end
+    | Error _ ->
+      (* corrupted or foreign file: count it, recompute, overwrite below *)
+      Atomic.incr t.disk_errors;
+      None
+
+let disk_write t ~key value =
+  match Snapshot.write ~file:(file_of t key) ~tag:snapshot_tag (disk_encode ~key value) with
+  | Ok () -> ()
+  | Error _ -> Atomic.incr t.disk_errors
+
+type origin = Protocol.origin = Computed | Memory_hit | Disk_hit
+
+let find_or_compute t ~key ~compute =
+  let shard = shard_of t key in
+  Mutex.lock shard.lock;
+  match Hashtbl.find_opt shard.table key with
+  | Some value ->
+    Mutex.unlock shard.lock;
+    Atomic.incr t.memory_hits;
+    Ok (value, Memory_hit)
+  | None ->
+    (* the shard lock is held across the disk probe and the compute: two
+       domains racing the same key compute it once, and distinct keys on
+       different shards proceed in parallel. Compute times dwarf lock
+       hold times here (the compute IS the critical section we want
+       single-flight). *)
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock shard.lock)
+      (fun () ->
+        match disk_read t ~key with
+        | Some value ->
+          Hashtbl.replace shard.table key value;
+          Atomic.incr t.disk_hits;
+          Ok (value, Disk_hit)
+        | None -> begin
+          Atomic.incr t.misses;
+          match compute () with
+          | Error _ as e -> e
+          | Ok (value, cacheable) ->
+            if cacheable then begin
+              Hashtbl.replace shard.table key value;
+              disk_write t ~key value;
+              Atomic.incr t.stores
+            end;
+            Ok (value, Computed)
+        end)
+
+let clear_memory t =
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.lock;
+      Hashtbl.reset shard.table;
+      Mutex.unlock shard.lock)
+    t.shards
+
+let stats t : Protocol.cache_stats =
+  let entries =
+    Array.fold_left
+      (fun acc shard ->
+        Mutex.lock shard.lock;
+        let n = Hashtbl.length shard.table in
+        Mutex.unlock shard.lock;
+        acc + n)
+      0 t.shards
+  in
+  {
+    Protocol.entries;
+    memory_hits = Atomic.get t.memory_hits;
+    disk_hits = Atomic.get t.disk_hits;
+    misses = Atomic.get t.misses;
+    stores = Atomic.get t.stores;
+    disk_errors = Atomic.get t.disk_errors;
+  }

@@ -1,0 +1,51 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr }
+
+let socket_for = function
+  | P.Unix_path _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+  | P.Tcp _ -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0
+
+let sockaddr_of = function
+  | P.Unix_path path -> Unix.ADDR_UNIX path
+  | P.Tcp (host, port) -> Unix.ADDR_INET (Server.resolve_host host, port)
+
+let connect ?(retry_for = 0.) address =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec attempt () =
+    let fd = socket_for address in
+    match Unix.connect fd (sockaddr_of address) with
+    | () -> Ok { fd }
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT) as e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () < deadline then begin
+        (* the daemon is still coming up: back off briefly and retry *)
+        ignore (Unix.select [] [] [] 0.05);
+        attempt ()
+      end
+      else Error (Printf.sprintf "cannot connect to %s: %s" (P.address_to_string address)
+                    (Unix.error_message e))
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "cannot connect to %s: %s" (P.address_to_string address)
+               (Unix.error_message e))
+  in
+  attempt ()
+
+let request t req =
+  try
+    P.write_frame t.fd (P.encode_request req);
+    match P.read_frame t.fd with
+    | Ok (Some payload) -> P.decode_response payload
+    | Ok None -> Error "server closed the connection"
+    | Error _ as e -> e
+  with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let query ?(limits = P.no_limits) t q = request t (P.Query (q, limits))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ?retry_for address f =
+  match connect ?retry_for address with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,19 @@
+(** Blocking client for the memrel service. *)
+
+type t
+
+val connect : ?retry_for:float -> Protocol.address -> (t, string) result
+(** [connect address] opens one connection. [retry_for] (seconds, default
+    0) retries on [ECONNREFUSED]/[ENOENT] while the daemon is coming up —
+    what the CLI's [--wait] flag and the in-process test harness use. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** One request/response round trip. The connection is unusable after an
+    [Error]. *)
+
+val query : ?limits:Protocol.limits -> t -> Protocol.query -> (Protocol.response, string) result
+
+val close : t -> unit
+
+val with_connection :
+  ?retry_for:float -> Protocol.address -> (t -> ('a, string) result) -> ('a, string) result

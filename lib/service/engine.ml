@@ -1,0 +1,284 @@
+module P = Protocol
+module Model = Memrel_memmodel.Model
+module Budget = Memrel_prob.Budget
+module Rng = Memrel_prob.Rng
+module Litmus = Memrel_machine.Litmus
+module Enumerate = Memrel_machine.Enumerate
+module Semantics = Memrel_machine.Semantics
+module Generate = Memrel_axiom.Generate
+module Solver = Memrel_axiom.Solver
+module Mc = Memrel_settling.Mc
+module Process = Memrel_shift.Process
+module Joint = Memrel_interleave.Joint
+
+type caps = {
+  max_deadline_s : float option;
+  max_work_cap : int option;
+  max_mem_mb_cap : int option;
+}
+
+let no_caps = { max_deadline_s = None; max_work_cap = None; max_mem_mb_cap = None }
+
+type error = { code : P.error_code; message : string }
+
+let bad fmt = Printf.ksprintf (fun message -> Error { code = P.Bad_request; message }) fmt
+let unsupported message = Error { code = P.Unsupported; message }
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* -- cache keys ----------------------------------------------------------
+   Keyed on the structural Litmus.hash, never the test name: `sb` and a
+   renamed copy share an entry, and `inc3` can never alias a corpus test.
+   Limits are deliberately NOT part of the key — a budget bounds the cost
+   of computing, and serving an already-complete answer costs nothing.
+   Partial results are never stored, so a key always maps to the one
+   complete answer. *)
+
+let fam = Model.family_name
+
+let litmus_hash name =
+  match Litmus.find name with
+  | t -> Ok (Litmus.hash t, t)
+  | exception Not_found ->
+    Error
+      {
+        code = P.Unknown_test;
+        message =
+          Printf.sprintf "unknown litmus test %S (known: %s, incN)" name
+            (String.concat ", " Litmus.names);
+      }
+
+let check_family = function
+  | Model.Custom -> unsupported "custom models have no wire encoding"
+  | f -> Ok f
+
+let check_window w = if w >= 1 && w <= 1024 then Ok w else bad "window %d out of range 1..1024" w
+
+let cache_key (q : P.query) =
+  match q with
+  | P.Verify { test; family; window } ->
+    let* family = check_family family in
+    let* window = check_window window in
+    let* hash, _ = litmus_hash test in
+    Ok (Printf.sprintf "verify|%s|%s|w%d" hash (fam family) window)
+  | P.Enumerate { test; family; window; por } ->
+    let* family = check_family family in
+    let* window = check_window window in
+    let* hash, _ = litmus_hash test in
+    Ok (Printf.sprintf "enum|%s|%s|w%d|por%d" hash (fam family) window (if por then 1 else 0))
+  | P.Axiom { test; family; window; engine } ->
+    let* family = check_family family in
+    let* window = check_window window in
+    let* hash, _ = litmus_hash test in
+    Ok
+      (Printf.sprintf "axiom|%s|%s|w%d|%s" hash (fam family) window
+         (match engine with P.Generate -> "generate" | P.Solver -> "solver"))
+  | P.Estimate { kind; family; seed; trials; target_width } ->
+    let* family = check_family family in
+    let* () = if trials >= 1 then Ok () else bad "trials must be >= 1 (got %d)" trials in
+    let* () =
+      match target_width with
+      | Some w when not (w > 0. && w <= 1.) -> bad "width must be in (0, 1] (got %g)" w
+      | _ -> Ok ()
+    in
+    (* %h renders floats exactly, so distinct parameters cannot collide *)
+    let width = match target_width with None -> "-" | Some w -> Printf.sprintf "%h" w in
+    (match kind with
+     | P.Settling { gamma; p; m } ->
+       let* () = if gamma >= 0 then Ok () else bad "gamma must be >= 0 (got %d)" gamma in
+       let* () = if p > 0. && p < 1. then Ok () else bad "p must be in (0, 1) (got %g)" p in
+       let* () = if m >= 1 then Ok () else bad "m must be >= 1 (got %d)" m in
+       Ok
+         (Printf.sprintf "est|settling|%s|g%d|p%h|m%d|s%d|t%d|w%s" (fam family) gamma p m seed
+            trials width)
+     | P.Shift { gammas } ->
+       let* () =
+         if Array.length gammas = 0 then bad "shift needs at least one segment"
+         else if Array.exists (fun g -> g < 0) gammas then bad "segment lengths must be >= 0"
+         else Ok ()
+       in
+       Ok
+         (Printf.sprintf "est|shift|g%s|s%d|t%d|w%s"
+            (String.concat "," (List.map string_of_int (Array.to_list gammas)))
+            seed trials width)
+     | P.Joint { n } ->
+       let* () = if n >= 2 then Ok () else bad "joint needs n >= 2 (got %d)" n in
+       Ok (Printf.sprintf "est|joint|%s|n%d|s%d|t%d|w%s" (fam family) n seed trials width))
+
+(* -- budgets ------------------------------------------------------------- *)
+
+let merge_min a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+let budget_of caps (l : P.limits) =
+  let deadline_s = merge_min l.P.deadline_s caps.max_deadline_s in
+  let max_work = merge_min l.P.max_work caps.max_work_cap in
+  let max_mem_mb = merge_min l.P.max_mem_mb caps.max_mem_mb_cap in
+  match (deadline_s, max_work, max_mem_mb) with
+  | None, None, None -> None
+  | _ ->
+    Some
+      (Budget.create ?deadline_s ?max_work
+         ?max_mem_bytes:(Option.map (fun mb -> mb * 1024 * 1024) max_mem_mb)
+         ())
+
+(* -- dispatch ------------------------------------------------------------ *)
+
+let model_of_family = function
+  | Model.Sequential_consistency -> Model.sc
+  | Model.Total_store_order -> Model.tso ()
+  | Model.Partial_store_order -> Model.pso ()
+  | Model.Weak_ordering -> Model.wo ()
+  | Model.Custom -> invalid_arg "Engine: custom family"
+
+let result ?exhausted payload =
+  { P.payload; partial = Option.map P.partial_of_exhaustion exhausted }
+
+let enumerate_run ?budget (t : Litmus.t) family ~window ~por =
+  let discipline = Semantics.of_model ~window family in
+  Enumerate.outcomes ~por ?budget discipline (Litmus.initial_state t) ~observe:t.Litmus.observe
+
+let run ~caps (q : P.query) (limits : P.limits) =
+  (* cache_key also performs all parameter validation *)
+  let* _ = cache_key q in
+  let budget = budget_of caps limits in
+  match q with
+  | P.Verify { test; family; window } ->
+    let* _, t = litmus_hash test in
+    let r = enumerate_run ?budget t family ~window ~por:true in
+    let observed_relaxed = List.mem_assoc t.Litmus.relaxed_outcome r.Enumerate.outcomes in
+    let expected_relaxed = t.Litmus.allowed_under family in
+    Ok
+      (result ?exhausted:r.Enumerate.exhausted
+         (P.Verdict
+            {
+              observed_relaxed;
+              expected_relaxed;
+              agrees = observed_relaxed = expected_relaxed;
+              outcomes = List.length r.Enumerate.outcomes;
+              terminals = r.Enumerate.terminals;
+            }))
+  | P.Enumerate { test; family; window; por } ->
+    let* _, t = litmus_hash test in
+    let r = enumerate_run ?budget t family ~window ~por in
+    Ok
+      (result ?exhausted:r.Enumerate.exhausted
+         (P.Outcomes
+            {
+              entries = r.Enumerate.outcomes;
+              terminals = r.Enumerate.terminals;
+              states = r.Enumerate.states_visited;
+            }))
+  | P.Axiom { test; family; window; engine } -> begin
+    let* _, t = litmus_hash test in
+    match engine with
+    | P.Generate ->
+      let r = Generate.run ~window ?budget t family in
+      Ok
+        (result ?exhausted:r.Generate.stats.Generate.exhausted
+           (P.Axiom_outcomes
+              {
+                entries =
+                  List.map
+                    (fun (e : Generate.entry) -> (e.Generate.outcome, e.Generate.candidates))
+                    r.Generate.entries;
+                accepted = r.Generate.stats.Generate.accepted;
+              }))
+    | P.Solver ->
+      let r = Solver.run ~window ?budget t family in
+      Ok
+        (result ?exhausted:r.Solver.stats.Solver.exhausted
+           (P.Axiom_outcomes
+              {
+                entries =
+                  List.map
+                    (fun (e : Solver.entry) -> (e.Solver.outcome, e.Solver.candidates))
+                    r.Solver.entries;
+                accepted = r.Solver.stats.Solver.accepted;
+              }))
+  end
+  | P.Estimate { kind; family; seed; trials; target_width } ->
+    let rng = Rng.create seed in
+    let estimated ~point ~(ci : Memrel_prob.Stats.interval) ~trials ~target_met exhausted =
+      result ?exhausted
+        (P.Estimated
+           { point; lo = ci.Memrel_prob.Stats.lo; hi = ci.Memrel_prob.Stats.hi; trials;
+             target_met })
+    in
+    Ok
+      (match kind with
+       | P.Settling { gamma; p; m } -> begin
+         let model = model_of_family family in
+         match target_width with
+         | None ->
+           let g =
+             Mc.probability_b_governed ~p ~m ~jobs:1 ?budget ~trials ~gamma model rng
+           in
+           let point, ci = g.Memrel_prob.Par.value in
+           estimated ~point ~ci
+             ~trials:g.Memrel_prob.Par.run_stats.Memrel_prob.Par.trials_done
+             ~target_met:false g.Memrel_prob.Par.exhausted
+         | Some target_width ->
+           let s =
+             Mc.probability_b_adaptive ~p ~m ~jobs:1 ?budget ~target_width ~max_trials:trials
+               ~gamma model rng
+           in
+           let point, ci = s.Memrel_prob.Par.value in
+           estimated ~point ~ci ~trials:s.Memrel_prob.Par.trials_done
+             ~target_met:s.Memrel_prob.Par.target_met s.Memrel_prob.Par.exhausted
+       end
+       | P.Shift { gammas } -> begin
+         match target_width with
+         | None ->
+           let g = Process.estimate_governed ~jobs:1 ?budget ~trials rng gammas in
+           let point, ci = g.Memrel_prob.Par.value in
+           estimated ~point ~ci
+             ~trials:g.Memrel_prob.Par.run_stats.Memrel_prob.Par.trials_done
+             ~target_met:false g.Memrel_prob.Par.exhausted
+         | Some target_width ->
+           let s =
+             Process.estimate_adaptive ~jobs:1 ?budget ~target_width ~max_trials:trials rng
+               gammas
+           in
+           let point, ci = s.Memrel_prob.Par.value in
+           estimated ~point ~ci ~trials:s.Memrel_prob.Par.trials_done
+             ~target_met:s.Memrel_prob.Par.target_met s.Memrel_prob.Par.exhausted
+       end
+       | P.Joint { n } -> begin
+         let model = model_of_family family in
+         match target_width with
+         | None ->
+           let g = Joint.estimate_governed ~jobs:1 ?budget ~trials model ~n rng in
+           let e = g.Memrel_prob.Par.value in
+           estimated ~point:e.Joint.pr_no_bug ~ci:e.Joint.ci
+             ~trials:g.Memrel_prob.Par.run_stats.Memrel_prob.Par.trials_done
+             ~target_met:false g.Memrel_prob.Par.exhausted
+         | Some target_width ->
+           let s =
+             Joint.estimate_adaptive ~jobs:1 ?budget ~target_width ~max_trials:trials model ~n
+               rng
+           in
+           let e = s.Memrel_prob.Par.value in
+           estimated ~point:e.Joint.pr_no_bug ~ci:e.Joint.ci
+             ~trials:s.Memrel_prob.Par.trials_done ~target_met:s.Memrel_prob.Par.target_met
+             s.Memrel_prob.Par.exhausted
+       end)
+
+let run ~caps q limits =
+  match run ~caps q limits with
+  | (Ok _ | Error _) as r -> r
+  | exception Invalid_argument m -> unsupported m
+  | exception e -> Error { code = P.Server_error; message = Printexc.to_string e }
+
+(* -- cached execution ----------------------------------------------------
+   The single entry point the server (and the differential tests) use: the
+   cache stores Protocol.encode_result bytes, and only complete results.
+   A hit is therefore always the exact bytes a direct run produced. *)
+
+let run_cached ~caps cache (q : P.query) (limits : P.limits) =
+  let* key = cache_key q in
+  Cache.find_or_compute cache ~key ~compute:(fun () ->
+      let* r = run ~caps q limits in
+      Ok (P.encode_result r, r.P.partial = None))

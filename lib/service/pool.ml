@@ -1,0 +1,56 @@
+type 'a t = {
+  queue : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let worker_loop t handler =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.lock
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      (* a handler failure must not kill the worker: the connection it was
+         serving is lost either way, the pool keeps draining *)
+      (try handler job with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers ~handler =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t handler));
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  let accepted = not t.stopping in
+  if accepted then begin
+    Queue.push job t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  accepted
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers

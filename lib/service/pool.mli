@@ -1,0 +1,19 @@
+(** A fixed-size per-Domain worker pool.
+
+    Jobs queue under a mutex and drain on [workers] spawned Domains. The
+    handler runs one job at a time per worker; a handler exception is
+    swallowed (the job is abandoned, the worker survives). On a one-core
+    container the pool degrades gracefully to what is effectively a serial
+    executor — correctness never depends on parallelism. *)
+
+type 'a t
+
+val create : workers:int -> handler:('a -> unit) -> 'a t
+(** Spawn [workers] (>= 1) Domains draining a shared queue. *)
+
+val submit : 'a t -> 'a -> bool
+(** Enqueue a job. [false] after {!shutdown} began (the job is dropped). *)
+
+val shutdown : 'a t -> unit
+(** Stop accepting, drain the queue, join every worker. Idempotent in
+    effect but call it once. *)

@@ -1,0 +1,170 @@
+module P = Protocol
+
+type config = {
+  address : P.address;
+  cache_dir : string;
+  workers : int;
+  caps : Engine.caps;
+  shards : int;
+}
+
+let default_config address cache_dir =
+  { address; cache_dir; workers = 1; caps = Engine.no_caps; shards = 16 }
+
+type state = {
+  config : config;
+  cache : Cache.t;
+  stop : bool Atomic.t;
+  requests : int Atomic.t;
+  started : float;
+}
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> failwith ("no address for host " ^ host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found -> failwith ("unknown host " ^ host))
+
+let listening_socket address =
+  match address with
+  | P.Unix_path path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 64;
+    sock
+  | P.Tcp (host, port) ->
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (resolve_host host, port));
+    Unix.listen sock 64;
+    sock
+
+(* -- request handling --------------------------------------------------- *)
+
+let error_response (e : Engine.error) = P.Error { code = e.Engine.code; message = e.Engine.message }
+
+(* a single query answers with the spliced cache bytes — the fast path that
+   makes cached responses byte-identical to computed ones *)
+let answer_query st q limits =
+  match Engine.run_cached ~caps:st.config.caps st.cache q limits with
+  | Ok (bytes, origin) -> P.encode_result_response ~origin bytes
+  | Error e -> P.encode_response (error_response e)
+
+let answer_query_item st q limits =
+  match Engine.run_cached ~caps:st.config.caps st.cache q limits with
+  | Ok (bytes, origin) -> P.encode_result_item ~origin bytes
+  | Error e -> P.encode_response_item (error_response e)
+
+(* Batch: identical sub-queries (same query AND same limits) are computed
+   once. Keyed by the encoded request bytes — structural identity without
+   a comparator over the query tree. *)
+let answer_batch st items =
+  let memo = Hashtbl.create (List.length items) in
+  let answers =
+    List.map
+      (fun (q, limits) ->
+        let key = P.encode_request (P.Query (q, limits)) in
+        match Hashtbl.find_opt memo key with
+        | Some bytes -> bytes
+        | None ->
+          let bytes = answer_query_item st q limits in
+          Hashtbl.replace memo key bytes;
+          bytes)
+      items
+  in
+  P.encode_items_response answers
+
+let server_stats st =
+  {
+    P.cache = Cache.stats st.cache;
+    requests = Atomic.get st.requests;
+    uptime_s = Unix.gettimeofday () -. st.started;
+    workers = st.config.workers;
+  }
+
+let handle_request st = function
+  | P.Query (q, limits) -> answer_query st q limits
+  | P.Batch items -> answer_batch st items
+  | P.Stats -> P.encode_response (P.Stats_reply (server_stats st))
+  | P.Ping -> P.encode_response P.Pong
+  | P.Shutdown ->
+    Atomic.set st.stop true;
+    P.encode_response P.Bye
+
+(* poll at frame boundaries so an idle connection notices a shutdown: a
+   blocking read here would leave a worker pinned until its client went
+   away, and [Pool.shutdown] would never join *)
+let rec wait_readable st fd =
+  if Atomic.get st.stop then false
+  else
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> wait_readable st fd
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable st fd
+
+let serve_connection st fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec loop () =
+        if wait_readable st fd then
+          match P.read_frame fd with
+          | Ok None -> ()
+          | Error msg ->
+            (* a malformed frame poisons the stream: answer and hang up *)
+            P.write_frame fd
+              (P.encode_response (P.Error { code = P.Bad_request; message = msg }))
+          | Ok (Some payload) ->
+            Atomic.incr st.requests;
+            let reply =
+              match P.decode_request payload with
+              | Error msg ->
+                P.encode_response (P.Error { code = P.Bad_request; message = msg })
+              | Ok request -> handle_request st request
+            in
+            P.write_frame fd reply;
+            if not (Atomic.get st.stop) then loop ()
+      in
+      loop ())
+
+(* -- lifecycle ----------------------------------------------------------- *)
+
+let run ?on_ready config =
+  (* a client hanging up mid-reply must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let st =
+    {
+      config;
+      cache = Cache.create ~shards:config.shards ~dir:config.cache_dir ();
+      stop = Atomic.make false;
+      requests = Atomic.make 0;
+      started = Unix.gettimeofday ();
+    }
+  in
+  let sock = listening_socket config.address in
+  let pool = Pool.create ~workers:config.workers ~handler:(serve_connection st) in
+  Option.iter (fun f -> f ()) on_ready;
+  let rec accept_loop () =
+    if not (Atomic.get st.stop) then begin
+      (match Unix.select [ sock ] [] [] 0.2 with
+       | [], _, _ -> ()
+       | _ -> (
+         match Unix.accept sock with
+         | fd, _ -> if not (Pool.submit pool fd) then Unix.close fd
+         | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown pool;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      match config.address with
+      | P.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | P.Tcp _ -> ())
+    accept_loop

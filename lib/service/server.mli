@@ -1,0 +1,28 @@
+(** The [memrel serve] daemon.
+
+    Listens on a Unix-domain or TCP socket, dispatches connections to a
+    {!Pool} of worker Domains, and answers {!Protocol} requests through a
+    {!Cache}-fronted {!Engine}. Cache hits are spliced into responses
+    byte-for-byte; [Batch] requests compute identical sub-queries once; a
+    [Shutdown] request stops the accept loop, drains the pool, and removes
+    a Unix socket path. Idle connections are polled at frame boundaries so
+    shutdown never waits on a silent client. *)
+
+type config = {
+  address : Protocol.address;
+  cache_dir : string;
+  workers : int;  (** worker Domains serving connections (>= 1) *)
+  caps : Engine.caps;  (** server-side ceilings on per-request limits *)
+  shards : int;  (** cache lock shards (1..256) *)
+}
+
+val resolve_host : string -> Unix.inet_addr
+(** Numeric parse first, then a name lookup. Raises [Failure]. *)
+
+val default_config : Protocol.address -> string -> config
+(** 1 worker, 16 shards, no caps. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> unit
+(** Serve until a [Shutdown] request arrives. [on_ready] fires once the
+    socket is listening (in-process harnesses use it to know when to
+    connect). Blocks the calling domain. *)

@@ -120,12 +120,97 @@ let test_window_parameter_matters () =
   let v = L.check ~window:1 (L.find "lb") Model.Weak_ordering in
   Alcotest.(check bool) "window=1 forbids LB" false v.observed_relaxed
 
+(* -- structural hash ---------------------------------------------------- *)
+
+let test_hash_no_collisions () =
+  (* the whole corpus plus the incN family: every structurally distinct
+     test must digest differently — the service cache keys on this. [inc]
+     itself IS increment_n 2, so that digest must coincide, and the family
+     here starts at 3 *)
+  Alcotest.(check string) "inc digests as increment_n 2" (L.hash (L.find "inc"))
+    (L.hash (L.increment_n 2));
+  let tests = L.all @ List.init 10 (fun i -> L.increment_n (i + 3)) in
+  let tagged = List.map (fun t -> (t.L.name, L.hash t)) tests in
+  List.iteri
+    (fun i (ni, hi) ->
+      Alcotest.(check int) (ni ^ " hash is 16 hex chars") 16 (String.length hi);
+      List.iteri
+        (fun j (nj, hj) ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s and %s hash apart" ni nj)
+              false (String.equal hi hj))
+        tagged)
+    tagged
+
+let test_hash_name_independent () =
+  let sb = L.find "sb" in
+  let renamed = { sb with L.name = "renamed"; description = "different words" } in
+  Alcotest.(check string) "rename preserves the hash" (L.hash sb) (L.hash renamed)
+
+let test_hash_structure_sensitive () =
+  let sb = L.find "sb" in
+  (* drop one instruction: different structure, different digest *)
+  let truncated =
+    { sb with L.programs = [ List.hd sb.L.programs; [| Memrel_machine.Instr.load ~reg:0 ~loc:0 |] ] }
+  in
+  Alcotest.(check bool) "instruction change changes the hash" false
+    (String.equal (L.hash sb) (L.hash truncated));
+  (* same programs, different initial memory *)
+  let seeded = { sb with L.initial_mem = [ (0, 7) ] } in
+  Alcotest.(check bool) "initial memory changes the hash" false
+    (String.equal (L.hash sb) (L.hash seeded));
+  (* same programs, different observation spec *)
+  let observed = { sb with L.relaxed_outcome = [ ("0:r0", 0) ] } in
+  Alcotest.(check bool) "observation spec changes the hash" false
+    (String.equal (L.hash sb) (L.hash observed))
+
+let test_hash_pure () =
+  List.iter
+    (fun (t : L.t) -> Alcotest.(check string) (t.L.name ^ " hash stable") (L.hash t) (L.hash t))
+    L.all
+
+let test_structure_counts () =
+  let threads, locs, events = L.structure (L.find "sb") in
+  Alcotest.(check (triple int int int)) "sb structure" (2, 2, 4) (threads, locs, events);
+  let threads, locs, events = L.structure (L.find "inc") in
+  Alcotest.(check (triple int int int)) "inc structure" (2, 1, 4) (threads, locs, events);
+  let threads, locs, events = L.structure (L.find "iriw") in
+  Alcotest.(check (triple int int int)) "iriw structure" (4, 2, 6) (threads, locs, events)
+
+let test_corpus_table_golden () =
+  let table = L.corpus_table () in
+  let lines = String.split_on_char '\n' table in
+  (* header + 12 rows + trailing newline *)
+  Alcotest.(check int) "line count" (1 + List.length L.all + 1) (List.length lines);
+  List.iter
+    (fun (t : L.t) ->
+      let prefix = Printf.sprintf "%-10s %-16s" t.L.name (L.hash t) in
+      Alcotest.(check bool)
+        (t.L.name ^ " row present with its hash")
+        true
+        (List.exists (fun l -> String.length l >= String.length prefix
+                               && String.sub l 0 (String.length prefix) = prefix) lines))
+    L.all;
+  (* golden pin of one full row: format regressions fail loudly *)
+  let sb = L.find "sb" in
+  let expected_sb =
+    Printf.sprintf "%-10s %-16s %7d %4d %6d  %s" "sb" (L.hash sb) 2 2 4 sb.L.description
+  in
+  Alcotest.(check bool) "sb golden row" true (List.mem expected_sb lines)
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
       ("corpus well-formed", test_corpus_well_formed);
       ("find", test_find);
+      ("hash: corpus collision-free", test_hash_no_collisions);
+      ("hash: name-independent", test_hash_name_independent);
+      ("hash: structure-sensitive", test_hash_structure_sensitive);
+      ("hash: deterministic", test_hash_pure);
+      ("structure counts", test_structure_counts);
+      ("litmus list golden table", test_corpus_table_golden);
       ("SC outcomes subset of weaker models", test_outcome_monotonicity);
       ("inc outcome set", test_inc_outcomes);
       ("sb outcome counts", test_sb_outcome_sets);

@@ -109,6 +109,33 @@ let test_overwrite_is_atomic_replacement () =
   Alcotest.(check bool) "latest payload wins" true (Snapshot.read ~file ~tag:"t" = Ok "second");
   Alcotest.(check bool) "no tmp file left behind" false (Sys.file_exists (file ^ ".tmp"))
 
+let test_failed_write_cleans_tmp () =
+  (* inject a rename failure: the destination path is an existing
+     directory, so the payload is fully written to file.tmp and the final
+     rename fails. The write must report Io AND remove the temporary. *)
+  let dir = Filename.temp_file "memrel_snap" ".dir" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () ->
+      (match Snapshot.write ~file:dir ~tag:"t" "payload" with
+       | Error (Snapshot.Io _) -> ()
+       | Ok () -> Alcotest.fail "write onto a directory unexpectedly succeeded"
+       | Error e -> Alcotest.failf "expected Io, got %s" (Snapshot.error_to_string e));
+      Alcotest.(check bool) "tmp file removed after the failed rename" false
+        (Sys.file_exists (dir ^ ".tmp")))
+
+let test_unwritable_target_cleans_tmp () =
+  (* the tmp file itself cannot be created (missing parent): no residue *)
+  let missing = Filename.concat (Filename.get_temp_dir_name ()) "memrel_snap_missing_dir" in
+  let file = Filename.concat missing "snap.bin" in
+  (match Snapshot.write ~file ~tag:"t" "payload" with
+   | Error (Snapshot.Io _) -> ()
+   | Ok () -> Alcotest.fail "write into a missing directory unexpectedly succeeded"
+   | Error e -> Alcotest.failf "expected Io, got %s" (Snapshot.error_to_string e));
+  Alcotest.(check bool) "no tmp residue" false (Sys.file_exists (file ^ ".tmp"))
+
 let test_crc32_known_vector () =
   (* the standard IEEE check value *)
   Alcotest.(check int) "crc32(\"123456789\")" 0xCBF43926 (Snapshot.crc32 "123456789");
@@ -129,5 +156,7 @@ let suite =
       ("corrupted payload fails CRC", test_corrupted_payload);
       ("missing file is an Io error", test_missing_file);
       ("overwrite replaces atomically", test_overwrite_is_atomic_replacement);
+      ("failed rename removes the tmp file", test_failed_write_cleans_tmp);
+      ("unwritable target leaves no tmp residue", test_unwritable_target_cleans_tmp);
       ("crc32 matches the IEEE check value", test_crc32_known_vector);
     ]

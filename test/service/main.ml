@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "memrel_service"
+    [
+      ("protocol", Test_protocol.suite);
+      ("cache", Test_cache.suite);
+      ("engine", Test_engine.suite);
+      ("server", Test_server.suite);
+    ]

@@ -1,0 +1,241 @@
+module Cache = Memrel_service.Cache
+module P = Memrel_service.Protocol
+
+let temp_dir () =
+  let d = Filename.temp_file "memrel_cache" ".d" in
+  Sys.remove d;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let get = function
+  | Ok v -> v
+  | Error (m : string) -> Alcotest.failf "unexpected cache error: %s" m
+
+let test_compute_then_hit () =
+  with_dir @@ fun dir ->
+  let c = Cache.create ~dir () in
+  let computes = ref 0 in
+  let compute () =
+    incr computes;
+    Ok ("value-1", true)
+  in
+  let v, o = get (Cache.find_or_compute c ~key:"k1" ~compute) in
+  Alcotest.(check string) "computed value" "value-1" v;
+  Alcotest.(check bool) "computed origin" true (o = Cache.Computed);
+  let v, o = get (Cache.find_or_compute c ~key:"k1" ~compute) in
+  Alcotest.(check string) "hit value" "value-1" v;
+  Alcotest.(check bool) "memory origin" true (o = Cache.Memory_hit);
+  Alcotest.(check int) "computed once" 1 !computes;
+  let s = Cache.stats c in
+  Alcotest.(check int) "entries" 1 s.P.entries;
+  Alcotest.(check int) "stores" 1 s.P.stores
+
+let test_disk_hit_after_memory_clear () =
+  with_dir @@ fun dir ->
+  let c = Cache.create ~dir () in
+  ignore (get (Cache.find_or_compute c ~key:"k" ~compute:(fun () -> Ok ("v", true))));
+  Cache.clear_memory c;
+  let v, o =
+    get (Cache.find_or_compute c ~key:"k" ~compute:(fun () -> Alcotest.fail "recomputed"))
+  in
+  Alcotest.(check string) "disk value" "v" v;
+  Alcotest.(check bool) "disk origin" true (o = Cache.Disk_hit);
+  (* promoted: the next probe is a memory hit *)
+  let _, o =
+    get (Cache.find_or_compute c ~key:"k" ~compute:(fun () -> Alcotest.fail "recomputed"))
+  in
+  Alcotest.(check bool) "promoted to memory" true (o = Cache.Memory_hit)
+
+let test_fresh_instance_same_dir () =
+  (* the restart scenario: a second cache over the same directory serves
+     the first one's entries from disk *)
+  with_dir @@ fun dir ->
+  let c1 = Cache.create ~dir () in
+  ignore (get (Cache.find_or_compute c1 ~key:"persist" ~compute:(fun () -> Ok ("p", true))));
+  let c2 = Cache.create ~dir () in
+  let v, o =
+    get
+      (Cache.find_or_compute c2 ~key:"persist"
+         ~compute:(fun () -> Alcotest.fail "recomputed after restart"))
+  in
+  Alcotest.(check string) "value survives restart" "p" v;
+  Alcotest.(check bool) "from disk" true (o = Cache.Disk_hit)
+
+let test_uncacheable_not_stored () =
+  with_dir @@ fun dir ->
+  let c = Cache.create ~dir () in
+  let computes = ref 0 in
+  let compute () =
+    incr computes;
+    Ok (Printf.sprintf "partial-%d" !computes, false)
+  in
+  let v, _ = get (Cache.find_or_compute c ~key:"k" ~compute) in
+  Alcotest.(check string) "first" "partial-1" v;
+  let v, o = get (Cache.find_or_compute c ~key:"k" ~compute) in
+  Alcotest.(check string) "recomputed, not served stale" "partial-2" v;
+  Alcotest.(check bool) "still a compute" true (o = Cache.Computed);
+  Alcotest.(check int) "no entries" 0 (Cache.stats c).P.entries
+
+let test_compute_error_propagates () =
+  with_dir @@ fun dir ->
+  let c = Cache.create ~dir () in
+  (match Cache.find_or_compute c ~key:"k" ~compute:(fun () -> Error "engine failed") with
+   | Error "engine failed" -> ()
+   | Error m -> Alcotest.failf "wrong error: %s" m
+   | Ok _ -> Alcotest.fail "error swallowed");
+  (* an error stores nothing: a later successful compute proceeds *)
+  let v, _ = get (Cache.find_or_compute c ~key:"k" ~compute:(fun () -> Ok ("ok", true))) in
+  Alcotest.(check string) "later success" "ok" v
+
+let corrupt_one_file dir =
+  let corrupted = ref 0 in
+  Array.iter
+    (fun shard ->
+      let sdir = Filename.concat dir shard in
+      if Sys.is_directory sdir then
+        Array.iter
+          (fun f ->
+            let path = Filename.concat sdir f in
+            if Filename.check_suffix f ".snap" && !corrupted = 0 then begin
+              let ic = open_in_bin path in
+              let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+              close_in ic;
+              let last = Bytes.length s - 1 in
+              Bytes.set s last (Char.chr (Char.code (Bytes.get s last) lxor 0xff));
+              let oc = open_out_bin path in
+              output_bytes oc s;
+              close_out oc;
+              incr corrupted
+            end)
+          (Sys.readdir sdir))
+    (Sys.readdir dir);
+  !corrupted
+
+let test_corrupted_disk_entry_recomputed () =
+  with_dir @@ fun dir ->
+  let c = Cache.create ~dir () in
+  ignore (get (Cache.find_or_compute c ~key:"k" ~compute:(fun () -> Ok ("good", true))));
+  Alcotest.(check int) "one file corrupted" 1 (corrupt_one_file dir);
+  Cache.clear_memory c;
+  let computes = ref 0 in
+  let v, o =
+    get
+      (Cache.find_or_compute c ~key:"k"
+         ~compute:(fun () -> incr computes; Ok ("recomputed", true)))
+  in
+  Alcotest.(check string) "recomputed, not served corrupt" "recomputed" v;
+  Alcotest.(check bool) "counted as a compute" true (o = Cache.Computed);
+  Alcotest.(check bool) "disk error counted" true ((Cache.stats c).P.disk_errors >= 1);
+  (* the overwrite repaired the entry: a fresh instance reads it *)
+  Cache.clear_memory c;
+  let v, o = get (Cache.find_or_compute c ~key:"k" ~compute:(fun () -> Ok ("again", true))) in
+  Alcotest.(check string) "repaired on disk" "recomputed" v;
+  Alcotest.(check bool) "disk hit after repair" true (o = Cache.Disk_hit)
+
+(* -- multi-domain hammering --------------------------------------------- *)
+
+let test_same_key_raced () =
+  (* 4 domains x 25 iterations on ONE key: the compute must run exactly
+     once, everyone must read the same value, and nothing may crash *)
+  with_dir @@ fun dir ->
+  let c = Cache.create ~dir () in
+  let computes = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computes;
+    (* widen the race window *)
+    ignore (Sys.opaque_identity (Array.init 1000 (fun i -> i * i)));
+    Ok ("singleton", true)
+  in
+  let worker () =
+    for _ = 1 to 25 do
+      let v, _ = get (Cache.find_or_compute c ~key:"shared" ~compute) in
+      if v <> "singleton" then failwith "wrong value under race"
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get computes)
+
+let test_distinct_keys_parallel () =
+  (* 4 domains, each with its own key set; every key computed exactly once
+     and every read consistent *)
+  with_dir @@ fun dir ->
+  let c = Cache.create ~dir () in
+  let computes = Atomic.make 0 in
+  let worker d () =
+    for i = 0 to 19 do
+      let key = Printf.sprintf "d%d-k%d" d i in
+      let expected = "v:" ^ key in
+      for _ = 1 to 3 do
+        let v, _ =
+          get
+            (Cache.find_or_compute c ~key
+               ~compute:(fun () -> Atomic.incr computes; Ok (expected, true)))
+        in
+        if v <> expected then failwith ("wrong value for " ^ key)
+      done
+    done
+  in
+  let domains = Array.init 4 (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "80 distinct computes" 80 (Atomic.get computes);
+  Alcotest.(check int) "80 entries" 80 (Cache.stats c).P.entries
+
+let test_hammer_mixed_with_disk_reloads () =
+  (* interleave same-key and distinct-key traffic with periodic memory
+     clears, so disk promotion races the computes too *)
+  with_dir @@ fun dir ->
+  let c = Cache.create ~shards:4 ~dir () in
+  let worker d () =
+    for i = 0 to 49 do
+      let key = Printf.sprintf "k%d" (i mod 7) in
+      let expected = "v:" ^ key in
+      let v, _ =
+        get (Cache.find_or_compute c ~key ~compute:(fun () -> Ok (expected, true)))
+      in
+      if v <> expected then failwith ("wrong value for " ^ key);
+      if d = 0 && i mod 10 = 9 then Cache.clear_memory c
+    done
+  in
+  let domains = Array.init 4 (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join domains;
+  (* domain 0's last iteration clears memory, so the resident count after
+     the join is racy — what must hold is that every key still reads back
+     from the store without recomputation *)
+  for i = 0 to 6 do
+    let key = Printf.sprintf "k%d" i in
+    let v, _ =
+      get
+        (Cache.find_or_compute c ~key
+           ~compute:(fun () -> Alcotest.failf "%s lost after hammer" key))
+    in
+    Alcotest.(check string) (key ^ " survives") ("v:" ^ key) v
+  done;
+  let s = Cache.stats c in
+  Alcotest.(check int) "7 keys resident after probes" 7 s.P.entries;
+  Alcotest.(check int) "no disk errors" 0 s.P.disk_errors
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("compute then memory hit", test_compute_then_hit);
+      ("disk hit and promotion", test_disk_hit_after_memory_clear);
+      ("fresh instance reads the same dir", test_fresh_instance_same_dir);
+      ("uncacheable results are not stored", test_uncacheable_not_stored);
+      ("compute errors propagate, store nothing", test_compute_error_propagates);
+      ("corrupted disk entry recomputed and repaired", test_corrupted_disk_entry_recomputed);
+      ("4 domains race one key: single compute", test_same_key_raced);
+      ("4 domains, distinct keys in parallel", test_distinct_keys_parallel);
+      ("mixed hammer with disk reloads", test_hammer_mixed_with_disk_reloads);
+    ]

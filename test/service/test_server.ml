@@ -1,0 +1,295 @@
+module P = Memrel_service.Protocol
+module Server = Memrel_service.Server
+module Client = Memrel_service.Client
+module Engine = Memrel_service.Engine
+module Pool = Memrel_service.Pool
+module Model = Memrel_memmodel.Model
+
+let temp_path suffix =
+  let p = Filename.temp_file "memrel_srv" suffix in
+  Sys.remove p;
+  p
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* a daemon on a fresh Unix socket, stopped (via Shutdown) and joined before
+   returning — [keep_cache] reuses a directory across restarts *)
+let with_server ?(workers = 2) ?caps ?cache_dir f =
+  let socket = temp_path ".sock" in
+  let cache_dir = match cache_dir with Some d -> d | None -> temp_path ".cache" in
+  let address = P.Unix_path socket in
+  let config =
+    { (Server.default_config address cache_dir) with
+      Server.workers;
+      caps = Option.value caps ~default:Engine.no_caps }
+  in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () -> Server.run ~on_ready:(fun () -> Atomic.set ready true) config)
+  in
+  (* wait for the listener: a test that connects before the daemon is up
+     would fail, and worse, leave the cleanup below unable to deliver the
+     Shutdown — Domain.join would then hang forever *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    ignore (Unix.select [] [] [] 0.01)
+  done;
+  if not (Atomic.get ready) then Alcotest.fail "server did not come up";
+  Fun.protect
+    ~finally:(fun () ->
+      (* harmless if the test already shut it down: the socket is gone and
+         this connect just fails after its retry window *)
+      (match
+         Client.with_connection ~retry_for:2. address (fun c -> Client.request c P.Shutdown)
+       with
+       | Ok _ | Error _ -> ());
+      Domain.join server;
+      rm_rf socket)
+    (fun () -> f address cache_dir)
+
+let request c r =
+  match Client.request c r with Ok resp -> resp | Error m -> Alcotest.failf "request: %s" m
+
+let connect address =
+  match Client.connect ~retry_for:10. address with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "connect: %s" m
+
+let q_verify = P.Verify { test = "sb"; family = Model.Total_store_order; window = 8 }
+
+let test_all_query_kinds () =
+  let cache_dir = temp_path ".cache" in
+  Fun.protect ~finally:(fun () -> rm_rf cache_dir) @@ fun () ->
+  with_server ~cache_dir @@ fun address _ ->
+  let c = connect address in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match request c (P.Query (q_verify, P.no_limits)) with
+   | P.Result { result = { P.payload = P.Verdict { agrees = true; _ }; partial = None }; origin = P.Computed } -> ()
+   | r -> Alcotest.failf "verify: %s" (P.render_response r));
+  (match
+     request c
+       (P.Query
+          ( P.Enumerate { test = "inc"; family = Model.Sequential_consistency; window = 8; por = true },
+            P.no_limits ))
+   with
+   | P.Result { result = { P.payload = P.Outcomes { entries; _ }; _ }; _ } ->
+     Alcotest.(check int) "inc outcomes" 2 (List.length entries)
+   | r -> Alcotest.failf "enumerate: %s" (P.render_response r));
+  (match
+     request c
+       (P.Query
+          ( P.Axiom { test = "mp"; family = Model.Weak_ordering; window = 8; engine = P.Generate },
+            P.no_limits ))
+   with
+   | P.Result { result = { P.payload = P.Axiom_outcomes { entries; _ }; _ }; _ } ->
+     Alcotest.(check bool) "mp axiom outcomes nonempty" true (entries <> [])
+   | r -> Alcotest.failf "axiom: %s" (P.render_response r));
+  (match
+     request c
+       (P.Query
+          ( P.Estimate
+              { kind = P.Shift { gammas = [| 2; 2 |] }; family = Model.Sequential_consistency;
+                seed = 1; trials = 2000; target_width = None },
+            P.no_limits ))
+   with
+   | P.Result { result = { P.payload = P.Estimated { trials = 2000; _ }; _ }; _ } -> ()
+   | r -> Alcotest.failf "estimate: %s" (P.render_response r));
+  (* ping *)
+  (match request c P.Ping with
+   | P.Pong -> ()
+   | r -> Alcotest.failf "ping: %s" (P.render_response r))
+
+let test_cache_origins_and_restart () =
+  let cache_dir = temp_path ".cache" in
+  Fun.protect ~finally:(fun () -> rm_rf cache_dir) @@ fun () ->
+  let origin_of = function
+    | P.Result { origin; _ } -> P.origin_to_string origin
+    | r -> Alcotest.failf "expected a result: %s" (P.render_response r)
+  in
+  with_server ~cache_dir (fun address _ ->
+      let c = connect address in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      Alcotest.(check string) "first is computed" "computed"
+        (origin_of (request c (P.Query (q_verify, P.no_limits))));
+      Alcotest.(check string) "second is a memory hit" "memory"
+        (origin_of (request c (P.Query (q_verify, P.no_limits)))));
+  (* a new daemon over the same cache dir serves from disk *)
+  with_server ~cache_dir (fun address _ ->
+      let c = connect address in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      Alcotest.(check string) "after restart: disk hit" "disk"
+        (origin_of (request c (P.Query (q_verify, P.no_limits))));
+      Alcotest.(check string) "then memory" "memory"
+        (origin_of (request c (P.Query (q_verify, P.no_limits)))))
+
+let test_batch_dedup_and_order () =
+  with_server @@ fun address _ ->
+  let c = connect address in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let q2 = P.Enumerate { test = "inc"; family = Model.Sequential_consistency; window = 8; por = false } in
+  let misses () =
+    match request c P.Stats with
+    | P.Stats_reply s -> s.P.cache.P.misses
+    | r -> Alcotest.failf "stats: %s" (P.render_response r)
+  in
+  let before = misses () in
+  (match
+     request c
+       (P.Batch
+          [ (q_verify, P.no_limits); (q_verify, P.no_limits); (q2, P.no_limits);
+            (q_verify, P.no_limits) ])
+   with
+   | P.Results [ a; b; c'; d ] ->
+     (* order preserved: three verdicts and one outcome listing *)
+     let is_verdict = function
+       | P.Result { result = { P.payload = P.Verdict _; _ }; _ } -> true
+       | _ -> false
+     in
+     Alcotest.(check bool) "slot 0 verdict" true (is_verdict a);
+     Alcotest.(check bool) "slot 1 verdict" true (is_verdict b);
+     Alcotest.(check bool) "slot 3 verdict" true (is_verdict d);
+     (match c' with
+      | P.Result { result = { P.payload = P.Outcomes _; _ }; _ } -> ()
+      | _ -> Alcotest.fail "slot 2 should be the enumeration");
+     (* identical sub-queries answered identically *)
+     Alcotest.(check bool) "duplicates identical" true (a = b && b = d)
+   | r -> Alcotest.failf "batch: %s" (P.render_response r));
+  (* 4 sub-queries, but only 2 distinct computes *)
+  Alcotest.(check int) "deduplicated misses" (before + 2) (misses ())
+
+let test_batch_mixed_errors () =
+  with_server @@ fun address _ ->
+  let c = connect address in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let bad = P.Verify { test = "nosuch"; family = Model.Total_store_order; window = 8 } in
+  match request c (P.Batch [ (q_verify, P.no_limits); (bad, P.no_limits) ]) with
+  | P.Results [ P.Result _; P.Error { code = P.Unknown_test; _ } ] -> ()
+  | r -> Alcotest.failf "mixed batch: %s" (P.render_response r)
+
+let test_budget_partial_over_the_wire () =
+  with_server @@ fun address _ ->
+  let c = connect address in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let limits = { P.deadline_s = Some 0.; max_work = None; max_mem_mb = None } in
+  match
+    request c
+      (P.Query
+         ( P.Enumerate { test = "inc5"; family = Model.Sequential_consistency; window = 8; por = false },
+           limits ))
+  with
+  | P.Result { result = { P.partial = Some p; _ }; _ } ->
+    Alcotest.(check string) "cause" "deadline" p.P.cause
+  | r -> Alcotest.failf "expected partial: %s" (P.render_response r)
+
+let test_server_caps_apply () =
+  let caps = { Engine.no_caps with Engine.max_deadline_s = Some 0. } in
+  with_server ~caps @@ fun address _ ->
+  let c = connect address in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match
+    request c
+      (P.Query
+         ( P.Enumerate { test = "inc5"; family = Model.Sequential_consistency; window = 8; por = false },
+           P.no_limits ))
+  with
+  | P.Result { result = { P.partial = Some _; _ }; _ } -> ()
+  | r -> Alcotest.failf "cap should partial a heavy query: %s" (P.render_response r)
+
+let test_malformed_frame_answered () =
+  with_server @@ fun address _ ->
+  match address with
+  | P.Tcp _ -> Alcotest.fail "unix socket expected"
+  | P.Unix_path path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    (* a valid frame whose payload is not a request *)
+    P.write_frame fd "\xde\xad\xbe\xef";
+    (match P.read_frame fd with
+     | Ok (Some payload) -> begin
+       match P.decode_response payload with
+       | Ok (P.Error { code = P.Bad_request; _ }) -> ()
+       | Ok r -> Alcotest.failf "expected bad-request: %s" (P.render_response r)
+       | Error m -> Alcotest.fail m
+     end
+     | Ok None -> Alcotest.fail "connection closed without an answer"
+     | Error m -> Alcotest.fail m)
+
+let test_stats_and_shutdown () =
+  with_server @@ fun address _ ->
+  let c = connect address in
+  ignore (request c (P.Query (q_verify, P.no_limits)));
+  (match request c P.Stats with
+   | P.Stats_reply s ->
+     Alcotest.(check bool) "requests counted" true (s.P.requests >= 1);
+     Alcotest.(check int) "workers reported" 2 s.P.workers;
+     Alcotest.(check bool) "an entry cached" true (s.P.cache.P.entries >= 1)
+   | r -> Alcotest.failf "stats: %s" (P.render_response r));
+  (match request c P.Shutdown with
+   | P.Bye -> ()
+   | r -> Alcotest.failf "shutdown: %s" (P.render_response r));
+  Client.close c;
+  (* the daemon is down: fresh connections fail once the socket is gone *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait_down () =
+    match Client.with_connection address (fun c -> Client.request c P.Ping) with
+    | Error _ -> ()
+    | Ok _ ->
+      if Unix.gettimeofday () > deadline then Alcotest.fail "daemon still answering"
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        wait_down ()
+      end
+  in
+  wait_down ()
+
+(* -- pool --------------------------------------------------------------- *)
+
+let test_pool_drains_and_joins () =
+  let processed = Atomic.make 0 in
+  let pool = Pool.create ~workers:3 ~handler:(fun n -> Atomic.set processed (Atomic.get processed + n)) in
+  ignore pool;
+  let pool2 = Pool.create ~workers:2 ~handler:(fun _ -> Atomic.incr processed) in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "accepted" true (Pool.submit pool2 ())
+  done;
+  Pool.shutdown pool2;
+  Alcotest.(check int) "all jobs ran before join" 50 (Atomic.get processed);
+  Alcotest.(check bool) "rejected after shutdown" false (Pool.submit pool2 ());
+  Pool.shutdown pool
+
+let test_pool_survives_handler_exceptions () =
+  let survived = Atomic.make 0 in
+  let pool =
+    Pool.create ~workers:1 ~handler:(fun n ->
+        if n = 0 then failwith "boom" else Atomic.incr survived)
+  in
+  ignore (Pool.submit pool 0);
+  ignore (Pool.submit pool 1);
+  ignore (Pool.submit pool 0);
+  ignore (Pool.submit pool 2);
+  Pool.shutdown pool;
+  Alcotest.(check int) "worker survived the failures" 2 (Atomic.get survived)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("all query kinds over the wire", test_all_query_kinds);
+      ("origins: computed, memory, disk across restart", test_cache_origins_and_restart);
+      ("batch dedups and preserves order", test_batch_dedup_and_order);
+      ("batch mixes results and errors", test_batch_mixed_errors);
+      ("budget partial over the wire", test_budget_partial_over_the_wire);
+      ("server caps apply to limitless requests", test_server_caps_apply);
+      ("malformed frame answered with bad-request", test_malformed_frame_answered);
+      ("stats and clean shutdown", test_stats_and_shutdown);
+      ("pool drains before join", test_pool_drains_and_joins);
+      ("pool survives handler exceptions", test_pool_survives_handler_exceptions);
+    ]
