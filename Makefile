@@ -3,8 +3,10 @@
 # BENCH_enum.json, including the inc4 SC/TSO exhaustive counts), the
 # axiomatic-vs-operational differential, the candidate-generation bench, the
 # robustness smoke (checkpoint/resume + fault-retry bit-identity, plus the
-# CLI's exit-3 partial-result contract), and the service smoke (daemon
-# cold/warm/restart cache behavior plus its error and partial exit codes).
+# CLI's exit-3 partial-result contract), the service smoke (daemon
+# cold/warm/restart cache behavior plus its error and partial exit codes),
+# and the external-memory enumeration contract (extmem = in-RAM outcome sets
+# and terminal counts, tiny-budget spill generations, CLI kill/resume).
 
 .PHONY: all build check test bench bench-json bench-enum bench-axiom bench-exact bench-robust bench-serve ci clean
 
@@ -77,6 +79,15 @@ ci:
 	# partial-result contract: an expired deadline must exit 3, not 0/crash
 	dune exec bin/memrel_cli.exe -- window --trials 100000 --deadline 0 > /dev/null; test $$? -eq 3
 	dune exec bin/memrel_cli.exe -- enumerate inc3 --max-states 50 > /dev/null; test $$? -eq 3
+	# external-memory enumeration e2e: a tiny 1 MiB budget must still produce
+	# the exact in-RAM totals (asserted inside --json-enum-smoke above; here
+	# the CLI path), then the kill/resume contract: a state-capped run exits 3
+	# keeping its spill dir, and --resume completes it with identical totals
+	dune exec bin/memrel_cli.exe -- enumerate inc4 --extmem --mem-budget 1 | grep -q "states 3931"
+	rm -rf /tmp/memrel_ci_spill
+	dune exec bin/memrel_cli.exe -- enumerate inc4 --spill-dir /tmp/memrel_ci_spill --max-states 1500 > /dev/null; test $$? -eq 3
+	dune exec bin/memrel_cli.exe -- enumerate inc4 --spill-dir /tmp/memrel_ci_spill --resume | grep -q "states 3931"
+	rm -rf /tmp/memrel_ci_spill
 	# adaptive-stopping contract: --target-width prints the achieved interval
 	# and exits 0; under an expired deadline the partial result exits 3
 	dune exec bin/memrel_cli.exe -- shift --target-width 0.01 --seed 4 | grep -q "adaptive: target width"

@@ -775,7 +775,180 @@ let enum_rows ~smoke =
       })
     workloads
 
+(* external-memory BFS rows: throughput and disk profile of the
+   disk-spilling enumerator, with every complete run parity-asserted
+   against an exact oracle — the in-RAM engine where it fits, the in-RAM
+   POR run (identical outcome sets and terminal counts by the ample-set
+   soundness argument) where it does not. The full bench includes inc7/tso,
+   which the in-RAM engine cannot finish under a 256 MiB heap watermark;
+   the extmem engine completes it exactly under the same watermark. *)
+
+type extmem_row = {
+  xtest : string;
+  xdiscipline : string;
+  xstates : int;
+  xterminals : int;
+  xsecs : float;
+  xmem_budget : int;
+  xext : Extmem.ext_stats;
+  xoracle : string;  (* "in-ram" | "in-ram-por" *)
+  xinram_secs : float option;  (* None when in-RAM is infeasible under the watermark *)
+  xinram_note : string;
+}
+
+let extmem_rows ~smoke =
+  let mb = 1024 * 1024 in
+  let spill_dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "memrel_bench_extmem_%d" (Unix.getpid ())) in
+  let run_ext ?budget ?(mem_budget = 64 * mb) t family =
+    let d = Semantics.of_model family in
+    let r =
+      Extmem.outcomes ?budget ~max_states:50_000_000 ~mem_budget_bytes:mem_budget
+        ~spill_dir ~resume_key:"bench" d (Litmus.initial_state t)
+        ~observe:t.Litmus.observe
+    in
+    Extmem.remove_spill_dir spill_dir;
+    assert (r.Extmem.base.Enumerate.exhausted = None);
+    r
+  in
+  let dname family = String.lowercase_ascii (Model.family_name family) in
+  (* the RAM wall (full bench only): inc7/tso cannot finish in-RAM under a
+     256 MiB major heap watermark; the extmem engine completes it exactly
+     under the same watermark, parity-checked against the in-RAM POR
+     oracle. The watermark reads Gc heap_words, which on runtimes without
+     heap compaction (OCaml 5.1) never shrinks — and a forked child
+     inherits the parent's heap — so this block runs FIRST, each phase
+     forked while this process's heap is still pristine; the parity rows
+     and (in enum_json) the in-RAM workload rows only run afterwards. *)
+  let wall_rows =
+    if smoke then []
+    else begin
+      let in_subprocess (type a) (f : unit -> a) : a =
+        let rd, wr = Unix.pipe () in
+        match Unix.fork () with
+        | 0 ->
+          Unix.close rd;
+          let oc = Unix.out_channel_of_descr wr in
+          Marshal.to_channel oc (f ()) [];
+          close_out oc;
+          Stdlib.exit 0
+        | pid ->
+          Unix.close wr;
+          let ic = Unix.in_channel_of_descr rd in
+          let v : a = Marshal.from_channel ic in
+          close_in ic;
+          (match Unix.waitpid [] pid with
+           | _, Unix.WEXITED 0 -> ()
+           | _ -> failwith "bench: inc7 subprocess failed");
+          v
+      in
+      let t = Litmus.increment_n 7 in
+      let family = Model.Total_store_order in
+      let ram =
+        in_subprocess (fun () ->
+            let wm = Budget.create ~max_mem_bytes:(256 * mb) () in
+            Enumerate.outcomes ~max_states:50_000_000 ~budget:wm
+              (Semantics.of_model family) (Litmus.initial_state t)
+              ~observe:t.Litmus.observe)
+      in
+      let note =
+        match ram.Enumerate.exhausted with
+        | Some e ->
+          Printf.sprintf "in-RAM infeasible under a 256 MiB watermark: %s"
+            (Budget.describe e)
+        | None -> "in-RAM unexpectedly completed under the watermark"
+      in
+      assert (ram.Enumerate.exhausted <> None);
+      let por =
+        in_subprocess (fun () ->
+            Enumerate.outcomes ~max_states:50_000_000 ~por:true
+              (Semantics.of_model family) (Litmus.initial_state t)
+              ~observe:t.Litmus.observe)
+      in
+      let x =
+        in_subprocess (fun () ->
+            let wm = Budget.create ~max_mem_bytes:(256 * mb) () in
+            run_ext ~budget:wm t family)
+      in
+      assert (x.Extmem.base.Enumerate.exhausted = None);
+      assert (x.Extmem.base.Enumerate.outcomes = por.Enumerate.outcomes);
+      assert (x.Extmem.base.Enumerate.terminals = por.Enumerate.terminals);
+      [
+        {
+          xtest = t.Litmus.name;
+          xdiscipline = dname family;
+          xstates = x.Extmem.base.Enumerate.states_visited;
+          xterminals = x.Extmem.base.Enumerate.terminals;
+          xsecs = x.Extmem.base.Enumerate.stats.elapsed_s;
+          xmem_budget = 64 * mb;
+          xext = x.Extmem.ext;
+          xoracle = "in-ram-por";
+          xinram_secs = None;
+          xinram_note = note;
+        };
+      ]
+    end
+  in
+  (* inc4/inc5 across all four disciplines: extmem must reproduce the
+     in-RAM outcome sets AND per-outcome terminal counts exactly *)
+  let parity (n, family) =
+    let t = Litmus.increment_n n in
+    let ram = Enumerate.outcomes (Semantics.of_model family) (Litmus.initial_state t)
+        ~observe:t.Litmus.observe in
+    let x = run_ext t family in
+    assert (x.Extmem.base.Enumerate.outcomes = ram.Enumerate.outcomes);
+    assert (x.Extmem.base.Enumerate.terminals = ram.Enumerate.terminals);
+    assert (x.Extmem.base.Enumerate.states_visited = ram.Enumerate.states_visited);
+    {
+      xtest = t.Litmus.name;
+      xdiscipline = dname family;
+      xstates = x.Extmem.base.Enumerate.states_visited;
+      xterminals = x.Extmem.base.Enumerate.terminals;
+      xsecs = x.Extmem.base.Enumerate.stats.elapsed_s;
+      xmem_budget = 64 * mb;
+      xext = x.Extmem.ext;
+      xoracle = "in-ram";
+      xinram_secs = Some ram.Enumerate.stats.elapsed_s;
+      xinram_note = "";
+    }
+  in
+  let families =
+    [ Model.Sequential_consistency; Model.Total_store_order; Model.Partial_store_order;
+      Model.Weak_ordering ]
+  in
+  let rows =
+    List.concat_map (fun n -> List.map (fun f -> parity (n, f)) families)
+      (if smoke then [ 4; 5 ] else [ 4; 5; 6 ])
+  in
+  (* a deliberately tiny budget: the candidate buffer must spill repeatedly
+     mid-level (>= 2 forced generations) and the result must not change *)
+  let tiny =
+    let t = Litmus.increment_n 5 in
+    let family = Model.Total_store_order in
+    let ram = Enumerate.outcomes (Semantics.of_model family) (Litmus.initial_state t)
+        ~observe:t.Litmus.observe in
+    let x = run_ext ~mem_budget:65536 t family in
+    assert (x.Extmem.base.Enumerate.outcomes = ram.Enumerate.outcomes);
+    assert (x.Extmem.ext.Extmem.spill_generations >= 2);
+    {
+      xtest = t.Litmus.name;
+      xdiscipline = dname family;
+      xstates = x.Extmem.base.Enumerate.states_visited;
+      xterminals = x.Extmem.base.Enumerate.terminals;
+      xsecs = x.Extmem.base.Enumerate.stats.elapsed_s;
+      xmem_budget = 65536;
+      xext = x.Extmem.ext;
+      xoracle = "in-ram";
+      xinram_secs = Some ram.Enumerate.stats.elapsed_s;
+      xinram_note = "";
+    }
+  in
+  rows @ [ tiny ] @ wall_rows
+
 let enum_json ~file ~smoke =
+  (* extmem first: its RAM-wall phases fork children that must inherit a
+     pristine heap (see the comment in extmem_rows) *)
+  let xrows = extmem_rows ~smoke in
   let rows = enum_rows ~smoke in
   let sps states secs = if secs > 0.0 then float_of_int states /. secs else 0.0 in
   let buf = Buffer.create 1024 in
@@ -802,6 +975,39 @@ let enum_json ~file ~smoke =
             else 0.0)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"extmem\": [\n";
+  List.iteri
+    (fun i r ->
+      let e = r.xext in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"test\": %S, \"discipline\": %S, \"mem_budget_bytes\": %d,\n\
+           \     \"states\": %d, \"terminals\": %d, \"seconds\": %.6f, \
+            \"states_per_sec\": %.1f,\n\
+           \     \"spill_bytes\": %d, \"bytes_per_state\": %.2f, \"spill_runs\": %d, \
+            \"spill_generations\": %d,\n\
+           \     \"bloom_probes\": %d, \"bloom_hits\": %d, \"bloom_hit_rate\": %.6f, \
+            \"bloom_false_positives\": %d,\n\
+           \     \"compactions\": %d, \"levels\": %d, \"peak_level_states\": %d,\n\
+           \     \"parity_oracle\": %S, \"inram_seconds\": %s%s}%s\n"
+           r.xtest r.xdiscipline r.xmem_budget r.xstates r.xterminals r.xsecs
+           (sps r.xstates r.xsecs)
+           e.Extmem.spill_bytes
+           (if r.xstates > 0 then float_of_int e.Extmem.spill_bytes /. float_of_int r.xstates
+            else 0.0)
+           e.Extmem.spill_runs e.Extmem.spill_generations e.Extmem.bloom_probes
+           e.Extmem.bloom_hits
+           (if e.Extmem.bloom_probes > 0 then
+              float_of_int e.Extmem.bloom_hits /. float_of_int e.Extmem.bloom_probes
+            else 0.0)
+           e.Extmem.bloom_false_positives e.Extmem.compactions e.Extmem.levels
+           e.Extmem.peak_level_states r.xoracle
+           (match r.xinram_secs with Some s -> Printf.sprintf "%.6f" s | None -> "null")
+           (if r.xinram_note = "" then ""
+            else Printf.sprintf ", \"note\": %S" r.xinram_note)
+           (if i = List.length xrows - 1 then "" else ",")))
+    xrows;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
@@ -818,6 +1024,25 @@ let enum_json ~file ~smoke =
         r.por_states
         (if r.por_states > 0 then float_of_int r.estates /. float_of_int r.por_states else 0.0))
     rows;
+  List.iter
+    (fun r ->
+      let e = r.xext in
+      Printf.printf
+        "%-5s %-4s %9d states  extmem %8.0f/s (budget %s)  spill %d runs / %.1f MB / %d \
+         gens  %s%s\n"
+        r.xtest r.xdiscipline r.xstates
+        (sps r.xstates r.xsecs)
+        (if r.xmem_budget >= 1024 * 1024 then
+           Printf.sprintf "%d MiB" (r.xmem_budget / (1024 * 1024))
+         else Printf.sprintf "%d KiB" (r.xmem_budget / 1024))
+        e.Extmem.spill_runs
+        (float_of_int e.Extmem.spill_bytes /. 1048576.0)
+        e.Extmem.spill_generations
+        (match r.xinram_secs with
+         | Some s -> Printf.sprintf "= in-RAM (%8.0f/s)" (sps r.xstates s)
+         | None -> "= in-RAM POR oracle")
+        (if r.xinram_note = "" then "" else "; " ^ r.xinram_note))
+    xrows;
   Printf.printf "wrote %s\n" file
 
 (* -- axiomatic bench (--json-axiom) ------------------------------------ *)

@@ -605,16 +605,50 @@ let verify_cmd =
 (* -- enumerate --------------------------------------------------------- *)
 
 let enumerate_cmd =
-  let run name model por max_states legacy_key window deadline max_mem =
+  let run name model por max_states legacy_key window deadline max_mem extmem spill_dir
+      mem_budget resume =
     match find_litmus name with
     | Error msg ->
       Printf.eprintf "memrel: %s\n" msg;
       Cmd.Exit.some_error
     | Ok t ->
       let discipline = Semantics.of_model ~window (Model.family model) in
-      let r =
-        Enumerate.outcomes ~max_states ~por ~legacy_key ?budget:(budget_of deadline max_mem)
-          discipline (Litmus.initial_state t) ~observe:t.observe
+      let use_extmem = extmem || spill_dir <> None || resume in
+      let r, ext =
+        if not use_extmem then
+          ( Enumerate.outcomes ~max_states ~por ~legacy_key
+              ?budget:(budget_of deadline max_mem) discipline (Litmus.initial_state t)
+              ~observe:t.observe,
+            None )
+        else begin
+          (* an explicit --spill-dir is kept for later resumption; the
+             temp-dir default is removed once the run completes *)
+          let keep_spill = spill_dir <> None in
+          let dir =
+            match spill_dir with
+            | Some d -> d
+            | None ->
+              Filename.concat (Filename.get_temp_dir_name ())
+                (Printf.sprintf "memrel-extmem-%d" (Unix.getpid ()))
+          in
+          let resume_key =
+            Printf.sprintf "enum|%s|%s|w%d|por%b" (Litmus.hash t) (Model.name model) window
+              por
+          in
+          let x =
+            Extmem.outcomes ~max_states ~por ?budget:(budget_of deadline max_mem)
+              ~mem_budget_bytes:(mem_budget * 1024 * 1024) ~resume ~spill_dir:dir
+              ~resume_key discipline (Litmus.initial_state t) ~observe:t.observe
+          in
+          if x.Extmem.base.Enumerate.exhausted = None && not keep_spill then
+            Extmem.remove_spill_dir dir
+          else if x.Extmem.base.Enumerate.exhausted <> None then
+            Printf.eprintf
+              "memrel: spill state kept in %s — rerun with --spill-dir %s --resume to \
+               continue\n"
+              dir dir;
+          (x.Extmem.base, Some x.Extmem.ext)
+        end
       in
       let partial = r.Enumerate.exhausted <> None in
       Printf.printf "%s under %s%s: %d distinct outcomes, %d terminal states%s\n" t.name
@@ -642,8 +676,21 @@ let enumerate_cmd =
          max depth %d; max frontier %d; POR: ample at %d states, %d transitions pruned\n"
         r.states_visited s.states_per_sec s.elapsed_s s.transitions s.dedup_hits s.max_depth
         s.max_frontier s.por_ample_states s.por_pruned;
+      (match ext with
+       | None -> ()
+       | Some e ->
+         Printf.printf
+           "extmem: %d levels (peak %d states)%s; %d spill runs, %d bytes, %d forced \
+            generations, %d compactions; bloom %d/%d hits (%d false positives)\n"
+           e.Extmem.levels e.Extmem.peak_level_states
+           (match e.Extmem.resumed_at_level with
+            | Some l -> Printf.sprintf ", resumed at level %d" l
+            | None -> "")
+           e.Extmem.spill_runs e.Extmem.spill_bytes e.Extmem.spill_generations
+           e.Extmem.compactions e.Extmem.bloom_hits e.Extmem.bloom_probes
+           e.Extmem.bloom_false_positives);
       partial_exit
-        ~engine:(Printf.sprintf "enumerate (%d states admitted)" r.states_visited)
+        ~engine:(Printf.sprintf "enumerate (%d states expanded)" r.states_visited)
         r.Enumerate.exhausted
   in
   let name_arg =
@@ -667,11 +714,45 @@ let enumerate_cmd =
     Arg.(value & opt int 8 & info [ "window" ] ~docv:"W"
            ~doc:"Out-of-order window for the wo model.")
   in
+  let extmem_arg =
+    Arg.(value & flag & info [ "extmem" ]
+           ~doc:"Use the external-memory BFS engine: the frontier and visited set spill to \
+                 sorted runs on disk, so state spaces larger than RAM enumerate exactly \
+                 (identical outcomes and terminal counts to the in-RAM engine). Implied by \
+                 --spill-dir and --resume. Combine with --max-states to raise the state cap.")
+  in
+  let spill_dir_arg =
+    Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR"
+           ~doc:"Directory for the external-memory spill runs (default: a temporary \
+                 directory, removed after a complete run). An explicit DIR is kept, so a \
+                 killed run can continue with --resume.")
+  in
+  let mem_budget_arg =
+    Arg.(value & opt int 64 & info [ "mem-budget" ] ~docv:"MB"
+           ~doc:"RAM budget (MiB) for the external-memory engine's in-core structures \
+                 (candidate buffers, bloom filter). Smaller budgets spill more, never \
+                 change the result.")
+  in
+  let resume_enum_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume a killed external-memory run from the per-level checkpoint in \
+                 --spill-dir. The final result is bit-identical to an uninterrupted run; \
+                 corrupt or mismatched spill state is rejected.")
+  in
+  let run name model por max_states legacy_key window deadline max_mem extmem spill_dir
+      mem_budget resume =
+    try run name model por max_states legacy_key window deadline max_mem extmem spill_dir
+          mem_budget resume
+    with Extmem.Spill_error msg ->
+      Printf.eprintf "memrel: %s\n" msg;
+      Cmd.Exit.some_error
+  in
   Cmd.v
     (Cmd.info "enumerate" ~exits:budget_exits
        ~doc:"Exhaustively enumerate a litmus test's state space with statistics.")
     Term.(const run $ name_arg $ model_arg $ por_arg $ max_states_arg $ legacy_key_arg
-          $ window_arg $ deadline_arg $ max_mem_arg)
+          $ window_arg $ deadline_arg $ max_mem_arg $ extmem_arg $ spill_dir_arg
+          $ mem_budget_arg $ resume_enum_arg)
 
 (* -- axiom ------------------------------------------------------------- *)
 
@@ -939,7 +1020,8 @@ let socket_arg =
          ~doc:"Service address: a Unix-domain socket path, or $(b,tcp:HOST:PORT).")
 
 let serve_cmd =
-  let run socket cache_dir workers max_deadline max_work max_mem shards =
+  let run socket cache_dir workers max_deadline max_work max_mem shards spill_dir
+      mem_budget =
     match Service_protocol.address_of_string socket with
     | Error msg ->
       Printf.eprintf "memrel: %s\n" msg;
@@ -949,7 +1031,13 @@ let serve_cmd =
         { Service_engine.max_deadline_s = max_deadline; max_work_cap = max_work;
           max_mem_mb_cap = max_mem }
       in
-      let config = { Service_server.address; cache_dir; workers; caps; shards } in
+      let extmem =
+        Option.map
+          (fun spill_root ->
+            { Service_engine.spill_root; mem_budget_bytes = mem_budget * 1024 * 1024 })
+          spill_dir
+      in
+      let config = { Service_server.address; cache_dir; workers; caps; shards; extmem } in
       Printf.printf "memrel serve: listening on %s (cache %s, %d worker%s)\n%!"
         (Service_protocol.address_to_string address)
         cache_dir workers
@@ -991,13 +1079,25 @@ let serve_cmd =
     Arg.(value & opt int 16 & info [ "shards" ] ~docv:"N"
            ~doc:"Cache lock shards (1..256): queries on distinct shards never contend.")
   in
+  let spill_dir_arg =
+    Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR"
+           ~doc:"Answer verify/enumerate queries with the external-memory BFS engine, \
+                 spilling per-query state under DIR — enumerations larger than RAM become \
+                 answerable, and budget-tripped runs resume on the next identical query. \
+                 Complete results are byte-identical to the in-RAM engine's.")
+  in
+  let mem_budget_arg =
+    Arg.(value & opt int 64 & info [ "mem-budget" ] ~docv:"MB"
+           ~doc:"RAM budget (MiB) for the external-memory engine (with --spill-dir).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the query daemon: typed verify/enumerate/axiom/estimate requests over a \
              length-prefixed binary protocol, answered through a sharded snapshot-backed \
              result cache. Stop it with $(b,memrel query --shutdown).")
     Term.(const run $ socket_arg $ cache_dir_arg $ workers_arg $ max_deadline_arg
-          $ max_work_cap_arg $ max_mem_cap_arg $ shards_arg)
+          $ max_work_cap_arg $ max_mem_cap_arg $ shards_arg $ spill_dir_arg
+          $ mem_budget_arg)
 
 let query_cmd =
   let run socket wait deadline max_work max_mem stats ping shutdown queries =

@@ -64,6 +64,7 @@ module Machine_state = Memrel_machine.State
 module Semantics = Memrel_machine.Semantics
 module Machine_exec = Memrel_machine.Exec
 module Enumerate = Memrel_machine.Enumerate
+module Extmem = Memrel_machine.Extmem
 module Litmus = Memrel_machine.Litmus
 module Litmus_parse = Memrel_machine.Parse
 

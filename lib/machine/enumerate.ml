@@ -103,15 +103,35 @@ let select_ample ~buffered st per_thread =
     in
     go 0
 
+(* -- shared successor expansion ----------------------------------------
+
+   One expansion function for both engines (the in-RAM worklist below and
+   the external-memory BFS in [Extmem]): the POR choice is a deterministic
+   function of the state alone, so the two engines explore the same reduced
+   graph regardless of traversal order. *)
+
+let buffered_of = function
+  | Semantics.Tso | Semantics.Pso -> true
+  | Semantics.Sc | Semantics.Wo _ -> false
+
+let expand ~por discipline st =
+  if not por then (Semantics.transitions discipline st, 0)
+  else begin
+    let per_thread =
+      Array.init (Array.length st.State.threads) (Semantics.thread_transitions discipline st)
+    in
+    match select_ample ~buffered:(buffered_of discipline) st per_thread with
+    | Some k ->
+      let total = Array.fold_left (fun acc l -> acc + List.length l) 0 per_thread in
+      let chosen = per_thread.(k) in
+      (chosen, total - List.length chosen)
+    | None -> (Array.fold_right (fun l acc -> l @ acc) per_thread [], 0)
+  end
+
 (* -- iterative exploration --------------------------------------------- *)
 
 let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) ?budget
     ?(legacy_raise = false) discipline st ~observe =
-  let buffered =
-    match discipline with
-    | Semantics.Tso | Semantics.Pso -> true
-    | Semantics.Sc | Semantics.Wo _ -> false
-  in
   let scratch = Buffer.create 128 in
   let key st =
     if legacy_key then State.key st
@@ -124,13 +144,17 @@ let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) ?bud
   let visited = Hashtbl.create 4096 in
   let outcome_counts = Hashtbl.create 64 in
   let terminals = ref 0 in
+  let expanded = ref 0 in
   let transitions = ref 0 and dedup_hits = ref 0 in
   let max_depth = ref 0 and max_frontier = ref 0 in
   let por_ample_states = ref 0 and por_pruned = ref 0 in
   let t0 = Unix.gettimeofday () in
   (* explicit worklist: depth bounded only by the heap, never the OCaml
-     stack. States are marked visited when pushed (admitting at most
-     [max_states] distinct states) and expanded when popped. *)
+     stack. States are marked visited when pushed (for deduplication) and
+     counted — for the cap, the budget and the stats — when popped and
+     expanded: a state sitting on the stack is in flight, not yet visited,
+     so the cap can never fire while unexplored unique states would be
+     abandoned below it. *)
   let stack = Stack.create () in
   (* every stop — state cap, deadline, work cap, memory watermark — unwinds
      through one path and yields a partial result (the legacy exception is
@@ -140,47 +164,37 @@ let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) ?bud
     let k = key st in
     if Hashtbl.mem visited k then incr dedup_hits
     else begin
-      if Hashtbl.length visited >= max_states then begin
-        if legacy_raise then
-          raise
-            (State_limit
-               { max_states; states_visited = Hashtbl.length visited; terminals = !terminals });
-        raise (Stop Memrel_prob.Budget.Work)
-      end;
-      (match budget with
-       | None -> ()
-       | Some b -> (
-         match Memrel_prob.Budget.check b with
-         | Some cause -> raise (Stop cause)
-         | None -> Memrel_prob.Budget.spend b 1));
       Hashtbl.add visited k ();
       Stack.push (st, depth) stack
     end
   in
   let successors st =
-    if not por then Semantics.transitions discipline st
-    else begin
-      let per_thread =
-        Array.init (Array.length st.State.threads) (Semantics.thread_transitions discipline st)
-      in
-      match select_ample ~buffered st per_thread with
-      | Some k ->
-        let total = Array.fold_left (fun acc l -> acc + List.length l) 0 per_thread in
-        let chosen = per_thread.(k) in
-        let pruned = total - List.length chosen in
-        if pruned > 0 then begin
-          incr por_ample_states;
-          por_pruned := !por_pruned + pruned
-        end;
-        chosen
-      | None -> Array.fold_right (fun l acc -> l @ acc) per_thread []
-    end
+    let ts, pruned = expand ~por discipline st in
+    if pruned > 0 then begin
+      incr por_ample_states;
+      por_pruned := !por_pruned + pruned
+    end;
+    ts
   in
   let exhausted = ref None in
   (try
      visit st 0;
      while not (Stack.is_empty stack) do
        let st, depth = Stack.pop stack in
+       if !expanded >= max_states then begin
+         if legacy_raise then
+           raise
+             (State_limit
+                { max_states; states_visited = !expanded; terminals = !terminals });
+         raise (Stop Memrel_prob.Budget.Work)
+       end;
+       (match budget with
+        | None -> ()
+        | Some b -> (
+          match Memrel_prob.Budget.check b with
+          | Some cause -> raise (Stop cause)
+          | None -> Memrel_prob.Budget.spend b 1));
+       incr expanded;
        if depth > !max_depth then max_depth := depth;
        match successors st with
        | [] ->
@@ -204,14 +218,14 @@ let outcomes ?(max_states = 2_000_000) ?(por = false) ?(legacy_key = false) ?bud
           | Some b -> Memrel_prob.Budget.exhaustion b cause
           | None ->
             (* the state cap tripped without a budget: synthesize the same
-               record, counting admitted states as work *)
+               record, counting expanded states as work *)
             {
               Memrel_prob.Budget.cause;
-              work_done = Hashtbl.length visited;
+              work_done = !expanded;
               elapsed_s = Unix.gettimeofday () -. t0;
             }));
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  let states_visited = Hashtbl.length visited in
+  let states_visited = !expanded in
   let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcome_counts [] in
   {
     outcomes = List.sort compare l;

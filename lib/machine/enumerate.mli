@@ -51,6 +51,17 @@ exception State_limit of { max_states : int; states_visited : int; terminals : i
     callers that preferred the abort and is raised only when {!outcomes} is
     called with [~legacy_raise:true]. *)
 
+val expand :
+  por:bool -> Semantics.discipline -> State.t -> (Semantics.label * State.t) list * int
+(** [expand ~por d st] is one state's successor computation — the enabled
+    transitions, after the ample-set reduction when [por] is set — together
+    with the number of transitions the reduction pruned at this state. The
+    POR choice is a deterministic function of the state alone, so engines
+    with different traversal orders (the in-RAM worklist here, the
+    level-synchronized external-memory BFS in {!Extmem}) explore the exact
+    same reduced graph. An empty successor list identifies a terminal
+    state. *)
+
 val outcomes :
   ?max_states:int ->
   ?por:bool ->
@@ -62,13 +73,18 @@ val outcomes :
   observe:(State.t -> 'a) ->
   'a result
 (** [outcomes d st ~observe] explores exhaustively. At most [max_states]
-    (default 2_000_000) distinct states are admitted; at the cap the
+    (default 2_000_000) distinct states are {e expanded}; at the cap the
     exploration stops and returns a partial result with
     [exhausted = Some { cause = Work; _ }] (or raises {!State_limit} when
-    [legacy_raise] is [true]). [budget] is checked at every candidate state
-    admission, spending one work unit per admitted state; tripping any of
-    its limits (deadline, work cap, memory watermark) likewise yields a
-    partial result. [por] (default [false]) enables the ample-set
+    [legacy_raise] is [true]). The cap, the budget and [states_visited] all
+    count unique states actually expanded — never duplicates, and never
+    states merely sitting on the worklist — so a partial run has explored
+    exactly [max_states] distinct states (historically the cap fired on
+    {e admission}, while the worklist could still hold unexplored unique
+    states that were then abandoned and miscounted). [budget] is checked at
+    every expansion, spending one work unit per expanded state; tripping
+    any of its limits (deadline, work cap, memory watermark) likewise
+    yields a partial result. [por] (default [false]) enables the ample-set
     partial-order reduction. [legacy_key] (default [false]) deduplicates
     with the original [Printf]-built {!State.key} instead of
     {!State.packed_key} — kept so the bench can measure the two paths

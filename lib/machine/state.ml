@@ -85,6 +85,84 @@ let packed_key st =
   add_packed buf st;
   Buffer.contents buf
 
+(* -- packed-key decoding ------------------------------------------------
+   The inverse of [add_packed]: the external-memory enumerator stores only
+   packed keys on disk and must rebuild full states to expand them. The
+   programs are not part of the key (they are invariant over a state
+   space), so the caller supplies them. *)
+
+let decode_error () = invalid_arg "State.of_packed_key: malformed key"
+
+let read_varint s pos =
+  let u = ref 0 and shift = ref 0 and again = ref true in
+  while !again do
+    (* 9 seven-bit groups cover a 63-bit int; a 10th would shift past the
+       word (unspecified in OCaml), so reject overlong encodings first *)
+    if !pos >= String.length s || !shift > Sys.int_size - 7 then decode_error ();
+    let b = Char.code (String.unsafe_get s !pos) in
+    incr pos;
+    u := !u lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then again := false
+  done;
+  (* undo the zigzag *)
+  (!u lsr 1) lxor (- (!u land 1))
+
+let of_packed_key ~programs key =
+  let pos = ref 0 in
+  let next () = read_varint key pos in
+  let nonneg () =
+    let n = next () in
+    if n < 0 then decode_error ();
+    n
+  in
+  let read_pairs n =
+    let rec go m k =
+      if k = 0 then m
+      else begin
+        let a = next () in
+        let b = next () in
+        go (IntMap.add a b m) (k - 1)
+      end
+    in
+    go IntMap.empty n
+  in
+  (* builds in encoding order: queue entries are oldest-first on both sides *)
+  let read_list n f =
+    let rec go acc k = if k = 0 then List.rev acc else go (f () :: acc) (k - 1) in
+    go [] n
+  in
+  let mem = read_pairs (nonneg ()) in
+  let threads =
+    List.map
+      (fun prog ->
+        let executed = next () in
+        if executed < 0 || executed >= 1 lsl Array.length prog then decode_error ();
+        let regs = read_pairs (nonneg ()) in
+        let fifo =
+          read_list (nonneg ()) (fun () ->
+              let l = next () in
+              let v = next () in
+              (l, v))
+        in
+        let perloc =
+          let n = nonneg () in
+          let rec go m k =
+            if k = 0 then m
+            else begin
+              let l = next () in
+              let q = read_list (nonneg ()) next in
+              go (IntMap.add l q m) (k - 1)
+            end
+          in
+          go IntMap.empty n
+        in
+        { prog; executed; regs; fifo; perloc })
+      programs
+  in
+  if !pos <> String.length key then decode_error ();
+  { mem; threads = Array.of_list threads }
+
 let key st =
   let buf = Buffer.create 128 in
   (* zero-valued bindings read identically to absent ones: skip them so the

@@ -59,4 +59,16 @@ val add_packed : Buffer.t -> t -> unit
 (** Append the {!packed_key} encoding to a caller-owned buffer (lets the
     enumerator reuse one scratch buffer across millions of states). *)
 
+val of_packed_key : programs:Instr.t array list -> string -> t
+(** Decode a {!packed_key} byte string back into a full state. The
+    programs are not part of the key (they never change over a state
+    space), so the caller supplies the same list it gave {!init}; thread
+    count and order must match the encoder's. Round-trip law:
+    [packed_key (of_packed_key ~programs (packed_key st)) = packed_key st],
+    and the decoded state is semantically identical (same transitions,
+    observations, and key) — what lets the external-memory enumerator keep
+    only keys on disk and rebuild states to expand them. Raises
+    [Invalid_argument] on truncated, overlong or trailing bytes — malformed
+    input is never decoded into a plausible-but-wrong state. *)
+
 val pp : Format.formatter -> t -> unit

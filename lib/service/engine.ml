@@ -4,6 +4,7 @@ module Budget = Memrel_prob.Budget
 module Rng = Memrel_prob.Rng
 module Litmus = Memrel_machine.Litmus
 module Enumerate = Memrel_machine.Enumerate
+module Extmem = Memrel_machine.Extmem
 module Semantics = Memrel_machine.Semantics
 module Generate = Memrel_axiom.Generate
 module Solver = Memrel_axiom.Solver
@@ -18,6 +19,8 @@ type caps = {
 }
 
 let no_caps = { max_deadline_s = None; max_work_cap = None; max_mem_mb_cap = None }
+
+type extmem = { spill_root : string; mem_budget_bytes : int }
 
 type error = { code : P.error_code; message : string }
 
@@ -136,18 +139,48 @@ let model_of_family = function
 let result ?exhausted payload =
   { P.payload; partial = Option.map P.partial_of_exhaustion exhausted }
 
-let enumerate_run ?budget (t : Litmus.t) family ~window ~por =
-  let discipline = Semantics.of_model ~window family in
-  Enumerate.outcomes ~por ?budget discipline (Litmus.initial_state t) ~observe:t.Litmus.observe
+(* per-query spill directory under the configured root: derived from the
+   cache key, so retries of the same query resume the same spill state and
+   distinct queries never collide *)
+let spill_dir_of extmem key =
+  let safe =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c | _ -> '_')
+      key
+  in
+  Filename.concat extmem.spill_root safe
 
-let run ~caps (q : P.query) (limits : P.limits) =
+let enumerate_run ?budget ?extmem ~key (t : Litmus.t) family ~window ~por =
+  let discipline = Semantics.of_model ~window family in
+  let st = Litmus.initial_state t in
+  let observe = t.Litmus.observe in
+  match extmem with
+  | None -> Enumerate.outcomes ~por ?budget discipline st ~observe
+  | Some x ->
+    (* the engines agree exactly on complete runs (outcomes, per-outcome
+       terminal counts, states, terminals), so routing a query through the
+       disk-spilling BFS cannot change the bytes a client — or the result
+       cache — sees. A budget-tripped run leaves its spill state in place:
+       the next identical query resumes from the last complete level
+       instead of starting over. *)
+    let dir = spill_dir_of x key in
+    let r =
+      Extmem.outcomes ~por ?budget ~mem_budget_bytes:x.mem_budget_bytes
+        ~resume:(Extmem.can_resume dir) ~spill_dir:dir ~resume_key:key discipline st
+        ~observe
+    in
+    if r.Extmem.base.Enumerate.exhausted = None then Extmem.remove_spill_dir dir;
+    r.Extmem.base
+
+let run ~caps ?extmem (q : P.query) (limits : P.limits) =
   (* cache_key also performs all parameter validation *)
-  let* _ = cache_key q in
+  let* key = cache_key q in
   let budget = budget_of caps limits in
   match q with
   | P.Verify { test; family; window } ->
     let* _, t = litmus_hash test in
-    let r = enumerate_run ?budget t family ~window ~por:true in
+    let r = enumerate_run ?budget ?extmem ~key t family ~window ~por:true in
     let observed_relaxed = List.mem_assoc t.Litmus.relaxed_outcome r.Enumerate.outcomes in
     let expected_relaxed = t.Litmus.allowed_under family in
     Ok
@@ -162,7 +195,7 @@ let run ~caps (q : P.query) (limits : P.limits) =
             }))
   | P.Enumerate { test; family; window; por } ->
     let* _, t = litmus_hash test in
-    let r = enumerate_run ?budget t family ~window ~por in
+    let r = enumerate_run ?budget ?extmem ~key t family ~window ~por in
     Ok
       (result ?exhausted:r.Enumerate.exhausted
          (P.Outcomes
@@ -266,10 +299,12 @@ let run ~caps (q : P.query) (limits : P.limits) =
              s.Memrel_prob.Par.exhausted
        end)
 
-let run ~caps q limits =
-  match run ~caps q limits with
+let run ~caps ?extmem q limits =
+  match run ~caps ?extmem q limits with
   | (Ok _ | Error _) as r -> r
   | exception Invalid_argument m -> unsupported m
+  | exception Extmem.Spill_error m ->
+    Error { code = P.Server_error; message = "spill: " ^ m }
   | exception e -> Error { code = P.Server_error; message = Printexc.to_string e }
 
 (* -- cached execution ----------------------------------------------------
@@ -277,8 +312,8 @@ let run ~caps q limits =
    cache stores Protocol.encode_result bytes, and only complete results.
    A hit is therefore always the exact bytes a direct run produced. *)
 
-let run_cached ~caps cache (q : P.query) (limits : P.limits) =
+let run_cached ~caps ?extmem cache (q : P.query) (limits : P.limits) =
   let* key = cache_key q in
   Cache.find_or_compute cache ~key ~compute:(fun () ->
-      let* r = run ~caps q limits in
+      let* r = run ~caps ?extmem q limits in
       Ok (P.encode_result r, r.P.partial = None))

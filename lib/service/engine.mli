@@ -19,6 +19,15 @@ type caps = {
 
 val no_caps : caps
 
+type extmem = { spill_root : string; mem_budget_bytes : int }
+(** Route [Verify]/[Enumerate] queries through the external-memory BFS
+    ({!Memrel_machine.Extmem}): each query spills under
+    [spill_root/<sanitized cache key>], so enumerations larger than RAM
+    complete exactly — the engines agree bit-for-bit on complete results,
+    so cached bytes are unaffected. A budget-tripped run keeps its spill
+    state and the next identical query resumes it; complete runs delete
+    their spill directory. *)
+
 type error = { code : Protocol.error_code; message : string }
 
 val cache_key : Protocol.query -> (string, error) result
@@ -29,11 +38,17 @@ val cache_key : Protocol.query -> (string, error) result
     [Bad_request] for out-of-range parameters, [Unknown_test],
     [Unsupported] for [Custom] families. *)
 
-val run : caps:caps -> Protocol.query -> Protocol.limits -> (Protocol.result, error) result
+val run :
+  caps:caps ->
+  ?extmem:extmem ->
+  Protocol.query ->
+  Protocol.limits ->
+  (Protocol.result, error) result
 (** Execute directly (no cache). *)
 
 val run_cached :
   caps:caps ->
+  ?extmem:extmem ->
   Cache.t ->
   Protocol.query ->
   Protocol.limits ->

@@ -6,10 +6,11 @@ type config = {
   workers : int;
   caps : Engine.caps;
   shards : int;
+  extmem : Engine.extmem option;
 }
 
 let default_config address cache_dir =
-  { address; cache_dir; workers = 1; caps = Engine.no_caps; shards = 16 }
+  { address; cache_dir; workers = 1; caps = Engine.no_caps; shards = 16; extmem = None }
 
 type state = {
   config : config;
@@ -50,12 +51,12 @@ let error_response (e : Engine.error) = P.Error { code = e.Engine.code; message 
 (* a single query answers with the spliced cache bytes — the fast path that
    makes cached responses byte-identical to computed ones *)
 let answer_query st q limits =
-  match Engine.run_cached ~caps:st.config.caps st.cache q limits with
+  match Engine.run_cached ~caps:st.config.caps ?extmem:st.config.extmem st.cache q limits with
   | Ok (bytes, origin) -> P.encode_result_response ~origin bytes
   | Error e -> P.encode_response (error_response e)
 
 let answer_query_item st q limits =
-  match Engine.run_cached ~caps:st.config.caps st.cache q limits with
+  match Engine.run_cached ~caps:st.config.caps ?extmem:st.config.extmem st.cache q limits with
   | Ok (bytes, origin) -> P.encode_result_item ~origin bytes
   | Error e -> P.encode_response_item (error_response e)
 

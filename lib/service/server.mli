@@ -14,6 +14,10 @@ type config = {
   workers : int;  (** worker Domains serving connections (>= 1) *)
   caps : Engine.caps;  (** server-side ceilings on per-request limits *)
   shards : int;  (** cache lock shards (1..256) *)
+  extmem : Engine.extmem option;
+      (** when set, verify/enumerate queries run on the external-memory
+          BFS engine, spilling under [spill_root] — RAM-bounded queries
+          answer identically, larger ones become answerable *)
 }
 
 val resolve_host : string -> Unix.inet_addr

@@ -5,6 +5,7 @@ let () =
       ("state", Test_state.suite);
       ("semantics", Test_semantics.suite);
       ("enumerate", Test_enumerate.suite);
+      ("extmem", Test_extmem.suite);
       ("litmus", Test_litmus.suite);
       ("parse", Test_parse.suite);
       ("litmus_files", Test_litmus_files.suite);

@@ -44,8 +44,8 @@ let test_max_states_cap () =
      Alcotest.(check bool) "cause is the work cap" true
        (e.Memrel_prob.Budget.cause = Memrel_prob.Budget.Work));
   (* off-by-one regression: the seed enumerator admitted max_states + 1
-     states before aborting; now at most max_states are ever admitted *)
-  Alcotest.(check int) "exactly max_states admitted" 5 r.states_visited;
+     states before aborting; now exactly max_states are expanded *)
+  Alcotest.(check int) "exactly max_states expanded" 5 r.states_visited;
   Alcotest.(check bool) "partial terminal count is sane" true
     (r.terminals >= 0 && r.terminals <= 5)
 
@@ -79,7 +79,29 @@ let test_budget_complete_run_not_exhausted () =
   let r = E.outcomes ~budget Sem.Sc st ~observe:(fun _ -> ()) in
   Alcotest.(check bool) "not exhausted" true (r.exhausted = None);
   Alcotest.(check int) "4 states" 4 r.states_visited;
-  Alcotest.(check int) "work = admitted states" 4 (Memrel_prob.Budget.work_done budget)
+  Alcotest.(check int) "work = expanded states" 4 (Memrel_prob.Budget.work_done budget)
+
+let test_cap_counts_expanded_states_only () =
+  (* regression: states used to be counted against the cap when PUSHED, so
+     the cap could fire while the stack still held unexplored unique states
+     — here the terminal state. Space: T0 stores x, T1 stores y; 4 states
+     {00,10,01,11}, 1 terminal. Expansion order (LIFO, successors pushed in
+     thread order): root, then T1-done, then the terminal. Under the old
+     admission-counting, max_states = 3 tripped while admitting the 4th
+     state during the SECOND expansion, reporting 3 states "visited" with 0
+     terminals and two unexpanded states abandoned on the stack. Counting
+     expanded states, the same cap genuinely explores 3 states and reaches
+     the terminal. *)
+  let st = mk [ [| I.store ~loc:0 ~src:(I.Imm 1) |]; [| I.store ~loc:1 ~src:(I.Imm 1) |] ] in
+  let r = E.outcomes ~max_states:3 Sem.Sc st ~observe:(fun s -> State.mem_read s 0) in
+  (match r.exhausted with
+   | Some e ->
+     Alcotest.(check bool) "cause is the work cap" true
+       (e.Memrel_prob.Budget.cause = Memrel_prob.Budget.Work);
+     Alcotest.(check int) "work units = expanded states" 3 e.Memrel_prob.Budget.work_done
+   | None -> Alcotest.fail "expected a partial result");
+  Alcotest.(check int) "exactly max_states expanded" 3 r.states_visited;
+  Alcotest.(check int) "the in-flight terminal was reached before the cap" 1 r.terminals
 
 let test_max_states_exact_fit () =
   (* the 2x1-load space has exactly 4 states (see visited accounting):
@@ -213,6 +235,7 @@ let suite =
       ("state accounting", test_visited_accounting);
       ("max_states cap yields partial result", test_max_states_cap);
       ("max_states cap raises under legacy_raise", test_max_states_cap_legacy_raise);
+      ("cap counts expanded states only", test_cap_counts_expanded_states_only);
       ("expired deadline yields empty partial result", test_budget_deadline_partial);
       ("generous budget leaves run complete", test_budget_complete_run_not_exhausted);
       ("max_states exact fit succeeds", test_max_states_exact_fit);

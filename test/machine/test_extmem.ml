@@ -1,0 +1,215 @@
+module E = Memrel_machine.Enumerate
+module X = Memrel_machine.Extmem
+module Sem = Memrel_machine.Semantics
+module State = Memrel_machine.State
+module L = Memrel_machine.Litmus
+module B = Memrel_prob.Budget
+
+let disciplines =
+  [ ("SC", Sem.Sc); ("TSO", Sem.Tso); ("PSO", Sem.Pso); ("WO", Sem.Wo { window = 3 }) ]
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "memrel_extmem_test_%d_%d" (Unix.getpid ()) !n)
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> X.remove_spill_dir dir) (fun () -> f dir)
+
+let key t dname por = Printf.sprintf "%s|%s|por%b" (L.hash t) dname por
+
+(* the whole contract in one checker: on complete runs every base field the
+   in-RAM engine produces — outcome sets WITH per-outcome terminal counts,
+   states, terminals, transitions, dedup hits — must match exactly *)
+let check_parity ?mem_budget_bytes ~por name t dname d =
+  with_dir (fun dir ->
+      let st = L.initial_state t in
+      let observe = t.L.observe in
+      let ram = E.outcomes ~por d st ~observe in
+      let ext =
+        X.outcomes ?mem_budget_bytes ~por ~spill_dir:dir ~resume_key:(key t dname por) d st
+          ~observe
+      in
+      let ctx fmt = Printf.sprintf ("%s/%s por=%b: " ^^ fmt) name dname por in
+      Alcotest.(check (list (pair (list (pair string int)) int)))
+        (ctx "outcomes + per-outcome terminal counts")
+        ram.E.outcomes ext.X.base.E.outcomes;
+      Alcotest.(check int) (ctx "states") ram.E.states_visited ext.X.base.E.states_visited;
+      Alcotest.(check int) (ctx "terminals") ram.E.terminals ext.X.base.E.terminals;
+      Alcotest.(check int) (ctx "transitions") ram.E.stats.E.transitions
+        ext.X.base.E.stats.E.transitions;
+      Alcotest.(check int) (ctx "dedup hits") ram.E.stats.E.dedup_hits
+        ext.X.base.E.stats.E.dedup_hits;
+      Alcotest.(check bool) (ctx "complete") true (ext.X.base.E.exhausted = None);
+      ext)
+
+let test_corpus_parity () =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (dname, d) ->
+          ignore (check_parity ~por:false t.L.name t dname d);
+          ignore (check_parity ~por:true t.L.name t dname d))
+        disciplines)
+    (List.filter (fun t -> t.L.name <> "inc4" && t.L.name <> "inc5") L.all)
+
+let test_inc_parity () =
+  List.iter
+    (fun name ->
+      let t = L.find name in
+      List.iter
+        (fun (dname, d) ->
+          ignore (check_parity ~por:false name t dname d);
+          ignore (check_parity ~por:true name t dname d))
+        disciplines)
+    [ "inc3"; "inc4" ]
+
+let test_tiny_budget_forces_spills () =
+  (* a 64 KiB budget on inc5/TSO (64k states) must spill candidate batches
+     repeatedly and trigger visited compaction — and still be exact *)
+  let t = L.find "inc5" in
+  let ext = check_parity ~mem_budget_bytes:65536 ~por:false "inc5" t "TSO" Sem.Tso in
+  Alcotest.(check bool)
+    (Printf.sprintf "multiple spill generations (got %d)" ext.X.ext.X.spill_generations)
+    true
+    (ext.X.ext.X.spill_generations >= 2);
+  Alcotest.(check bool) "spilled bytes" true (ext.X.ext.X.spill_bytes > 0);
+  Alcotest.(check bool) "bloom probed" true (ext.X.ext.X.bloom_probes > 0)
+
+let test_kill_resume_bit_identical () =
+  let t = L.find "inc4" in
+  let st = L.initial_state t in
+  let observe = t.L.observe in
+  let rk = key t "TSO" false in
+  with_dir (fun refdir ->
+      let full = X.outcomes ~spill_dir:refdir ~resume_key:rk Sem.Tso st ~observe in
+      with_dir (fun dir ->
+          (* "kill" the run mid-exploration with a work cap, then resume *)
+          let b = B.create ~max_work:1200 () in
+          let part = X.outcomes ~budget:b ~spill_dir:dir ~resume_key:rk Sem.Tso st ~observe in
+          Alcotest.(check bool) "partial run tripped" true (part.X.base.E.exhausted <> None);
+          Alcotest.(check int) "partial expanded exactly the cap" 1200
+            part.X.base.E.states_visited;
+          let res = X.outcomes ~resume:true ~spill_dir:dir ~resume_key:rk Sem.Tso st ~observe in
+          Alcotest.(check bool) "resume recorded" true (res.X.ext.X.resumed_at_level <> None);
+          Alcotest.(check (list (pair (list (pair string int)) int)))
+            "resumed outcomes bit-identical" full.X.base.E.outcomes res.X.base.E.outcomes;
+          Alcotest.(check int) "states" full.X.base.E.states_visited res.X.base.E.states_visited;
+          Alcotest.(check int) "terminals" full.X.base.E.terminals res.X.base.E.terminals;
+          Alcotest.(check int) "transitions" full.X.base.E.stats.E.transitions
+            res.X.base.E.stats.E.transitions;
+          Alcotest.(check int) "dedup hits" full.X.base.E.stats.E.dedup_hits
+            res.X.base.E.stats.E.dedup_hits;
+          Alcotest.(check bool) "resumed run complete" true (res.X.base.E.exhausted = None);
+          (* resuming an already-complete run replays nothing and returns
+             the same final result *)
+          let again = X.outcomes ~resume:true ~spill_dir:dir ~resume_key:rk Sem.Tso st ~observe in
+          Alcotest.(check int) "re-resume states" full.X.base.E.states_visited
+            again.X.base.E.states_visited;
+          Alcotest.(check (list (pair (list (pair string int)) int)))
+            "re-resume outcomes" full.X.base.E.outcomes again.X.base.E.outcomes))
+
+let test_orphan_files_cleaned_on_resume () =
+  let t = L.find "inc3" in
+  let st = L.initial_state t in
+  let observe = t.L.observe in
+  let rk = key t "SC" false in
+  with_dir (fun dir ->
+      let b = B.create ~max_work:50 () in
+      ignore (X.outcomes ~budget:b ~spill_dir:dir ~resume_key:rk Sem.Sc st ~observe);
+      (* crash artifacts: a stray half-written tmp and an unreferenced run *)
+      let drop name contents =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc contents;
+        close_out oc
+      in
+      drop "r999999.run" "garbage not in any manifest";
+      drop "r999998.run.tmp" "torn write";
+      let full = X.outcomes ~resume:true ~spill_dir:dir ~resume_key:rk Sem.Sc st ~observe in
+      Alcotest.(check bool) "completed" true (full.X.base.E.exhausted = None);
+      Alcotest.(check int) "inc3 states" 175 full.X.base.E.states_visited;
+      Alcotest.(check int) "inc3 terminals" 16 full.X.base.E.terminals;
+      Alcotest.(check bool) "orphan run removed" false
+        (Sys.file_exists (Filename.concat dir "r999999.run"));
+      Alcotest.(check bool) "torn tmp removed" false
+        (Sys.file_exists (Filename.concat dir "r999998.run.tmp")))
+
+let expect_spill_error label f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Spill_error" label
+  | exception X.Spill_error msg ->
+    Alcotest.(check bool)
+      (label ^ ": one-line message")
+      false
+      (String.contains msg '\n')
+
+let test_truncated_run_rejected () =
+  let t = L.find "inc3" in
+  let st = L.initial_state t in
+  let observe = t.L.observe in
+  let rk = key t "TSO" false in
+  with_dir (fun dir ->
+      let b = B.create ~max_work:100 () in
+      ignore (X.outcomes ~budget:b ~spill_dir:dir ~resume_key:rk Sem.Tso st ~observe);
+      (* mid-level kill simulation: truncate a manifest-referenced run *)
+      let victim =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".run")
+        |> List.sort compare |> List.hd
+      in
+      let path = Filename.concat dir victim in
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.ftruncate fd (size / 2));
+      Unix.close fd;
+      expect_spill_error "truncated spill run" (fun () ->
+          X.outcomes ~resume:true ~spill_dir:dir ~resume_key:rk Sem.Tso st ~observe))
+
+let test_resume_key_mismatch_rejected () =
+  let t = L.find "sb" in
+  let st = L.initial_state t in
+  let observe = t.L.observe in
+  with_dir (fun dir ->
+      ignore (X.outcomes ~spill_dir:dir ~resume_key:"sb|TSO" Sem.Tso st ~observe);
+      expect_spill_error "resume key mismatch" (fun () ->
+          X.outcomes ~resume:true ~spill_dir:dir ~resume_key:"sb|SC" Sem.Sc st ~observe))
+
+let test_resume_without_manifest_rejected () =
+  with_dir (fun dir ->
+      let t = L.find "sb" in
+      expect_spill_error "missing manifest" (fun () ->
+          X.outcomes ~resume:true ~spill_dir:dir ~resume_key:"sb|TSO" Sem.Tso
+            (L.initial_state t) ~observe:t.L.observe))
+
+let test_fresh_run_clears_stale_spill_state () =
+  (* without ~resume a directory is an output path, not state: stale runs
+     from a different enumeration must not leak into the result *)
+  let t = L.find "mp" in
+  let st = L.initial_state t in
+  let observe = t.L.observe in
+  with_dir (fun dir ->
+      ignore (X.outcomes ~spill_dir:dir ~resume_key:"mp|TSO" Sem.Tso st ~observe);
+      let ram = E.outcomes Sem.Sc st ~observe in
+      let ext = X.outcomes ~spill_dir:dir ~resume_key:"mp|SC" Sem.Sc st ~observe in
+      Alcotest.(check (list (pair (list (pair string int)) int)))
+        "fresh run over stale dir is exact" ram.E.outcomes ext.X.base.E.outcomes)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("corpus parity with in-RAM engine (4 disciplines, +-POR)", test_corpus_parity);
+      ("inc3/inc4 parity (4 disciplines, +-POR)", test_inc_parity);
+      ("tiny memory budget forces >=2 spill generations, stays exact",
+       test_tiny_budget_forces_spills);
+      ("kill + resume is bit-identical to an uninterrupted run",
+       test_kill_resume_bit_identical);
+      ("orphan crash artifacts are cleaned on resume", test_orphan_files_cleaned_on_resume);
+      ("truncated spill run rejected with typed error", test_truncated_run_rejected);
+      ("resume key mismatch rejected", test_resume_key_mismatch_rejected);
+      ("resume without manifest rejected", test_resume_without_manifest_rejected);
+      ("fresh run clears stale spill state", test_fresh_run_clears_stale_spill_state);
+    ]

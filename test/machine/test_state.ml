@@ -48,6 +48,124 @@ let test_key_distinguishes_buffers () =
   in
   Alcotest.(check bool) "buffer state in key" true (State.key st <> State.key with_fifo)
 
+(* -- packed-key round-trip ---------------------------------------------- *)
+
+let programs_of st = Array.to_list (Array.map (fun th -> th.State.prog) st.State.threads)
+
+let roundtrip st =
+  let k = State.packed_key st in
+  let st' = State.of_packed_key ~programs:(programs_of st) k in
+  Alcotest.(check string) "re-encodes to the same key" k (State.packed_key st');
+  st'
+
+let test_of_packed_key_handcrafted () =
+  (* exercise every section: memory, executed masks, registers, both buffer
+     shapes, negative values, and zero-valued bindings (normalized away) *)
+  let st =
+    State.init
+      ~programs:[ Array.init 5 (fun i -> I.load ~reg:i ~loc:i); [| I.load ~reg:0 ~loc:0 |] ]
+      ~initial_mem:[ (0, 7); (3, -42); (9, 1 lsl 40) ]
+  in
+  let t0 =
+    { (st.State.threads.(0)) with
+      State.executed = 0b10110;
+      regs = State.IntMap.add 2 (-5) (State.IntMap.add 0 3 State.IntMap.empty);
+      fifo = [ (0, 1); (1, 5); (0, 2) ];
+    }
+  in
+  let t1 =
+    { (st.State.threads.(1)) with
+      State.perloc = State.IntMap.add 4 [ 1; 2; 3 ] (State.IntMap.add 0 [ 9 ] State.IntMap.empty);
+    }
+  in
+  let st = { st with State.threads = [| t0; t1 |] } in
+  let st' = roundtrip st in
+  Alcotest.(check (option int)) "fifo order preserved (newest wins)" (Some 2)
+    (State.buffered_read_fifo st'.State.threads.(0) 0);
+  Alcotest.(check (option int)) "perloc order preserved" (Some 3)
+    (State.buffered_read_perloc st'.State.threads.(1) 4);
+  Alcotest.(check int) "negative memory value" (-42) (State.mem_read st' 3);
+  Alcotest.(check int) "wide memory value" (1 lsl 40) (State.mem_read st' 9);
+  Alcotest.(check int) "negative register" (-5) (State.reg st'.State.threads.(0) 2);
+  (* a state with explicit zero bindings decodes to the canonical form *)
+  let zeroed = { st with State.mem = State.IntMap.add 5 0 st.State.mem } in
+  ignore (roundtrip zeroed)
+
+let test_of_packed_key_random_walks () =
+  (* real states: random walks of the operational semantics under every
+     discipline, so buffers/registers/memory take machine-generated shapes;
+     at each step the decoded state must re-encode identically AND offer
+     exactly the original state's transitions *)
+  let module Sem = Memrel_machine.Semantics in
+  let module L = Memrel_machine.Litmus in
+  let rng = Random.State.make [| 0x5EED |] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun name ->
+          let t = L.find name in
+          let programs = t.L.programs in
+          let rec walk st steps =
+            let st' = State.of_packed_key ~programs (State.packed_key st) in
+            Alcotest.(check string)
+              (Printf.sprintf "%s key round-trip" name)
+              (State.packed_key st) (State.packed_key st');
+            match Sem.transitions d st with
+            | [] -> ()
+            | ts ->
+              let ts' = Sem.transitions d st' in
+              Alcotest.(check int)
+                (name ^ " decoded state has the same transitions")
+                (List.length ts) (List.length ts');
+              List.iter2
+                (fun (l, s) (l', s') ->
+                  Alcotest.(check bool) (name ^ " same labels") true (l = l');
+                  Alcotest.(check string) (name ^ " same successors")
+                    (State.packed_key s) (State.packed_key s'))
+                ts ts';
+              if steps > 0 then
+                walk (snd (List.nth ts (Random.State.int rng (List.length ts)))) (steps - 1)
+          in
+          for _ = 1 to 20 do
+            walk (L.initial_state t) 40
+          done)
+        [ "inc"; "sb"; "mp"; "iriw" ])
+    [ Sem.Sc; Sem.Tso; Sem.Pso; Sem.Wo { window = 3 } ]
+
+let test_of_packed_key_rejects_malformed () =
+  let st =
+    State.init ~programs:[ [| I.store ~loc:0 ~src:(I.Imm 1); I.load ~reg:0 ~loc:0 |] ]
+      ~initial_mem:[ (0, 5) ]
+  in
+  let programs = programs_of st in
+  let k = State.packed_key st in
+  let expect_reject label s =
+    match State.of_packed_key ~programs s with
+    | _ -> Alcotest.failf "%s: malformed key decoded" label
+    | exception Invalid_argument _ -> ()
+  in
+  (* every strict prefix is truncated; trailing bytes are trailing *)
+  for i = 0 to String.length k - 1 do
+    expect_reject (Printf.sprintf "prefix %d" i) (String.sub k 0 i)
+  done;
+  expect_reject "trailing byte" (k ^ "\x00");
+  expect_reject "unterminated varint" "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff";
+  (* executed mask outside the 2-instruction program *)
+  let buf = Buffer.create 16 in
+  let add_varint n =
+    (* mirror the encoder's zigzag varint *)
+    let u = ref ((n lsl 1) lxor (n asr (Sys.int_size - 1))) in
+    while !u land lnot 0x7f <> 0 do
+      Buffer.add_char buf (Char.chr (0x80 lor (!u land 0x7f)));
+      u := !u lsr 7
+    done;
+    Buffer.add_char buf (Char.chr !u)
+  in
+  add_varint 0 (* no memory bindings *);
+  add_varint 16 (* executed: bit 4 of a 2-instruction program *);
+  add_varint 0; add_varint 0; add_varint 0;
+  expect_reject "executed mask out of range" (Buffer.contents buf)
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -58,4 +176,7 @@ let suite =
       ("buffered reads", test_buffered_reads);
       ("canonical keys", test_key_canonical);
       ("keys distinguish buffers", test_key_distinguishes_buffers);
+      ("of_packed_key round-trips handcrafted states", test_of_packed_key_handcrafted);
+      ("of_packed_key round-trips random walks", test_of_packed_key_random_walks);
+      ("of_packed_key rejects malformed keys", test_of_packed_key_rejects_malformed);
     ]

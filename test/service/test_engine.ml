@@ -306,6 +306,49 @@ let test_partial_results_not_cached () =
      | Error e -> Alcotest.fail e.Engine.message)
   | Error e -> Alcotest.fail e.Engine.message
 
+let test_extmem_routing_byte_identical () =
+  (* routing verify/enumerate through the external-memory BFS must not
+     change a single byte of the encoded result — that is what lets a
+     server switch engines without invalidating its cache *)
+  with_dir @@ fun spill_root ->
+  let extmem = { Engine.spill_root; mem_budget_bytes = 1 lsl 20 } in
+  let queries =
+    P.Verify { test = "sb"; family = Model.Total_store_order; window = 8 }
+    :: List.concat_map
+         (fun por ->
+           List.map
+             (fun family -> P.Enumerate { test = "inc4"; family; window = 8; por })
+             families)
+         [ false; true ]
+  in
+  List.iter
+    (fun q ->
+      let enc r =
+        match r with
+        | Ok r -> P.encode_result r
+        | Error e -> Alcotest.failf "%s: %s" (P.query_to_string q) e.Engine.message
+      in
+      let ram = enc (Engine.run ~caps:Engine.no_caps q P.no_limits) in
+      let ext = enc (Engine.run ~caps:Engine.no_caps ~extmem q P.no_limits) in
+      Alcotest.(check string) (P.query_to_string q ^ " bytes") ram ext)
+    queries;
+  (* a budget-tripped extmem query keeps spill state and the unlimited
+     retry resumes it to the same complete bytes *)
+  let q = P.Enumerate { test = "inc4"; family = Model.Total_store_order; window = 8; por = false } in
+  let limits = { P.deadline_s = None; max_work = Some 700; max_mem_mb = None } in
+  (match Engine.run ~caps:Engine.no_caps ~extmem q limits with
+   | Ok r -> Alcotest.(check bool) "work-capped run partial" true (r.P.partial <> None)
+   | Error e -> Alcotest.fail e.Engine.message);
+  Alcotest.(check bool) "spill state kept for resumption" true
+    (Array.exists
+       (fun d -> Sys.is_directory (Filename.concat spill_root d))
+       (Sys.readdir spill_root));
+  match (Engine.run ~caps:Engine.no_caps q P.no_limits, Engine.run ~caps:Engine.no_caps ~extmem q P.no_limits) with
+  | Ok ram, Ok resumed ->
+    Alcotest.(check string) "resumed completion byte-identical" (P.encode_result ram)
+      (P.encode_result resumed)
+  | Error e, _ | _, Error e -> Alcotest.fail e.Engine.message
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -321,5 +364,7 @@ let suite =
       ("cache key uses the structural hash", test_cache_key_name_independent);
       ("cache keys pairwise distinct", test_cache_keys_distinct);
       ("differential: cached bytes = direct bytes", test_cached_bytes_identical_to_direct);
+      ("extmem routing is byte-identical and resumes partials",
+       test_extmem_routing_byte_identical);
       ("partial results are never cached", test_partial_results_not_cached);
     ]
