@@ -5,7 +5,9 @@
 # robustness smoke (checkpoint/resume + fault-retry bit-identity, plus the
 # CLI's exit-3 partial-result contract), the service smoke (daemon
 # cold/warm/restart cache behavior plus its error and partial exit codes),
-# and the external-memory enumeration contract (extmem = in-RAM outcome sets
+# the chaos smoke (seeded fault plans vs a clean oracle, kill -9 recovery,
+# overload shedding, live-socket refusal, SIGTERM drain), and the
+# external-memory enumeration contract (extmem = in-RAM outcome sets
 # and terminal counts, tiny-budget spill generations, CLI kill/resume).
 
 .PHONY: all build check test bench bench-json bench-enum bench-axiom bench-exact bench-robust bench-serve ci clean
@@ -76,6 +78,11 @@ ci:
 	# daemon end-to-end: cold batch, warm replay, restart -> disk hits,
 	# bad-request (123) and budget-partial (3) exit codes, clean shutdown
 	sh scripts/serve_smoke.sh
+	# chaos drill (short form): seeded fault plans answered byte-identical
+	# to a clean oracle, a kill -9/restart cycle over the same cache+spill
+	# dirs, overload shedding with retrying clients, live-socket refusal,
+	# SIGTERM drain. `scripts/chaos_smoke.sh --full` is the acceptance run.
+	sh scripts/chaos_smoke.sh
 	# partial-result contract: an expired deadline must exit 3, not 0/crash
 	dune exec bin/memrel_cli.exe -- window --trials 100000 --deadline 0 > /dev/null; test $$? -eq 3
 	dune exec bin/memrel_cli.exe -- enumerate inc3 --max-states 50 > /dev/null; test $$? -eq 3

@@ -1628,6 +1628,11 @@ type serve_numbers = {
   v_disk_hit_rate : float;
   v_warm_qps : float;
   v_responses_equal : bool;
+  v_chaos_seeds : int;
+  v_chaos_secs : float;
+  v_chaos_retries : int;
+  v_chaos_responses_equal : bool;
+  v_chaos_restart_equal : bool;
 }
 
 let serve_rm_rf dir =
@@ -1755,6 +1760,45 @@ let serve_numbers ~smoke =
   let v_responses_equal = strip cold = strip warm && strip cold = strip disk in
   assert v_responses_equal;
   assert (hits SP.Computed cold = List.length trace);
+  (* chaos replay: the same trace against daemons serving under seeded
+     fault plans (EINTR, short transfers, ENOSPC, torn renames on all
+     cache IO). Typed errors are retried; answered bytes must equal the
+     clean cold run's. Then a clean daemon over the last chaos-battered
+     cache directory must also answer byte-identically — a corrupt entry
+     is recomputed, never served. *)
+  let cold_bytes = List.map (fun (r, _) -> SP.encode_result r) cold in
+  let v_chaos_seeds = if smoke then 3 else 10 in
+  let chaos_retries = ref 0 in
+  let chaos_equal = ref true in
+  let v_chaos_secs =
+    wall (fun () ->
+        for seed = 1 to v_chaos_seeds do
+          serve_rm_rf cache_dir;
+          Faultio.install (Faultio.plan_rate ~seed 0.2);
+          Fun.protect ~finally:Faultio.clear (fun () ->
+              with_daemon (fun c ->
+                  List.iteri
+                    (fun i q ->
+                      let expected = List.nth cold_bytes i in
+                      let rec go n =
+                        match SC.query c q with
+                        | Ok (SP.Result { result; _ }) ->
+                          if SP.encode_result result <> expected then chaos_equal := false
+                        | (Ok _ | Error _) when n < 25 ->
+                          incr chaos_retries;
+                          go (n + 1)
+                        | Ok _ | Error _ -> chaos_equal := false
+                      in
+                      go 0)
+                    trace))
+        done)
+  in
+  let v_chaos_restart_equal =
+    with_daemon (fun c ->
+        List.for_all2 (fun (r, _) b -> SP.encode_result r = b) (run_trace c) cold_bytes)
+  in
+  assert !chaos_equal;
+  assert v_chaos_restart_equal;
   serve_rm_rf cache_dir;
   {
     v_queries = List.length trace;
@@ -1767,6 +1811,11 @@ let serve_numbers ~smoke =
     v_disk_hit_rate = rate SP.Disk_hit disk;
     v_warm_qps;
     v_responses_equal;
+    v_chaos_seeds;
+    v_chaos_secs;
+    v_chaos_retries = !chaos_retries;
+    v_chaos_responses_equal = !chaos_equal;
+    v_chaos_restart_equal;
   }
 
 let serve_json ~file ~smoke =
@@ -1788,7 +1837,14 @@ let serve_json ~file ~smoke =
   Buffer.add_string buf (Printf.sprintf "  \"warm_hit_rate\": %.4f,\n" n.v_warm_hit_rate);
   Buffer.add_string buf (Printf.sprintf "  \"disk_hit_rate\": %.4f,\n" n.v_disk_hit_rate);
   Buffer.add_string buf (Printf.sprintf "  \"warm_queries_per_second\": %.1f,\n" n.v_warm_qps);
-  Buffer.add_string buf (Printf.sprintf "  \"responses_equal\": %b\n" n.v_responses_equal);
+  Buffer.add_string buf (Printf.sprintf "  \"responses_equal\": %b,\n" n.v_responses_equal);
+  Buffer.add_string buf (Printf.sprintf "  \"chaos_seeds\": %d,\n" n.v_chaos_seeds);
+  Buffer.add_string buf (Printf.sprintf "  \"chaos_seconds\": %.6f,\n" n.v_chaos_secs);
+  Buffer.add_string buf (Printf.sprintf "  \"chaos_retries\": %d,\n" n.v_chaos_retries);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"chaos_responses_equal\": %b,\n" n.v_chaos_responses_equal);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"chaos_restart_equal\": %b\n" n.v_chaos_restart_equal);
   Buffer.add_string buf "}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents buf);
@@ -1800,12 +1856,16 @@ let serve_json ~file ~smoke =
     \  disk trace    %8.3fs (hit rate %.0f%%, restarted daemon)\n\
     \  heavy query   %8.3fs cold -> %.6fs warm (%.0fx)\n\
     \  sustained     %8.1f queries/s warm\n\
-    \  responses byte-identical across cold/warm/disk: %b\n"
+    \  responses byte-identical across cold/warm/disk: %b\n\
+    \  chaos         %8.3fs (%d seeded fault plans, %d retries; bytes = clean \
+       run: %b, post-chaos restart clean: %b)\n"
     n.v_queries n.v_cold_trace_secs n.v_warm_trace_secs
     (100.0 *. n.v_warm_hit_rate)
     n.v_disk_trace_secs
     (100.0 *. n.v_disk_hit_rate)
-    n.v_cold_heavy_secs n.v_warm_heavy_secs ratio n.v_warm_qps n.v_responses_equal;
+    n.v_cold_heavy_secs n.v_warm_heavy_secs ratio n.v_warm_qps n.v_responses_equal
+    n.v_chaos_secs n.v_chaos_seeds n.v_chaos_retries n.v_chaos_responses_equal
+    n.v_chaos_restart_equal;
   Printf.printf "wrote %s\n" file
 
 let full_run () =

@@ -1021,7 +1021,7 @@ let socket_arg =
 
 let serve_cmd =
   let run socket cache_dir workers max_deadline max_work max_mem shards spill_dir
-      mem_budget =
+      mem_budget max_queue io_deadline fault_seed fault_rate =
     match Service_protocol.address_of_string socket with
     | Error msg ->
       Printf.eprintf "memrel: %s\n" msg;
@@ -1037,7 +1037,19 @@ let serve_cmd =
             { Service_engine.spill_root; mem_budget_bytes = mem_budget * 1024 * 1024 })
           spill_dir
       in
-      let config = { Service_server.address; cache_dir; workers; caps; shards; extmem } in
+      (* the chaos harness's lever: a seeded fault plan over all snapshot
+         IO (cache entries, spill runs, manifests). Replayable — the same
+         seed deals the same faults to the same operation sequence. *)
+      (match fault_seed with
+       | Some seed ->
+         Faultio.install (Faultio.plan_rate ~seed fault_rate);
+         Printf.printf "memrel serve: fault plan installed (seed %d, rate %.3f)\n%!" seed
+           fault_rate
+       | None -> ());
+      let config =
+        { Service_server.address; cache_dir; workers; caps; shards; extmem; max_queue;
+          io_deadline_s = io_deadline; drain_signals = true }
+      in
       Printf.printf "memrel serve: listening on %s (cache %s, %d worker%s)\n%!"
         (Service_protocol.address_to_string address)
         cache_dir workers
@@ -1090,17 +1102,44 @@ let serve_cmd =
     Arg.(value & opt int 64 & info [ "mem-budget" ] ~docv:"MB"
            ~doc:"RAM budget (MiB) for the external-memory engine (with --spill-dir).")
   in
+  let max_queue_arg =
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Pending-connection bound: beyond N queued connections, new ones are shed \
+                 with a typed overloaded/retry-after response instead of queueing without \
+                 bound.")
+  in
+  let io_deadline_arg =
+    Arg.(value & opt float 30. & info [ "io-deadline" ] ~docv:"SECS"
+           ~doc:"Per-frame IO deadline: a connection that stalls mid-frame (half a request \
+                 in, or not draining its reply) for SECS is reaped. Idle connections \
+                 between frames are unaffected.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Install a seeded fault-injection plan over all snapshot IO (cache \
+                 entries, spill runs, manifests): EINTR, short reads/writes, ENOSPC, torn \
+                 renames and crash points, dealt deterministically so any failure replays \
+                 from its seed. For chaos drills; off by default.")
+  in
+  let fault_rate_arg =
+    Arg.(value & opt float 0.05 & info [ "fault-rate" ] ~docv:"P"
+           ~doc:"Per-operation fault probability for --fault-seed (default 0.05).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the query daemon: typed verify/enumerate/axiom/estimate requests over a \
              length-prefixed binary protocol, answered through a sharded snapshot-backed \
-             result cache. Stop it with $(b,memrel query --shutdown).")
+             result cache. Sheds load beyond --max-queue with retry-after responses, \
+             reaps stalled connections at --io-deadline, drains gracefully on \
+             SIGTERM/SIGINT, and refuses to steal a Unix socket a live daemon still \
+             answers. Stop it with $(b,memrel query --shutdown).")
     Term.(const run $ socket_arg $ cache_dir_arg $ workers_arg $ max_deadline_arg
           $ max_work_cap_arg $ max_mem_cap_arg $ shards_arg $ spill_dir_arg
-          $ mem_budget_arg)
+          $ mem_budget_arg $ max_queue_arg $ io_deadline_arg $ fault_seed_arg
+          $ fault_rate_arg)
 
 let query_cmd =
-  let run socket wait deadline max_work max_mem stats ping shutdown queries =
+  let run socket wait deadline max_work max_mem stats ping shutdown retry queries =
     let module SP = Service_protocol in
     match SP.address_of_string socket with
     | Error msg ->
@@ -1133,8 +1172,13 @@ let query_cmd =
          Cmd.Exit.some_error
        | Ok request -> begin
          let reply =
-           Service_client.with_connection ~retry_for:wait address (fun c ->
-               Service_client.request c request)
+           if retry > 0 then
+             Service_client.request_retry ~max_attempts:retry
+               ~deadline_s:(Float.max wait 30.) address request
+             |> Result.map fst
+           else
+             Service_client.with_connection ~retry_for:wait address (fun c ->
+                 Service_client.request c request)
          in
          match reply with
          | Error msg ->
@@ -1147,12 +1191,17 @@ let query_cmd =
              | SP.Result { result; _ } -> if result.SP.partial <> None then 3 else 0
              | SP.Results rs -> List.fold_left (fun acc r -> max acc (code r)) 0 rs
              | SP.Error _ -> Cmd.Exit.some_error
+             | SP.Overloaded _ -> Cmd.Exit.some_error
              | SP.Stats_reply _ | SP.Pong | SP.Bye -> 0
            in
            let c = code response in
            if c = 3 then
              Printf.eprintf
                "memrel: a query exhausted its resource budget; its result is partial\n";
+           (match response with
+            | SP.Overloaded _ ->
+              Printf.eprintf "memrel: the daemon shed this query; rerun with --retry\n"
+            | _ -> ());
            c
        end)
   in
@@ -1171,6 +1220,13 @@ let query_cmd =
   let shutdown_flag =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to exit cleanly.")
   in
+  let retry_arg =
+    Arg.(value & opt int 0 & info [ "retry" ] ~docv:"N"
+           ~doc:"Retry up to N attempts with exponential backoff and jitter when the \
+                 daemon sheds the query (overloaded) or the connection fails; an \
+                 overloaded reply's retry-after is honored as the backoff floor. 0 \
+                 disables (one attempt).")
+  in
   let queries_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"QUERY"
            ~doc:"Queries, one per argument, e.g. 'verify sb tso', 'enumerate inc4 sc por', \
@@ -1183,7 +1239,7 @@ let query_cmd =
        ~doc:"Send queries to a running $(b,memrel serve) daemon. Each answer is prefixed \
              with its origin: [computed], [memory] or [disk].")
     Term.(const run $ socket_arg $ wait_arg $ deadline_arg $ max_work_arg $ max_mem_arg
-          $ stats_flag $ ping_flag $ shutdown_flag $ queries_arg)
+          $ stats_flag $ ping_flag $ shutdown_flag $ retry_arg $ queries_arg)
 
 let main_cmd =
   let doc = "reproduction of 'The Impact of Memory Models on Software Reliability'" in

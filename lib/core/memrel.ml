@@ -88,6 +88,8 @@ module Service_pool = Memrel_service.Pool
 module Service_engine = Memrel_service.Engine
 module Service_server = Memrel_service.Server
 module Service_client = Memrel_service.Client
+module Service_clock = Memrel_service.Clock
+module Faultio = Memrel_service.Faultio
 
 (** {1 Figure renderings} *)
 

@@ -344,6 +344,10 @@ let merge_to_one eng ?defer lruns =
    and replays deterministically — bit-identical to an uninterrupted run. *)
 
 let write_manifest eng =
+  (* a named kill-at-a-seam drill point: chaos plans can kill the run at
+     the exact instant before a level commits, proving resume replays the
+     level rather than trusting half-committed state *)
+  Memrel_prob.Faultio.crash_site "extmem/manifest";
   let b = Buffer.create 4096 in
   let str s =
     add_uvarint b (String.length s);

@@ -66,6 +66,12 @@ let get_uint s pos n =
 
 (* -- write (tmp + rename) ---------------------------------------------- *)
 
+(* All container IO goes through the Faultio facade: transient faults
+   (EINTR, short transfers) are retried inside it, hard failures surface
+   as the typed [Io] error here, and injected torn renames / crash points
+   leave exactly the debris a real crash would — which the CRC and the
+   orphan cleanup below are the defense against. *)
+
 let write ~file ~tag payload =
   if String.length tag > 0xffff then invalid_arg "Snapshot.write: tag too long";
   let buf = Buffer.create (String.length payload + 64) in
@@ -78,32 +84,24 @@ let write ~file ~tag payload =
   Buffer.add_string buf payload;
   let tmp = file ^ ".tmp" in
   match
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (Buffer.contents buf));
-    Sys.rename tmp file
+    Faultio.write_file ~path:tmp (Buffer.contents buf);
+    Faultio.rename ~src:tmp ~dst:file
   with
   | () -> Ok ()
-  | exception Sys_error msg ->
+  | exception (Faultio.Io msg | Sys_error msg) ->
     (* a failed write or rename must not strand the temporary: the next
        write to the same path would otherwise find a stale .tmp, and cache
-       directories would accumulate garbage *)
+       directories would accumulate garbage. A Crash_point deliberately
+       skips this cleanup — a killed process cleans nothing. *)
     (try Sys.remove tmp with Sys_error _ -> ());
     Error (Io msg)
 
 (* -- read + validate --------------------------------------------------- *)
 
 let read_file file =
-  match
-    let ic = open_in_bin file in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
+  match Faultio.read_file file with
   | s -> Ok s
-  | exception Sys_error msg -> Error (Io msg)
-  | exception End_of_file -> Error (Io "unreadable file")
+  | exception (Faultio.Io msg | Sys_error msg) -> Error (Io msg)
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 

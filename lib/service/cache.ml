@@ -12,6 +12,7 @@ type t = {
   misses : int Atomic.t;
   stores : int Atomic.t;
   disk_errors : int Atomic.t;
+  repairs : int Atomic.t;
 }
 
 (* FNV-1a 64, the same digest Litmus.hash uses — here over the full cache
@@ -53,6 +54,7 @@ let create ?(shards = 16) ~dir () =
     misses = Atomic.make 0;
     stores = Atomic.make 0;
     disk_errors = Atomic.make 0;
+    repairs = Atomic.make 0;
   }
 
 let shard_of t key =
@@ -87,27 +89,35 @@ let disk_decode ~key s =
     else Some (String.sub s (2 + klen) (String.length s - 2 - klen))
   end
 
+(* the three-way probe outcome matters downstream: a [Corrupt] probe
+   followed by a successful store is a repair, worth its own counter —
+   it is the observable proof that a torn write was detected and healed
+   rather than served *)
+type probe = Hit of string | Absent | Corrupt
+
 let disk_read t ~key =
   let file = file_of t key in
-  if not (Sys.file_exists file) then None
+  if not (Sys.file_exists file) then Absent
   else
     match Snapshot.read ~file ~tag:snapshot_tag with
     | Ok payload -> begin
       match disk_decode ~key payload with
-      | Some value -> Some value
+      | Some value -> Hit value
       | None ->
         (* filename collision with a different key: not an error, a miss *)
-        None
+        Absent
     end
     | Error _ ->
       (* corrupted or foreign file: count it, recompute, overwrite below *)
       Atomic.incr t.disk_errors;
-      None
+      Corrupt
 
 let disk_write t ~key value =
   match Snapshot.write ~file:(file_of t key) ~tag:snapshot_tag (disk_encode ~key value) with
-  | Ok () -> ()
-  | Error _ -> Atomic.incr t.disk_errors
+  | Ok () -> true
+  | Error _ ->
+    Atomic.incr t.disk_errors;
+    false
 
 type origin = Protocol.origin = Computed | Memory_hit | Disk_hit
 
@@ -129,19 +139,20 @@ let find_or_compute t ~key ~compute =
       ~finally:(fun () -> Mutex.unlock shard.lock)
       (fun () ->
         match disk_read t ~key with
-        | Some value ->
+        | Hit value ->
           Hashtbl.replace shard.table key value;
           Atomic.incr t.disk_hits;
           Ok (value, Disk_hit)
-        | None -> begin
+        | (Absent | Corrupt) as probe -> begin
           Atomic.incr t.misses;
           match compute () with
           | Error _ as e -> e
           | Ok (value, cacheable) ->
             if cacheable then begin
               Hashtbl.replace shard.table key value;
-              disk_write t ~key value;
-              Atomic.incr t.stores
+              let wrote = disk_write t ~key value in
+              Atomic.incr t.stores;
+              if wrote && probe = Corrupt then Atomic.incr t.repairs
             end;
             Ok (value, Computed)
         end)
@@ -171,4 +182,5 @@ let stats t : Protocol.cache_stats =
     misses = Atomic.get t.misses;
     stores = Atomic.get t.stores;
     disk_errors = Atomic.get t.disk_errors;
+    repairs = Atomic.get t.repairs;
   }

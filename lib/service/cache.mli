@@ -8,8 +8,8 @@
     restart. A shard's mutex is held across the whole probe-or-compute, so
     two domains racing the same key compute it exactly once while distinct
     keys on different shards proceed in parallel. A corrupted or truncated
-    disk entry is counted, recomputed and overwritten — never served and
-    never fatal. *)
+    disk entry is counted ([disk_errors]), recomputed, and overwritten in
+    place ([repairs]) — never served and never fatal. *)
 
 type t
 

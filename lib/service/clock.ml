@@ -1,0 +1,25 @@
+(* Monotonic time for the service plane.
+
+   Uptime, per-frame IO deadlines and client backoff sleeps must not move
+   when the wall clock steps (NTP slew, manual resets): gettimeofday-based
+   deadlines can produce negative uptimes or skip a backoff sleep
+   entirely. CLOCK_MONOTONIC (via bechamel's noalloc stub) only ever goes
+   forward. *)
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(* a sleep that ignores wall-clock steps: select() on Linux measures
+   elapsed (monotonic-ish) time, and the loop re-checks against the
+   monotonic deadline either way *)
+let sleep_s d =
+  let deadline = now_s () +. d in
+  let rec loop () =
+    let remaining = deadline -. now_s () in
+    if remaining > 0. then begin
+      (match Unix.select [] [] [] remaining with
+       | _ -> ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  if d > 0. then loop ()

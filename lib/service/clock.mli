@@ -1,0 +1,12 @@
+(** Monotonic time for the service plane (CLOCK_MONOTONIC).
+
+    Uptime, per-frame IO deadlines and client backoff sleeps are all
+    measured against this clock, so wall-clock steps can neither produce
+    negative uptimes nor skip a backoff sleep. *)
+
+val now_s : unit -> float
+(** Seconds on a monotonic clock. Only differences are meaningful. *)
+
+val sleep_s : float -> unit
+(** Sleep at least [d] seconds against the monotonic clock; EINTR-safe.
+    No-op for [d <= 0]. *)

@@ -165,10 +165,22 @@ let enumerate_run ?budget ?extmem ~key (t : Litmus.t) family ~window ~por =
        the next identical query resumes from the last complete level
        instead of starting over. *)
     let dir = spill_dir_of x key in
+    let attempt ~resume =
+      Extmem.outcomes ~por ?budget ~mem_budget_bytes:x.mem_budget_bytes ~resume
+        ~spill_dir:dir ~resume_key:key discipline st ~observe
+    in
+    (* Corrupt spill state — crash debris, a torn or short run file — must
+       not poison this query forever: sweep the directory and restart the
+       run from scratch. If the clean restart fails too, sweep again so
+       the client's next retry also starts fresh, and surface the error. *)
     let r =
-      Extmem.outcomes ~por ?budget ~mem_budget_bytes:x.mem_budget_bytes
-        ~resume:(Extmem.can_resume dir) ~spill_dir:dir ~resume_key:key discipline st
-        ~observe
+      try attempt ~resume:(Extmem.can_resume dir)
+      with Extmem.Spill_error _ ->
+        Extmem.remove_spill_dir dir;
+        (try attempt ~resume:false
+         with e ->
+           Extmem.remove_spill_dir dir;
+           raise e)
     in
     if r.Extmem.base.Enumerate.exhausted = None then Extmem.remove_spill_dir dir;
     r.Extmem.base

@@ -1,0 +1,9 @@
+(* The service-plane face of the fault plane.
+
+   The mechanism lives in Memrel_prob.Faultio so that Snapshot (result
+   cache entries, checkpoints) and Machine.Extmem (spill runs, manifests)
+   can route their IO through it without a dependency cycle; the service
+   layer re-exports it as the operator-facing surface (`serve
+   --fault-seed/--fault-rate` installs plans through this module). *)
+
+include Memrel_prob.Faultio

@@ -1,0 +1,11 @@
+(** Deterministic fault injection, re-exported from {!Memrel_prob.Faultio}.
+
+    Seeded, replayable fault plans over the syscall facade that all
+    snapshot-container IO (result cache, extmem spill, checkpoints)
+    travels through. See {!Memrel_prob.Faultio} for the full contract;
+    [memrel serve --fault-seed/--fault-rate] installs plans through
+    here. *)
+
+include module type of struct
+  include Memrel_prob.Faultio
+end

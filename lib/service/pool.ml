@@ -1,10 +1,31 @@
+type pool_stats = {
+  queue_len : int;
+  shed : int;
+  handler_exceptions : int;
+  respawns : int;
+}
+
 type 'a t = {
   queue : 'a Queue.t;
   lock : Mutex.t;
   nonempty : Condition.t;
+  max_queue : int;
   mutable stopping : bool;
-  mutable workers : unit Domain.t array;
+  (* append-only while running: a dying worker pushes its replacement here
+     before terminating, so shutdown's join loop can never miss a domain *)
+  mutable domains : unit Domain.t list;
+  mutable shed : int;
+  mutable handler_exceptions : int;
+  mutable respawns : int;
 }
+
+type submit_result = Accepted | Overloaded | Stopping
+
+let note_exception t exn =
+  Mutex.lock t.lock;
+  t.handler_exceptions <- t.handler_exceptions + 1;
+  Mutex.unlock t.lock;
+  Printf.eprintf "memrel-pool: handler exception: %s\n%!" (Printexc.to_string exn)
 
 let worker_loop t handler =
   let rec loop () =
@@ -17,40 +38,116 @@ let worker_loop t handler =
       let job = Queue.pop t.queue in
       Mutex.unlock t.lock;
       (* a handler failure must not kill the worker: the connection it was
-         serving is lost either way, the pool keeps draining *)
-      (try handler job with _ -> ());
+         serving is lost either way, the pool keeps draining. Every escape
+         is counted and logged — a silent swallow here once hid a protocol
+         bug for a whole release. Crash_point is the one exception allowed
+         through: it is the crash drill, and the supervisor below must see
+         the domain actually die. *)
+      (try handler job with
+      | Memrel_prob.Faultio.Crash_point _ as e ->
+        note_exception t e;
+        raise e
+      | e -> note_exception t e);
       loop ()
     end
   in
   loop ()
 
-let create ~workers ~handler =
+let rec spawn_worker t handler =
+  let d =
+    Domain.spawn (fun () ->
+        try worker_loop t handler
+        with e ->
+          (* a fatal escape killed this worker; leave a replacement behind
+             unless the pool is already shutting down *)
+          Mutex.lock t.lock;
+          let respawn = not t.stopping in
+          if respawn then t.respawns <- t.respawns + 1;
+          Mutex.unlock t.lock;
+          if respawn then begin
+            Printf.eprintf "memrel-pool: worker died (%s), respawning\n%!"
+              (Printexc.to_string e);
+            spawn_worker t handler
+          end)
+  in
+  Mutex.lock t.lock;
+  t.domains <- d :: t.domains;
+  Mutex.unlock t.lock
+
+let create ?(max_queue = 64) ~workers ~handler () =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  if max_queue < 1 then invalid_arg "Pool.create: max_queue must be >= 1";
   let t =
     {
       queue = Queue.create ();
       lock = Mutex.create ();
       nonempty = Condition.create ();
+      max_queue;
       stopping = false;
-      workers = [||];
+      domains = [];
+      shed = 0;
+      handler_exceptions = 0;
+      respawns = 0;
     }
   in
-  t.workers <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t handler));
+  for _ = 1 to workers do
+    spawn_worker t handler
+  done;
   t
 
 let submit t job =
   Mutex.lock t.lock;
-  let accepted = not t.stopping in
-  if accepted then begin
-    Queue.push job t.queue;
-    Condition.signal t.nonempty
-  end;
+  let r =
+    if t.stopping then Stopping
+    else if Queue.length t.queue >= t.max_queue then begin
+      t.shed <- t.shed + 1;
+      Overloaded
+    end
+    else begin
+      Queue.push job t.queue;
+      Condition.signal t.nonempty;
+      Accepted
+    end
+  in
   Mutex.unlock t.lock;
-  accepted
+  r
+
+let queue_length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      queue_len = Queue.length t.queue;
+      shed = t.shed;
+      handler_exceptions = t.handler_exceptions;
+      respawns = t.respawns;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
 
 let shutdown t =
   Mutex.lock t.lock;
   t.stopping <- true;
   Condition.broadcast t.nonempty;
   Mutex.unlock t.lock;
-  Array.iter Domain.join t.workers
+  (* a worker that dies during the drain appends its replacement (if it
+     raced the stopping flag) before terminating, so looping until the
+     list is observed empty joins every domain that will ever exist *)
+  let rec drain () =
+    Mutex.lock t.lock;
+    let ds = t.domains in
+    t.domains <- [];
+    Mutex.unlock t.lock;
+    match ds with
+    | [] -> ()
+    | ds ->
+      List.iter Domain.join ds;
+      drain ()
+  in
+  drain ()

@@ -1,19 +1,44 @@
-(** A fixed-size per-Domain worker pool.
+(** A supervised, bounded, per-Domain worker pool.
 
-    Jobs queue under a mutex and drain on [workers] spawned Domains. The
-    handler runs one job at a time per worker; a handler exception is
-    swallowed (the job is abandoned, the worker survives). On a one-core
-    container the pool degrades gracefully to what is effectively a serial
-    executor — correctness never depends on parallelism. *)
+    Jobs queue under a mutex up to [max_queue] and drain on [workers]
+    spawned Domains. The queue bound is the overload valve: a {!submit}
+    against a full queue returns {!Overloaded} immediately (counted as a
+    shed) instead of letting latency grow without bound — the server turns
+    that into a typed retry-after response.
+
+    Handler exceptions are counted and logged (one stderr line each), and
+    the worker survives; the one exception allowed to kill a worker is
+    {!Memrel_prob.Faultio.Crash_point} (the crash drill), after which a
+    replacement domain is spawned so capacity is never silently lost. On a
+    one-core container the pool degrades gracefully to what is effectively
+    a serial executor — correctness never depends on parallelism. *)
 
 type 'a t
 
-val create : workers:int -> handler:('a -> unit) -> 'a t
-(** Spawn [workers] (>= 1) Domains draining a shared queue. *)
+type submit_result =
+  | Accepted
+  | Overloaded  (** queue at [max_queue]: job dropped, shed counted *)
+  | Stopping  (** {!shutdown} began: job dropped *)
 
-val submit : 'a t -> 'a -> bool
-(** Enqueue a job. [false] after {!shutdown} began (the job is dropped). *)
+type pool_stats = {
+  queue_len : int;
+  shed : int;
+  handler_exceptions : int;
+  respawns : int;
+}
+
+val create :
+  ?max_queue:int -> workers:int -> handler:('a -> unit) -> unit -> 'a t
+(** Spawn [workers] (>= 1) Domains draining a shared queue bounded at
+    [max_queue] (default 64, >= 1) pending jobs. *)
+
+val submit : 'a t -> 'a -> submit_result
+
+val queue_length : 'a t -> int
+(** Current backlog; the server sizes its retry-after hint from this. *)
+
+val stats : 'a t -> pool_stats
 
 val shutdown : 'a t -> unit
-(** Stop accepting, drain the queue, join every worker. Idempotent in
-    effect but call it once. *)
+(** Stop accepting, drain the queue, join every worker — including any
+    respawned mid-drain. Idempotent in effect but call it once. *)

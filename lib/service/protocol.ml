@@ -88,19 +88,27 @@ type cache_stats = {
   misses : int;
   stores : int;
   disk_errors : int;
+  repairs : int;  (** corrupt disk entries recomputed and rewritten *)
 }
 
 type server_stats = {
   cache : cache_stats;
   requests : int;
-  uptime_s : float;
+  uptime_s : float;  (** monotonic: wall-clock steps cannot make it negative *)
   workers : int;
+  shed : int;  (** connections refused with [Overloaded] at queue capacity *)
+  handler_exceptions : int;  (** worker handler exceptions counted, not swallowed *)
+  respawns : int;  (** worker domains that died and were respawned *)
+  reaped : int;  (** connections closed at a per-frame IO deadline *)
 }
 
 type response =
   | Result of { result : result; origin : origin }
   | Results of response list
   | Error of { code : error_code; message : string }
+  | Overloaded of { retry_after_s : float }
+      (** the worker queue is at capacity: retry after the given delay —
+          never a hang, never a silently dropped connection *)
   | Stats_reply of server_stats
   | Pong
   | Bye
@@ -529,11 +537,19 @@ let rec add_response buf = function
     add_i64 buf s.cache.misses;
     add_i64 buf s.cache.stores;
     add_i64 buf s.cache.disk_errors;
+    add_i64 buf s.cache.repairs;
     add_i64 buf s.requests;
     add_f64 buf s.uptime_s;
-    add_i64 buf s.workers
+    add_i64 buf s.workers;
+    add_i64 buf s.shed;
+    add_i64 buf s.handler_exceptions;
+    add_i64 buf s.respawns;
+    add_i64 buf s.reaped
   | Pong -> add_u8 buf 4
   | Bye -> add_u8 buf 5
+  | Overloaded { retry_after_s } ->
+    add_u8 buf 6;
+    add_f64 buf retry_after_s
 
 let rec get_response c =
   match get_u8 c with
@@ -553,18 +569,30 @@ let rec get_response c =
     let misses = get_i64 c in
     let stores = get_i64 c in
     let disk_errors = get_i64 c in
+    let repairs = get_i64 c in
     let requests = get_i64 c in
     let uptime_s = get_f64 c in
     let workers = get_i64 c in
+    let shed = get_i64 c in
+    let handler_exceptions = get_i64 c in
+    let respawns = get_i64 c in
+    let reaped = get_i64 c in
     Stats_reply
       {
-        cache = { entries; memory_hits; disk_hits; misses; stores; disk_errors };
+        cache = { entries; memory_hits; disk_hits; misses; stores; disk_errors; repairs };
         requests;
         uptime_s;
         workers;
+        shed;
+        handler_exceptions;
+        respawns;
+        reaped;
       }
   | 4 -> Pong
   | 5 -> Bye
+  | 6 ->
+    let retry_after_s = get_f64 c in
+    Overloaded { retry_after_s }
   | v -> fail "bad response tag byte %d" v
 
 let encode_response r =
@@ -616,6 +644,116 @@ let decode_response s =
   with Decode_error m -> Error m
 
 (* -- framing ------------------------------------------------------------ *)
+
+(* Deadline-bounded frame IO: the server reads and writes every frame
+   under a per-frame monotonic deadline, so a client that sends half a
+   frame and stalls — or stops draining its socket mid-reply — is reaped
+   at the deadline instead of pinning a worker domain forever. *)
+
+type frame_error =
+  | Frame_timeout  (** the per-frame deadline expired: reap the connection *)
+  | Frame_closed of string  (** the peer vanished mid-frame *)
+  | Frame_malformed of string  (** bad magic or an oversized length: answer and hang up *)
+
+let frame_error_to_string = function
+  | Frame_timeout -> "frame deadline expired"
+  | Frame_closed m | Frame_malformed m -> m
+
+(* wait until [fd] is ready (readable/writable), bounded by a monotonic
+   deadline; spurious select wakeups loop back through the time check *)
+let rec wait_fd fd ~for_read ~deadline =
+  let remaining = deadline -. Clock.now_s () in
+  if remaining <= 0. then Stdlib.Error Frame_timeout
+  else
+    let r, w = if for_read then ([ fd ], []) else ([], [ fd ]) in
+    match Unix.select r w [] remaining with
+    | [], [], _ -> wait_fd fd ~for_read ~deadline
+    | _ -> Stdlib.Ok ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_fd fd ~for_read ~deadline
+
+let rec read_into fd buf pos len ~deadline =
+  if len = 0 then Stdlib.Ok ()
+  else
+    match wait_fd fd ~for_read:true ~deadline with
+    | Stdlib.Error _ as e -> e
+    | Stdlib.Ok () -> (
+      match Unix.read fd buf pos len with
+      | 0 -> Stdlib.Error (Frame_closed "connection closed mid-frame")
+      | n -> read_into fd buf (pos + n) (len - n) ~deadline
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        read_into fd buf pos len ~deadline
+      | exception Unix.Unix_error (e, _, _) -> Stdlib.Error (Frame_closed (Unix.error_message e)))
+
+let read_frame_deadline fd ~deadline_s =
+  let deadline = Clock.now_s () +. deadline_s in
+  let header = Bytes.create 8 in
+  (* the first byte decides between a clean EOF (no frame started) and a
+     mid-frame close *)
+  let first =
+    match wait_fd fd ~for_read:true ~deadline with
+    | Stdlib.Error _ as e -> e
+    | Stdlib.Ok () -> (
+      match Unix.read fd header 0 8 with
+      | 0 -> Stdlib.Ok 0
+      | n -> Stdlib.Ok n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        Stdlib.Ok (-1) (* spurious: nothing read yet, retry below *)
+      | exception Unix.Unix_error (e, _, _) -> Stdlib.Error (Frame_closed (Unix.error_message e)))
+  in
+  match first with
+  | Stdlib.Error e -> Stdlib.Error e
+  | Stdlib.Ok 0 -> Stdlib.Ok None
+  | Stdlib.Ok n -> (
+    let n = if n < 0 then 0 else n in
+    match
+      if n = 0 then
+        (* retry the header from scratch (still distinguishing EOF) *)
+        match read_into fd header 0 8 ~deadline with
+        | Stdlib.Ok () -> Stdlib.Ok ()
+        | Stdlib.Error _ as e -> e
+      else read_into fd header n (8 - n) ~deadline
+    with
+    | Stdlib.Error e -> Stdlib.Error e
+    | Stdlib.Ok () ->
+      let magic = Bytes.sub_string header 0 4 in
+      if magic <> frame_magic then Stdlib.Error (Frame_malformed "bad frame magic")
+      else begin
+        let len = ref 0 in
+        for i = 4 to 7 do
+          len := (!len lsl 8) lor Char.code (Bytes.get header i)
+        done;
+        if !len > max_frame_bytes then
+          Stdlib.Error
+            (Frame_malformed (Printf.sprintf "frame of %d bytes exceeds the cap" !len))
+        else begin
+          let payload = Bytes.create !len in
+          match read_into fd payload 0 !len ~deadline with
+          | Stdlib.Ok () -> Stdlib.Ok (Some (Bytes.to_string payload))
+          | Stdlib.Error e -> Stdlib.Error e
+        end
+      end)
+
+let write_frame_deadline fd ~deadline_s payload =
+  if String.length payload > max_frame_bytes then invalid_arg "Protocol: frame too large";
+  let deadline = Clock.now_s () +. deadline_s in
+  let header = Buffer.create 8 in
+  Buffer.add_string header frame_magic;
+  add_u32 header (String.length payload);
+  let msg = Bytes.unsafe_of_string (Buffer.contents header ^ payload) in
+  let rec loop pos =
+    if pos >= Bytes.length msg then Stdlib.Ok ()
+    else
+      match wait_fd fd ~for_read:false ~deadline with
+      | Stdlib.Error _ as e -> e
+      | Stdlib.Ok () -> (
+        match Unix.write fd msg pos (Bytes.length msg - pos) with
+        | n -> loop (pos + n)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          loop pos
+        | exception Unix.Unix_error (e, _, _) ->
+          Stdlib.Error (Frame_closed (Unix.error_message e)))
+  in
+  loop 0
 
 let rec really_write fd s pos len =
   if len > 0 then begin
@@ -905,11 +1043,16 @@ let rec render_response = function
   | Results rs ->
     String.concat "\n" (List.map render_response rs)
   | Error { code; message } -> Printf.sprintf "error (%s): %s" (error_code_to_string code) message
+  | Overloaded { retry_after_s } ->
+    Printf.sprintf "overloaded: retry after %.2fs" retry_after_s
   | Stats_reply s ->
     Printf.sprintf
-      "cache: %d entries, %d memory hits, %d disk hits, %d misses, %d stores, %d disk errors\n\
-       server: %d requests, %.1fs uptime, %d workers"
+      "cache: %d entries, %d memory hits, %d disk hits, %d misses, %d stores, %d disk \
+       errors, %d repaired\n\
+       server: %d requests, %.1fs uptime, %d workers, %d shed, %d handler exceptions, %d \
+       respawns, %d reaped"
       s.cache.entries s.cache.memory_hits s.cache.disk_hits s.cache.misses s.cache.stores
-      s.cache.disk_errors s.requests s.uptime_s s.workers
+      s.cache.disk_errors s.cache.repairs s.requests s.uptime_s s.workers s.shed
+      s.handler_exceptions s.respawns s.reaped
   | Pong -> "pong"
   | Bye -> "bye"

@@ -108,19 +108,31 @@ type cache_stats = {
   misses : int;
   stores : int;
   disk_errors : int;
+  repairs : int;
+      (** corrupt disk entries (CRC/decode failures) recomputed and
+          rewritten — a served answer is never built from a bad entry *)
 }
 
 type server_stats = {
   cache : cache_stats;
   requests : int;
-  uptime_s : float;
+  uptime_s : float;  (** monotonic; wall-clock steps cannot make it negative *)
   workers : int;
+  shed : int;  (** connections answered [Overloaded] at queue capacity *)
+  handler_exceptions : int;  (** worker handler exceptions (counted + logged) *)
+  respawns : int;  (** worker domains respawned after a fatal escape *)
+  reaped : int;  (** connections closed at a per-frame IO deadline *)
 }
 
 type response =
   | Result of { result : result; origin : origin }
   | Results of response list
   | Error of { code : error_code; message : string }
+  | Overloaded of { retry_after_s : float }
+      (** worker queue at capacity: the typed shed response. Safe to retry
+          after the delay — complete responses are byte-identical whether
+          computed or cached, so a retry can never observe a different
+          answer. *)
   | Stats_reply of server_stats
   | Pong
   | Bye
@@ -164,6 +176,31 @@ val write_frame : Unix.file_descr -> string -> unit
 val read_frame : Unix.file_descr -> (string option, string) Stdlib.result
 (** [Ok None] on clean EOF before a frame starts; [Error _] on a malformed
     or oversized header, or EOF mid-frame. *)
+
+(** {2 Deadline-bounded framing}
+
+    The server runs every frame read/write under a per-frame monotonic
+    deadline: a client that sends half a frame and stalls, or stops
+    draining its socket mid-reply, is reaped at the deadline instead of
+    pinning a worker domain. *)
+
+type frame_error =
+  | Frame_timeout  (** per-frame deadline expired: reap the connection *)
+  | Frame_closed of string  (** peer vanished mid-frame *)
+  | Frame_malformed of string  (** bad magic / oversized length: answer and hang up *)
+
+val frame_error_to_string : frame_error -> string
+
+val read_frame_deadline :
+  Unix.file_descr -> deadline_s:float -> (string option, frame_error) Stdlib.result
+(** Like {!read_frame} but the whole frame must arrive within
+    [deadline_s] seconds (monotonic). Works on blocking and non-blocking
+    descriptors. *)
+
+val write_frame_deadline :
+  Unix.file_descr -> deadline_s:float -> string -> (unit, frame_error) Stdlib.result
+(** Like {!write_frame} but the whole frame must drain within
+    [deadline_s] seconds (monotonic). *)
 
 (** {1 Addresses} *)
 

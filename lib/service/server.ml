@@ -7,17 +7,34 @@ type config = {
   caps : Engine.caps;
   shards : int;
   extmem : Engine.extmem option;
+  max_queue : int;
+  io_deadline_s : float;
+  drain_signals : bool;
 }
 
 let default_config address cache_dir =
-  { address; cache_dir; workers = 1; caps = Engine.no_caps; shards = 16; extmem = None }
+  {
+    address;
+    cache_dir;
+    workers = 1;
+    caps = Engine.no_caps;
+    shards = 16;
+    extmem = None;
+    max_queue = 64;
+    io_deadline_s = 30.;
+    drain_signals = false;
+  }
 
 type state = {
   config : config;
   cache : Cache.t;
   stop : bool Atomic.t;
   requests : int Atomic.t;
-  started : float;
+  reaped : int Atomic.t;
+  started : float;  (* Clock.now_s at startup: monotonic, so uptime is too *)
+  mutable pool : Unix.file_descr Pool.t option;
+      (* set once before the accept loop starts; stats replies read the
+         pool's shed/exception/respawn counters through it *)
 }
 
 let resolve_host host =
@@ -29,9 +46,31 @@ let resolve_host host =
     | { Unix.h_addr_list; _ } -> h_addr_list.(0)
     | exception Not_found -> failwith ("unknown host " ^ host))
 
+(* does anything answer on this Unix socket path? A leftover path from a
+   crashed daemon must be swept aside, but a live daemon's socket must
+   not be stolen — unlinking it would orphan the running process and
+   split the cache across two daemons. *)
+let unix_socket_live path =
+  if not (Sys.file_exists path) then false
+  else begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception Unix.Unix_error _ -> false)
+  end
+
 let listening_socket address =
   match address with
   | P.Unix_path path ->
+    if unix_socket_live path then
+      failwith
+        (Printf.sprintf
+           "socket %s: a live daemon is already serving (stop it first, or pick \
+            another --address)"
+           path);
     (try Unix.unlink path with Unix.Unix_error _ -> ());
     let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind sock (Unix.ADDR_UNIX path);
@@ -80,11 +119,20 @@ let answer_batch st items =
   P.encode_items_response answers
 
 let server_stats st =
+  let ps =
+    match st.pool with
+    | Some pool -> Pool.stats pool
+    | None -> { Pool.queue_len = 0; shed = 0; handler_exceptions = 0; respawns = 0 }
+  in
   {
     P.cache = Cache.stats st.cache;
     requests = Atomic.get st.requests;
-    uptime_s = Unix.gettimeofday () -. st.started;
+    uptime_s = Clock.now_s () -. st.started;
     workers = st.config.workers;
+    shed = ps.Pool.shed;
+    handler_exceptions = ps.Pool.handler_exceptions;
+    respawns = ps.Pool.respawns;
+    reaped = Atomic.get st.reaped;
   }
 
 let handle_request st = function
@@ -107,18 +155,29 @@ let rec wait_readable st fd =
     | _ -> true
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable st fd
 
+(* Once a frame starts (the socket turned readable), the whole exchange —
+   frame in, reply out — must finish within [io_deadline_s]. An idle
+   connection between frames costs nothing; a client that sends half a
+   frame and stalls, or stops draining its reply, is reaped at the
+   deadline so it cannot pin a worker domain. *)
 let serve_connection st fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
+      (* relative: each frame read/write computes its own absolute
+         monotonic deadline from this *)
+      let deadline_s = st.config.io_deadline_s in
       let rec loop () =
         if wait_readable st fd then
-          match P.read_frame fd with
+          match P.read_frame_deadline fd ~deadline_s with
           | Ok None -> ()
-          | Error msg ->
+          | Error P.Frame_timeout -> Atomic.incr st.reaped
+          | Error (P.Frame_closed _) -> ()
+          | Error (P.Frame_malformed msg) ->
             (* a malformed frame poisons the stream: answer and hang up *)
-            P.write_frame fd
-              (P.encode_response (P.Error { code = P.Bad_request; message = msg }))
+            ignore
+              (P.write_frame_deadline fd ~deadline_s
+                 (P.encode_response (P.Error { code = P.Bad_request; message = msg })))
           | Ok (Some payload) ->
             Atomic.incr st.requests;
             let reply =
@@ -127,12 +186,20 @@ let serve_connection st fd =
                 P.encode_response (P.Error { code = P.Bad_request; message = msg })
               | Ok request -> handle_request st request
             in
-            P.write_frame fd reply;
-            if not (Atomic.get st.stop) then loop ()
+            (match P.write_frame_deadline fd ~deadline_s reply with
+            | Ok () -> if not (Atomic.get st.stop) then loop ()
+            | Error P.Frame_timeout -> Atomic.incr st.reaped
+            | Error (P.Frame_closed _ | P.Frame_malformed _) -> ())
       in
       loop ())
 
 (* -- lifecycle ----------------------------------------------------------- *)
+
+(* the retry-after hint scales with how deep the backlog is relative to
+   the draining capacity, clamped to something a human-scale client can
+   act on *)
+let retry_after_hint ~backlog ~workers =
+  Float.min 2.0 (Float.max 0.05 (0.25 *. float_of_int backlog /. float_of_int workers))
 
 let run ?on_ready config =
   (* a client hanging up mid-reply must not kill the daemon *)
@@ -143,19 +210,48 @@ let run ?on_ready config =
       cache = Cache.create ~shards:config.shards ~dir:config.cache_dir ();
       stop = Atomic.make false;
       requests = Atomic.make 0;
-      started = Unix.gettimeofday ();
+      reaped = Atomic.make 0;
+      started = Clock.now_s ();
+      pool = None;
     }
   in
+  if config.drain_signals then begin
+    let drain _ = Atomic.set st.stop true in
+    try
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle drain)
+    with Invalid_argument _ -> ()
+  end;
   let sock = listening_socket config.address in
-  let pool = Pool.create ~workers:config.workers ~handler:(serve_connection st) in
+  let pool =
+    Pool.create ~max_queue:config.max_queue ~workers:config.workers
+      ~handler:(serve_connection st) ()
+  in
+  st.pool <- Some pool;
   Option.iter (fun f -> f ()) on_ready;
+  let shed_connection fd =
+    (* typed shed: tell the client when to come back, then hang up. The
+       write runs on a short deadline so a non-draining client cannot
+       stall the accept loop. *)
+    let retry_after_s =
+      retry_after_hint ~backlog:(Pool.queue_length pool) ~workers:config.workers
+    in
+    ignore
+      (P.write_frame_deadline fd ~deadline_s:1.0
+         (P.encode_response (P.Overloaded { retry_after_s })));
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   let rec accept_loop () =
     if not (Atomic.get st.stop) then begin
       (match Unix.select [ sock ] [] [] 0.2 with
        | [], _, _ -> ()
        | _ -> (
          match Unix.accept sock with
-         | fd, _ -> if not (Pool.submit pool fd) then Unix.close fd
+         | fd, _ -> (
+           match Pool.submit pool fd with
+           | Pool.Accepted -> ()
+           | Pool.Overloaded -> shed_connection fd
+           | Pool.Stopping -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       accept_loop ()

@@ -1,0 +1,204 @@
+#!/bin/sh
+# Chaos drill against the memrel daemon: seeded fault plans, kill -9 crash
+# cycles, overload shedding, and live-socket refusal — all from the outside,
+# through the real CLI. Every fault plan is seeded, so any failure replays.
+#
+#   scripts/chaos_smoke.sh          # short form (CI): 3 fault seeds, 1 kill cycle
+#   scripts/chaos_smoke.sh --full   # acceptance form: 20 fault seeds, 5 kill cycles
+#
+# The contract it checks:
+#   * a daemon serving under a lossy fault plan answers every trace query
+#     with bytes identical to a never-faulted oracle (typed errors are
+#     retried, corruption is never served);
+#   * after kill -9 mid-query, a restart over the same cache and spill
+#     directories sweeps the debris and answers byte-identically;
+#   * beyond --max-queue the daemon sheds with a typed retry-after response,
+#     retrying clients all eventually succeed, and the shed counter moved;
+#   * a second daemon refuses to steal a live daemon's socket.
+set -u
+
+CLI=./_build/default/bin/memrel_cli.exe
+if [ ! -x "$CLI" ]; then
+  echo "chaos_smoke: $CLI not built (run dune build)" >&2
+  exit 1
+fi
+
+MODE=short
+[ "${1:-}" = "--full" ] && MODE=full
+if [ "$MODE" = full ]; then
+  FAULT_SEEDS=$(seq 1 20)
+  KILL_CYCLES=5
+else
+  FAULT_SEEDS="1 2 3"
+  KILL_CYCLES=1
+fi
+# per-op fault probability: the spill engine issues dozens of snapshot
+# ops per heavy query, so a rate much above this makes attempts fail
+# faster than retries can drain; 0.10 deals real faults on most seeds
+# while every query still converges within the retry bound below
+FAULT_RATE=0.10
+
+DIR=$(mktemp -d /tmp/memrel_chaos.XXXXXX)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "chaos_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# the fixed query trace: hits the verifier, both enumeration engines (the
+# daemon routes verify/enumerate through the external-memory engine when
+# --spill-dir is set), the axiomatic solver and the Monte Carlo estimators
+TRACE="$DIR/trace.txt"
+cat > "$TRACE" <<'EOF'
+verify sb tso
+verify mp wo
+enumerate lb pso
+axiom sb tso engine=solver
+estimate settling tso gamma=2 trials=20000
+estimate shift gammas=3,2,5 trials=20000
+enumerate inc4 sc
+EOF
+TRACE_LEN=$(wc -l < "$TRACE")
+
+start_daemon() { # $1=socket $2=cache $3=spill $4=log, rest: extra serve flags
+  sock=$1; cache=$2; spill=$3; log=$4; shift 4
+  "$CLI" serve --socket "$sock" --cache-dir "$cache" \
+    --spill-dir "$spill" --mem-budget 4 --io-deadline 20 "$@" \
+    >> "$log" 2>&1 &
+  SERVER_PID=$!
+  "$CLI" query --socket "$sock" --wait 10 --ping > /dev/null \
+    || fail "daemon on $sock did not come up (log: $log)"
+}
+
+stop_daemon() { # $1=socket
+  "$CLI" query --socket "$1" --shutdown > /dev/null 2>&1
+  wait "$SERVER_PID" 2>/dev/null
+  SERVER_PID=""
+}
+
+# run the trace against a daemon, one query per invocation; transport
+# failures and typed overload replies are retried inside the client
+# (--retry), typed IO errors by this outer loop. Output is normalized by
+# stripping the [computed]/[memory]/[disk] origin tag — under faults a
+# store can fail and legitimately change a later answer's origin, but
+# never its bytes.
+run_trace() { # $1=socket $2=outfile
+  : > "$2"
+  while IFS= read -r q; do
+    tries=0
+    while :; do
+      if out=$("$CLI" query --socket "$1" --wait 5 --retry 8 "$q" 2>/dev/null); then
+        printf '%s\n' "$out" | sed 's/^\[[a-z]*\] //' >> "$2"
+        break
+      fi
+      tries=$((tries + 1))
+      [ "$tries" -lt 25 ] || fail "query \"$q\" on $1 never succeeded after $tries tries"
+    done
+  done < "$TRACE"
+}
+
+stat_field() { # $1=socket $2=field name as rendered (e.g. shed, reaped)
+  "$CLI" query --socket "$1" --stats 2>/dev/null \
+    | sed -n "s/.*[ ,]\([0-9][0-9]*\) $2[,.]*.*/\1/p" | head -1
+}
+
+echo "== chaos_smoke ($MODE): oracle =="
+ORACLE="$DIR/oracle.txt"
+start_daemon "$DIR/oracle.sock" "$DIR/oracle.cache" "$DIR/oracle.spill" "$DIR/oracle.log"
+
+echo "-- live-socket refusal --"
+if "$CLI" serve --socket "$DIR/oracle.sock" --cache-dir "$DIR/thief.cache" \
+     > "$DIR/thief.log" 2>&1; then
+  fail "a second daemon stole a live socket"
+fi
+grep -q "already serving" "$DIR/thief.log" \
+  || fail "socket refusal was not the typed one-line error (log: $DIR/thief.log)"
+
+run_trace "$DIR/oracle.sock" "$ORACLE"
+stop_daemon "$DIR/oracle.sock"
+# responses can span several lines (enumeration outcome tables), so the
+# oracle has at least one line per trace query
+[ "$(wc -l < "$ORACLE")" -ge "$TRACE_LEN" ] || fail "oracle trace incomplete"
+echo "   oracle: $TRACE_LEN responses recorded"
+
+echo "== phase 1: seeded fault plans (rate $FAULT_RATE) =="
+for seed in $FAULT_SEEDS; do
+  sock="$DIR/fault$seed.sock"
+  start_daemon "$sock" "$DIR/fault$seed.cache" "$DIR/fault$seed.spill" \
+    "$DIR/fault$seed.log" --fault-seed "$seed" --fault-rate "$FAULT_RATE"
+  run_trace "$sock" "$DIR/fault$seed.out"
+  cmp -s "$ORACLE" "$DIR/fault$seed.out" \
+    || fail "seed $seed: responses under faults differ from oracle (replay with \
+--fault-seed $seed --fault-rate $FAULT_RATE)"
+  "$CLI" query --socket "$sock" --stats | grep -q "disk errors" \
+    || fail "seed $seed: stats unavailable after fault run"
+  stop_daemon "$sock"
+  echo "   seed $seed: byte-identical to oracle"
+done
+
+echo "== phase 2: kill -9 / restart cycles ($KILL_CYCLES) =="
+SOCK="$DIR/crash.sock"
+CACHE="$DIR/crash.cache"
+SPILL="$DIR/crash.spill"
+start_daemon "$SOCK" "$CACHE" "$SPILL" "$DIR/crash.log"
+run_trace "$SOCK" "$DIR/crash0.out" # warm the cache and spill dirs
+cycle=1
+while [ "$cycle" -le "$KILL_CYCLES" ]; do
+  # a fresh in-flight query (new window each cycle, so it really computes)
+  "$CLI" query --socket "$SOCK" --wait 2 \
+    "enumerate inc4 sc window=$((4 + cycle))" > /dev/null 2>&1 &
+  VICTIM=$!
+  sleep 0.2
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null
+  SERVER_PID=""
+  wait "$VICTIM" 2>/dev/null
+  # restart over the same cache + spill + stale socket file: the daemon
+  # must sweep the debris (dead socket, torn tmp files) and serve
+  start_daemon "$SOCK" "$CACHE" "$SPILL" "$DIR/crash.log"
+  run_trace "$SOCK" "$DIR/crash$cycle.out"
+  cmp -s "$ORACLE" "$DIR/crash$cycle.out" \
+    || fail "kill cycle $cycle: post-restart responses differ from oracle"
+  echo "   cycle $cycle: restart over debris, byte-identical to oracle"
+  cycle=$((cycle + 1))
+done
+# graceful drain to finish: SIGTERM must stop the daemon and remove the socket
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+[ ! -S "$SOCK" ] || fail "SIGTERM drain left the socket behind"
+echo "   SIGTERM drain: clean exit, socket removed"
+
+echo "== phase 3: overload shedding =="
+SOCK="$DIR/load.sock"
+start_daemon "$SOCK" "$DIR/load.cache" "$DIR/load.spill" "$DIR/load.log" \
+  --workers 1 --max-queue 1
+n=0
+pids=""
+while [ "$n" -lt 10 ]; do
+  # distinct seeds so every client really computes and holds the worker
+  "$CLI" query --socket "$SOCK" --wait 5 --retry 20 \
+    "estimate settling tso gamma=2 trials=30000 seed=$((100 + n))" \
+    > "$DIR/load$n.out" 2>&1 &
+  pids="$pids $!"
+  n=$((n + 1))
+done
+rc=0
+for pid in $pids; do
+  wait "$pid" || rc=$?
+done
+[ "$rc" -eq 0 ] || fail "an overloaded client did not eventually succeed (rc=$rc)"
+shed=$(stat_field "$SOCK" shed)
+stop_daemon "$SOCK"
+[ -n "$shed" ] || fail "could not parse shed counter from stats"
+[ "$shed" -ge 1 ] || fail "10 clients against workers=1 max-queue=1 shed nothing"
+echo "   10/10 retrying clients succeeded; daemon shed $shed connections"
+
+echo "chaos_smoke: OK ($MODE: $(echo $FAULT_SEEDS | wc -w) fault seeds, \
+$KILL_CYCLES kill cycles, shed=$shed)"

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "memrel_service"
     [
       ("protocol", Test_protocol.suite);
+      ("faultio", Test_faultio.suite);
       ("cache", Test_cache.suite);
       ("engine", Test_engine.suite);
       ("server", Test_server.suite);

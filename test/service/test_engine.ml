@@ -349,6 +349,46 @@ let test_extmem_routing_byte_identical () =
       (P.encode_result resumed)
   | Error e, _ | _, Error e -> Alcotest.fail e.Engine.message
 
+let test_extmem_corrupt_spill_swept () =
+  (* a truncated spill file (crash debris, torn rename) must not poison
+     the query forever: the engine sweeps the corrupt state and restarts
+     the run from scratch, answering with the exact in-RAM bytes *)
+  with_dir @@ fun spill_root ->
+  let extmem = { Engine.spill_root; mem_budget_bytes = 1 lsl 20 } in
+  let q =
+    P.Enumerate { test = "inc4"; family = Model.Total_store_order; window = 8; por = false }
+  in
+  let limits = { P.deadline_s = None; max_work = Some 700; max_mem_mb = None } in
+  (match Engine.run ~caps:Engine.no_caps ~extmem q limits with
+   | Ok r -> Alcotest.(check bool) "budget-tripped run partial" true (r.P.partial <> None)
+   | Error e -> Alcotest.fail e.Engine.message);
+  let truncated = ref 0 in
+  Array.iter
+    (fun d ->
+      let dir = Filename.concat spill_root d in
+      if Sys.is_directory dir then
+        Array.iter
+          (fun f ->
+            let path = Filename.concat dir f in
+            let n = (Unix.stat path).Unix.st_size in
+            if n > 4 then begin
+              let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+              Unix.ftruncate fd (n / 2);
+              Unix.close fd;
+              incr truncated
+            end)
+          (Sys.readdir dir))
+    (Sys.readdir spill_root);
+  Alcotest.(check bool) "some spill state corrupted" true (!truncated > 0);
+  match
+    ( Engine.run ~caps:Engine.no_caps q P.no_limits,
+      Engine.run ~caps:Engine.no_caps ~extmem q P.no_limits )
+  with
+  | Ok ram, Ok healed ->
+    Alcotest.(check string) "swept and restarted run byte-identical"
+      (P.encode_result ram) (P.encode_result healed)
+  | Error e, _ | _, Error e -> Alcotest.fail e.Engine.message
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -366,5 +406,6 @@ let suite =
       ("differential: cached bytes = direct bytes", test_cached_bytes_identical_to_direct);
       ("extmem routing is byte-identical and resumes partials",
        test_extmem_routing_byte_identical);
+      ("corrupt spill state swept and restarted", test_extmem_corrupt_spill_swept);
       ("partial results are never cached", test_partial_results_not_cached);
     ]

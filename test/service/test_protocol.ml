@@ -75,14 +75,19 @@ let sample_responses =
         (List.map (fun result -> P.Result { result; origin = P.Disk_hit }) sample_results
         @ [ P.Error { code = P.Unknown_test; message = "no such test" } ]);
       P.Error { code = P.Bad_request; message = "bad" };
+      P.Overloaded { retry_after_s = 0.25 };
       P.Stats_reply
         {
           cache =
             { entries = 3; memory_hits = 2; disk_hits = 1; misses = 4; stores = 3;
-              disk_errors = 0 };
+              disk_errors = 2; repairs = 1 };
           requests = 11;
           uptime_s = 2.5;
           workers = 2;
+          shed = 5;
+          handler_exceptions = 1;
+          respawns = 1;
+          reaped = 3;
         };
       P.Pong;
       P.Bye;

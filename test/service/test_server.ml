@@ -20,14 +20,16 @@ let rec rm_rf path =
 
 (* a daemon on a fresh Unix socket, stopped (via Shutdown) and joined before
    returning — [keep_cache] reuses a directory across restarts *)
-let with_server ?(workers = 2) ?caps ?cache_dir f =
+let with_server ?(workers = 2) ?caps ?cache_dir ?(max_queue = 64) ?(io_deadline_s = 30.) f =
   let socket = temp_path ".sock" in
   let cache_dir = match cache_dir with Some d -> d | None -> temp_path ".cache" in
   let address = P.Unix_path socket in
   let config =
     { (Server.default_config address cache_dir) with
       Server.workers;
-      caps = Option.value caps ~default:Engine.no_caps }
+      caps = Option.value caps ~default:Engine.no_caps;
+      max_queue;
+      io_deadline_s }
   in
   let ready = Atomic.make false in
   let server =
@@ -254,29 +256,172 @@ let test_stats_and_shutdown () =
 
 let test_pool_drains_and_joins () =
   let processed = Atomic.make 0 in
-  let pool = Pool.create ~workers:3 ~handler:(fun n -> Atomic.set processed (Atomic.get processed + n)) in
+  let pool =
+    Pool.create ~workers:3 ~handler:(fun n -> Atomic.set processed (Atomic.get processed + n)) ()
+  in
   ignore pool;
-  let pool2 = Pool.create ~workers:2 ~handler:(fun _ -> Atomic.incr processed) in
+  let pool2 = Pool.create ~max_queue:64 ~workers:2 ~handler:(fun _ -> Atomic.incr processed) () in
   for _ = 1 to 50 do
-    Alcotest.(check bool) "accepted" true (Pool.submit pool2 ())
+    match Pool.submit pool2 () with
+    | Pool.Accepted -> ()
+    | Pool.Overloaded | Pool.Stopping -> Alcotest.fail "submit not accepted"
   done;
   Pool.shutdown pool2;
   Alcotest.(check int) "all jobs ran before join" 50 (Atomic.get processed);
-  Alcotest.(check bool) "rejected after shutdown" false (Pool.submit pool2 ());
+  Alcotest.(check bool) "rejected after shutdown" true (Pool.submit pool2 () = Pool.Stopping);
   Pool.shutdown pool
 
 let test_pool_survives_handler_exceptions () =
   let survived = Atomic.make 0 in
   let pool =
-    Pool.create ~workers:1 ~handler:(fun n ->
-        if n = 0 then failwith "boom" else Atomic.incr survived)
+    Pool.create ~workers:1
+      ~handler:(fun n -> if n = 0 then failwith "boom" else Atomic.incr survived)
+      ()
   in
   ignore (Pool.submit pool 0);
   ignore (Pool.submit pool 1);
   ignore (Pool.submit pool 0);
   ignore (Pool.submit pool 2);
   Pool.shutdown pool;
-  Alcotest.(check int) "worker survived the failures" 2 (Atomic.get survived)
+  Alcotest.(check int) "worker survived the failures" 2 (Atomic.get survived);
+  (* the satellite regression: the escapes are counted, not swallowed *)
+  let s = Pool.stats pool in
+  Alcotest.(check int) "handler exceptions counted" 2 s.Pool.handler_exceptions;
+  Alcotest.(check int) "no respawn for a caught exception" 0 s.Pool.respawns
+
+(* -- robustness: refusal, reaping, overload, chaos ----------------------- *)
+
+let test_refuses_live_socket () =
+  with_server @@ fun address cache_dir ->
+  (* the daemon is up: a second daemon on the same Unix socket must refuse
+     with a typed one-line error instead of stealing the path *)
+  Alcotest.(check bool) "probe sees the live daemon" true
+    (match address with P.Unix_path p -> Server.unix_socket_live p | P.Tcp _ -> false);
+  let config = { (Server.default_config address cache_dir) with Server.workers = 1 } in
+  (match Server.run config with
+  | () -> Alcotest.fail "second daemon should refuse to start"
+  | exception Failure msg ->
+    Alcotest.(check bool) "error names the conflict" true
+      (Astring.String.is_infix ~affix:"already serving" msg));
+  (* and the first daemon is unharmed *)
+  let c = connect address in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match request c P.Ping with
+  | P.Pong -> ()
+  | r -> Alcotest.failf "first daemon hurt by the refusal: %s" (P.render_response r)
+
+let test_slow_client_reaped () =
+  with_server ~workers:2 ~io_deadline_s:1.0 @@ fun address _ ->
+  match address with
+  | P.Tcp _ -> Alcotest.fail "unix socket expected"
+  | P.Unix_path path ->
+    let slow = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close slow with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect slow (Unix.ADDR_UNIX path);
+    (* half a frame header, then stall: without the per-frame deadline this
+       would pin one of the two workers forever *)
+    ignore (Unix.write_substring slow "MRF1\x00\x00" 0 6);
+    (* the other worker keeps serving throughout *)
+    let c = connect address in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    (match request c P.Ping with
+    | P.Pong -> ()
+    | r -> Alcotest.failf "ping while stalled: %s" (P.render_response r));
+    (* the stalled connection is reaped at the deadline: its socket EOFs *)
+    let deadline = Unix.gettimeofday () +. 15. in
+    let buf = Bytes.create 64 in
+    let rec wait_reaped () =
+      if Unix.gettimeofday () > deadline then Alcotest.fail "stalled client never reaped"
+      else
+        match Unix.select [ slow ] [] [] 0.2 with
+        | [ _ ], _, _ -> if Unix.read slow buf 0 64 > 0 then wait_reaped ()
+        | _ -> wait_reaped ()
+    in
+    wait_reaped ();
+    (* the worker it held is back: requests still answer, and the reap is
+       counted *)
+    (match request c P.Ping with
+    | P.Pong -> ()
+    | r -> Alcotest.failf "ping after reap: %s" (P.render_response r));
+    match request c P.Stats with
+    | P.Stats_reply s -> Alcotest.(check bool) "reap counted" true (s.P.reaped >= 1)
+    | r -> Alcotest.failf "stats: %s" (P.render_response r)
+
+let test_overload_shed_and_retry () =
+  with_server ~workers:1 ~max_queue:1 @@ fun address _ ->
+  (* one worker, queue of one: c1 pins the worker, c2 fills the queue *)
+  let c1 = connect address in
+  (match request c1 P.Ping with
+  | P.Pong -> ()
+  | r -> Alcotest.failf "ping: %s" (P.render_response r));
+  let c2 = connect address in
+  ignore (Unix.select [] [] [] 0.3);
+  (* the next connection is shed with the typed retry-after response *)
+  let c3 = connect address in
+  (match Client.request c3 P.Ping with
+  | Ok (P.Overloaded { retry_after_s }) ->
+    Alcotest.(check bool) "positive retry-after" true (retry_after_s > 0.)
+  | Ok r -> Alcotest.failf "expected overloaded: %s" (P.render_response r)
+  | Error m -> Alcotest.failf "shed connection: %s" m);
+  Client.close c3;
+  (* a retrying client parked behind the overload lands once capacity
+     frees, and reports how it got there *)
+  let retry =
+    Domain.spawn (fun () ->
+        Client.request_retry ~max_attempts:60 ~base_delay_s:0.05 ~deadline_s:20. address
+          P.Ping)
+  in
+  ignore (Unix.select [] [] [] 0.5);
+  Client.close c1;
+  Client.close c2;
+  (match Domain.join retry with
+  | Ok (P.Pong, rs) ->
+    Alcotest.(check bool) "took more than one attempt" true (rs.Client.attempts > 1);
+    Alcotest.(check bool) "overloaded retries recorded" true (rs.Client.overloaded_retries >= 1)
+  | Ok (r, _) -> Alcotest.failf "expected pong: %s" (P.render_response r)
+  | Error m -> Alcotest.failf "retry never landed: %s" m);
+  (* counters reconcile: the daemon shed at least the two sheds we observed *)
+  let c = connect address in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match request c P.Stats with
+  | P.Stats_reply s -> Alcotest.(check bool) "shed counted" true (s.P.shed >= 2)
+  | r -> Alcotest.failf "stats: %s" (P.render_response r)
+
+(* the in-process chaos drill: the same query trace against a clean oracle
+   server and against fault-injected servers (several seeds) must produce
+   byte-identical result payloads — faults may change origins (a failed
+   store forces a recompute) but never a single result byte *)
+let test_chaos_responses_byte_identical () =
+  let module F = Memrel_service.Faultio in
+  let trace_queries =
+    [
+      q_verify;
+      P.Enumerate { test = "inc"; family = Model.Sequential_consistency; window = 8; por = true };
+      P.Axiom { test = "mp"; family = Model.Weak_ordering; window = 8; engine = P.Generate };
+      q_verify (* a cache-hit path *);
+    ]
+  in
+  let result_bytes address =
+    List.map
+      (fun q ->
+        let c = connect address in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        match request c (P.Query (q, P.no_limits)) with
+        | P.Result { result; _ } -> P.encode_result result
+        | r -> Alcotest.failf "chaos query: %s" (P.render_response r))
+      trace_queries
+  in
+  let oracle = with_server (fun address _ -> result_bytes address) in
+  for seed = 1 to 5 do
+    let chaotic =
+      with_server (fun address _ ->
+          let p = F.plan_rate ~seed 0.3 in
+          F.with_plan p (fun () -> result_bytes address))
+    in
+    if chaotic <> oracle then
+      Alcotest.failf "seed %d: a faulted server answered different bytes" seed
+  done
 
 let suite =
   List.map
@@ -292,4 +437,8 @@ let suite =
       ("stats and clean shutdown", test_stats_and_shutdown);
       ("pool drains before join", test_pool_drains_and_joins);
       ("pool survives handler exceptions", test_pool_survives_handler_exceptions);
+      ("refuses a live socket", test_refuses_live_socket);
+      ("slow client reaped, others served", test_slow_client_reaped);
+      ("overload shed + retry reconciliation", test_overload_shed_and_retry);
+      ("chaos seeds: byte-identical results", test_chaos_responses_byte_identical);
     ]
